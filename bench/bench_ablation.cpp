@@ -1,0 +1,149 @@
+//===- bench/bench_ablation.cpp - Design-choice ablations -----------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablations for the design choices DESIGN.md calls out (not a paper
+// figure, but the knobs behind Figure 17's smul panel and Example 2.1):
+//
+//   A. skip implementation — linear vs binary vs galloping search on an
+//      asymmetric sparse-sparse intersection (the sparser side drives long
+//      skips through the denser side);
+//   B. attribute (iteration) order — Example 2.1's filtered relation with
+//      one highly selective predicate: filtering on the selective
+//      attribute first skips whole slices;
+//   C. fusion — the three-way vector product evaluated fused vs via a
+//      materialised temporary (Section 2.1's motivating example).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/etch_kernels.h"
+#include "formats/random.h"
+#include "relational/trie.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+#include <cstdio>
+
+using namespace etch;
+
+namespace {
+
+void ablateSkipPolicy() {
+  std::puts("--- A: skip policy on asymmetric intersection x*y*z ---");
+  std::puts("(|x| = 1000 nnz drives skips through |y| = |z| = 2M nnz)\n");
+  const Idx N = 40'000'000;
+  Rng R(31);
+  auto X = randomSparseVector(R, N, 1000);
+  auto Y = randomSparseVector(R, N, 2'000'000);
+  auto Z = randomSparseVector(R, N, 2'000'000);
+
+  volatile double Sink;
+  ResultTable T({"policy", "time_ms"});
+  double L = timeBest([&] { Sink = kernels::tripleDot(X, Y, Z); });
+  T.addRow({"linear", ResultTable::num(L * 1e3)});
+  double B = timeBest(
+      [&] { Sink = kernels::tripleDot<SearchPolicy::Binary>(X, Y, Z); });
+  T.addRow({"binary", ResultTable::num(B * 1e3)});
+  double G = timeBest(
+      [&] { Sink = kernels::tripleDot<SearchPolicy::Gallop>(X, Y, Z); });
+  T.addRow({"gallop", ResultTable::num(G * 1e3)});
+  (void)Sink;
+  T.print();
+}
+
+void ablateAttributeOrder() {
+  std::puts("\n--- B: attribute order for Example 2.1's filtered scan ---");
+  std::puts("(predicate on y passes 0.1%; y-first skips whole x-slices)\n");
+  const Idx NX = 3000, NY = 3000;
+  const size_t Rows = 1'000'000;
+  Rng R(37);
+
+  // T(x, y) as both orderings, plus the selective predicate p_y.
+  std::vector<std::array<Idx, 2>> XY, YX;
+  XY.reserve(Rows);
+  YX.reserve(Rows);
+  for (size_t I = 0; I < Rows; ++I) {
+    Idx X = static_cast<Idx>(R.nextBelow(static_cast<uint64_t>(NX)));
+    Idx Y = static_cast<Idx>(R.nextBelow(static_cast<uint64_t>(NY)));
+    XY.push_back({X, Y});
+    YX.push_back({Y, X});
+  }
+  auto TXy = Trie<2, int64_t>::fromKeysCounting(std::move(XY));
+  auto TYx = Trie<2, int64_t>::fromKeysCounting(std::move(YX));
+
+  std::vector<std::array<Idx, 1>> PassY;
+  for (Idx Y = 0; Y < NY; ++Y)
+    if (R.nextBool(0.001))
+      PassY.push_back({Y});
+  if (PassY.empty())
+    PassY.push_back({0});
+  auto PY = Trie<1, int64_t>::fromKeys(std::move(PassY), 1);
+
+  using K = I64Semiring;
+  volatile int64_t Sink;
+
+  // x-first: iterate all of T(x, y); intersect y with p_y at the inner
+  // level (the predicate is checked deep in the loop nest).
+  double XFirst = timeBest([&] {
+    auto Lifted = mapStream(TXy.stream(), [&](auto YLev) {
+      return mulStreams<K>(std::move(YLev), PY.stream());
+    });
+    Sink = sumAll<K>(std::move(Lifted));
+  });
+
+  // y-first: intersect y at the outer level; whole x-slices are skipped.
+  double YFirst = timeBest([&] {
+    auto Outer = joinStreams(KeepLeft{}, TYx.stream(), PY.stream());
+    Sink = sumAll<K>(std::move(Outer));
+  });
+  (void)Sink;
+
+  ResultTable T({"order", "time_ms", "speedup"});
+  T.addRow({"x-first (filter inner)", ResultTable::num(XFirst * 1e3),
+            ResultTable::num(1.0, 1)});
+  T.addRow({"y-first (filter outer)", ResultTable::num(YFirst * 1e3),
+            ResultTable::num(XFirst / YFirst, 1)});
+  T.print();
+}
+
+void ablateFusion() {
+  std::puts("\n--- C: fused vs materialised x*y*z (Section 2.1) ---");
+  std::puts("(z is sparse; materialising x*y first wastes its work)\n");
+  const Idx N = 8'000'000;
+  Rng R(41);
+  auto X = randomSparseVector(R, N, 2'000'000);
+  auto Y = randomSparseVector(R, N, 2'000'000);
+  auto Z = randomSparseVector(R, N, 2'000);
+
+  using S = F64Semiring;
+  volatile double Sink;
+  double Fused = timeBest([&] { Sink = kernels::tripleDot(X, Y, Z); });
+
+  double Unfused = timeBest([&] {
+    // v := x * y materialised, then sum(v * z).
+    SparseVector<double> V(N);
+    forEach(mulStreams<S>(X.stream(), Y.stream()),
+            [&](Idx I, double Val) { V.push(I, Val); });
+    Sink = sumAll<S>(mulStreams<S>(V.stream(), Z.stream()));
+  });
+  (void)Sink;
+
+  ResultTable T({"execution", "time_ms", "speedup"});
+  T.addRow({"unfused (materialise x*y)", ResultTable::num(Unfused * 1e3),
+            ResultTable::num(1.0, 1)});
+  T.addRow({"fused", ResultTable::num(Fused * 1e3),
+            ResultTable::num(Unfused / Fused, 1)});
+  T.print();
+}
+
+} // namespace
+
+int main() {
+  std::puts("=== Ablations: skip policy, iteration order, fusion ===\n");
+  ablateSkipPolicy();
+  ablateAttributeOrder();
+  ablateFusion();
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- bench/bench_micro.cpp - google-benchmark kernel microbenches ------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Precise microbenchmarks of the core kernels via google-benchmark, as a
+// statistically careful complement to the figure-sweep drivers. The Arg is
+// nonzeros per operand; state counters report throughput in nonzeros/s.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/etch_kernels.h"
+#include "baselines/taco_kernels.h"
+#include "formats/random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace etch;
+
+namespace {
+
+constexpr Idx VecDim = 10'000'000;
+
+void BM_TripleDotEtch(benchmark::State &State) {
+  Rng R(1);
+  size_t Nnz = static_cast<size_t>(State.range(0));
+  auto X = randomSparseVector(R, VecDim, Nnz);
+  auto Y = randomSparseVector(R, VecDim, Nnz);
+  auto Z = randomSparseVector(R, VecDim, Nnz);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernels::tripleDot(X, Y, Z));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Nnz) * 3);
+}
+
+void BM_TripleDotTaco(benchmark::State &State) {
+  Rng R(1);
+  size_t Nnz = static_cast<size_t>(State.range(0));
+  auto X = randomSparseVector(R, VecDim, Nnz);
+  auto Y = randomSparseVector(R, VecDim, Nnz);
+  auto Z = randomSparseVector(R, VecDim, Nnz);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(taco::tripleDot(X, Y, Z));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Nnz) * 3);
+}
+
+void BM_SpmvEtch(benchmark::State &State) {
+  Rng R(2);
+  const Idx N = 4000;
+  auto A = randomCsr(R, N, N, static_cast<size_t>(State.range(0)));
+  auto X = randomDenseVector(R, N);
+  DenseVector<double> Y(N);
+  for (auto _ : State) {
+    kernels::spmv(A, X, Y);
+    benchmark::DoNotOptimize(Y.Val.data());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(A.nnz()));
+}
+
+void BM_SpmvTaco(benchmark::State &State) {
+  Rng R(2);
+  const Idx N = 4000;
+  auto A = randomCsr(R, N, N, static_cast<size_t>(State.range(0)));
+  auto X = randomDenseVector(R, N);
+  DenseVector<double> Y(N);
+  for (auto _ : State) {
+    taco::spmv(A, X, Y);
+    benchmark::DoNotOptimize(Y.Val.data());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(A.nnz()));
+}
+
+void BM_InnerEtch(benchmark::State &State) {
+  Rng R(3);
+  const Idx N = 4000;
+  auto A = randomCsr(R, N, N, static_cast<size_t>(State.range(0)));
+  auto B = randomCsr(R, N, N, static_cast<size_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernels::inner(A, B));
+}
+
+void BM_InnerTaco(benchmark::State &State) {
+  Rng R(3);
+  const Idx N = 4000;
+  auto A = randomCsr(R, N, N, static_cast<size_t>(State.range(0)));
+  auto B = randomCsr(R, N, N, static_cast<size_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(taco::inner(A, B));
+}
+
+BENCHMARK(BM_TripleDotEtch)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+BENCHMARK(BM_TripleDotTaco)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+BENCHMARK(BM_SpmvEtch)->Arg(40'000)->Arg(400'000);
+BENCHMARK(BM_SpmvTaco)->Arg(40'000)->Arg(400'000);
+BENCHMARK(BM_InnerEtch)->Arg(40'000)->Arg(400'000);
+BENCHMARK(BM_InnerTaco)->Arg(40'000)->Arg(400'000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+//===- bench/bench_sec81_matmul_order.cpp - Section 8.1 orderings --------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the Section 8.1 iteration-order experiment: CSR mat-mul on a
+// 10 000 x 10 000 matrix with 200 000 nonzeros, comparing the
+// inner-product ordering e1 = Σ_c (↑b x)(↑a y) — O(n²k) — against the
+// linear-combination-of-rows ordering e2 = Σ_b (↑c x)(↑a y) — O(nk²).
+// The paper measured 9.77 s vs 0.24 s (~40x).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/etch_kernels.h"
+#include "formats/random.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+#include <cstdio>
+
+using namespace etch;
+
+int main() {
+  std::puts("=== Section 8.1: matrix multiply iteration orderings ===");
+  std::puts("(paper: inner-product 9.77 s vs linear-combination 0.24 s,");
+  std::puts(" ~40x from the O(n^2 k) vs O(n k^2) asymptotic gap)\n");
+
+  const Idx N = 10'000;
+  const size_t Nnz = 200'000;
+  Rng R(11);
+  auto A = randomCsr(R, N, N, Nnz);
+  auto B = randomCsr(R, N, N, Nnz);
+
+  // Transposed copy for the inner-product ordering.
+  std::vector<CooEntry<double>> BtCoo;
+  BtCoo.reserve(B.nnz());
+  for (Idx I = 0; I < B.NumRows; ++I)
+    for (size_t P = B.Pos[static_cast<size_t>(I)];
+         P < B.Pos[static_cast<size_t>(I) + 1]; ++P)
+      BtCoo.push_back({B.Crd[P], I, B.Val[P]});
+  auto BT = CsrMatrix<double>::fromCoo(B.NumCols, B.NumRows, BtCoo);
+
+  volatile double Sink = 0.0;
+  Timer T1;
+  auto C1 = kernels::mmul(A, B);
+  double LinComb = T1.seconds();
+  Sink = C1.Val.empty() ? 0.0 : C1.Val[0];
+
+  Timer T2;
+  auto C2 = kernels::mmulInnerProduct(A, BT);
+  double InnerProd = T2.seconds();
+  Sink = C2.Val.empty() ? 0.0 : C2.Val[0];
+  (void)Sink;
+
+  ResultTable T({"ordering", "time_s", "slowdown_vs_lincomb"});
+  T.addRow({"linear-combination (e2)", ResultTable::num(LinComb),
+            ResultTable::num(1.0, 1)});
+  T.addRow({"inner-product (e1)", ResultTable::num(InnerProd),
+            ResultTable::num(InnerProd / LinComb, 1)});
+  T.print();
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- examples/pagerank_filtered.cpp - Fused tensor + relational --------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The Section 8.3 motivation made concrete: a PageRank-style iteration
+// where low-scoring pages are filtered out of the propagation — a sparse
+// matrix-vector multiply fused with a relational selection. The filter is
+// an indexed stream intersected at the row level, so filtered-out pages
+// cost nothing (Figure 21's effect).
+//
+// Build and run:  ./examples/pagerank_filtered
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/etch_kernels.h"
+#include "formats/random.h"
+
+#include <cstdio>
+
+using namespace etch;
+
+int main() {
+  const Idx Pages = 50'000;
+  const size_t Links = 400'000;
+  const double Damping = 0.85;
+  const int Iterations = 10;
+  const double ScoreFloor = 1.2 / static_cast<double>(Pages);
+
+  // A random link matrix, column-normalised on the fly via out-degrees.
+  Rng R(2024);
+  auto Coo = randomCoo(R, Pages, Pages, Links);
+  std::vector<double> OutDeg(static_cast<size_t>(Pages), 0.0);
+  for (const auto &E : Coo)
+    OutDeg[static_cast<size_t>(E.Col)] += 1.0;
+  for (auto &E : Coo)
+    E.Val = 1.0 / OutDeg[static_cast<size_t>(E.Col)];
+  auto A = CsrMatrix<double>::fromCoo(Pages, Pages, Coo);
+
+  DenseVector<double> Rank(Pages, 1.0 / static_cast<double>(Pages));
+  DenseVector<double> Next(Pages);
+
+  for (int It = 0; It < Iterations; ++It) {
+    // Relational selection: pages whose current score clears the floor.
+    SparseVector<double> Keep(Pages);
+    for (Idx P = 0; P < Pages; ++P)
+      if (Rank.Val[static_cast<size_t>(P)] >= ScoreFloor)
+        Keep.push(P, 1.0);
+
+    // Fused filtered SpMV: next = damping * A * rank, over kept rows only.
+    std::fill(Next.Val.begin(), Next.Val.end(), 0.0);
+    kernels::filteredSpmvFused(A, Rank, Keep, Next);
+
+    double Base = (1.0 - Damping) / static_cast<double>(Pages);
+    for (Idx P = 0; P < Pages; ++P)
+      Next.Val[static_cast<size_t>(P)] =
+          Base + Damping * Next.Val[static_cast<size_t>(P)];
+    std::swap(Rank.Val, Next.Val);
+
+    double Mass = 0.0;
+    for (double V : Rank.Val)
+      Mass += V;
+    std::printf("iteration %2d: %zu pages above floor, rank mass %.4f\n",
+                It + 1, Keep.nnz(), Mass);
+  }
+
+  // Report the top pages.
+  std::vector<Idx> Order(static_cast<size_t>(Pages));
+  for (Idx P = 0; P < Pages; ++P)
+    Order[static_cast<size_t>(P)] = P;
+  std::partial_sort(Order.begin(), Order.begin() + 5, Order.end(),
+                    [&](Idx L, Idx Rr) {
+                      return Rank.Val[static_cast<size_t>(L)] >
+                             Rank.Val[static_cast<size_t>(Rr)];
+                    });
+  std::puts("\ntop pages:");
+  for (int K = 0; K < 5; ++K)
+    std::printf("  page %6lld  score %.6f\n",
+                static_cast<long long>(Order[static_cast<size_t>(K)]),
+                Rank.Val[static_cast<size_t>(Order[static_cast<size_t>(K)])]);
+  return 0;
+}

@@ -1,0 +1,209 @@
+//===- baselines/taco_kernels.cpp - Hand-written TACO-style kernels ------===//
+
+#include "baselines/taco_kernels.h"
+
+#include "support/assert.h"
+
+#include <algorithm>
+
+using namespace etch;
+
+void taco::spmv(const CsrMatrix<double> &A, const DenseVector<double> &X,
+                DenseVector<double> &Y) {
+  ETCH_ASSERT(A.NumCols == X.Size && A.NumRows == Y.Size,
+              "dimension mismatch");
+  for (Idx I = 0; I < A.NumRows; ++I) {
+    double Acc = 0.0;
+    for (size_t P = A.Pos[static_cast<size_t>(I)];
+         P < A.Pos[static_cast<size_t>(I) + 1]; ++P)
+      Acc += A.Val[P] * X.Val[static_cast<size_t>(A.Crd[P])];
+    Y.Val[static_cast<size_t>(I)] = Acc;
+  }
+}
+
+double taco::tripleDot(const SparseVector<double> &X,
+                       const SparseVector<double> &Y,
+                       const SparseVector<double> &Z) {
+  // The merged loop of Figure 2, as TACO emits it.
+  size_t PX = 0, PY = 0, PZ = 0;
+  double Out = 0.0;
+  while (PX < X.nnz() && PY < Y.nnz() && PZ < Z.nnz()) {
+    Idx IX = X.Crd[PX], IY = Y.Crd[PY], IZ = Z.Crd[PZ];
+    Idx I = std::max({IX, IY, IZ});
+    if (IX == I && IY == I && IZ == I) {
+      Out += X.Val[PX] * Y.Val[PY] * Z.Val[PZ];
+      ++PX;
+      ++PY;
+      ++PZ;
+      continue;
+    }
+    if (IX < I)
+      ++PX;
+    if (IY < I)
+      ++PY;
+    if (IZ < I)
+      ++PZ;
+  }
+  return Out;
+}
+
+CsrMatrix<double> taco::matAdd(const CsrMatrix<double> &A,
+                               const CsrMatrix<double> &B) {
+  ETCH_ASSERT(A.NumRows == B.NumRows && A.NumCols == B.NumCols,
+              "dimension mismatch");
+  CsrMatrix<double> C(A.NumRows, A.NumCols);
+  for (Idx I = 0; I < A.NumRows; ++I) {
+    C.Pos[static_cast<size_t>(I)] = C.Crd.size();
+    size_t PA = A.Pos[static_cast<size_t>(I)],
+           EA = A.Pos[static_cast<size_t>(I) + 1];
+    size_t PB = B.Pos[static_cast<size_t>(I)],
+           EB = B.Pos[static_cast<size_t>(I) + 1];
+    while (PA < EA && PB < EB) {
+      Idx JA = A.Crd[PA], JB = B.Crd[PB];
+      if (JA == JB) {
+        C.Crd.push_back(JA);
+        C.Val.push_back(A.Val[PA++] + B.Val[PB++]);
+      } else if (JA < JB) {
+        C.Crd.push_back(JA);
+        C.Val.push_back(A.Val[PA++]);
+      } else {
+        C.Crd.push_back(JB);
+        C.Val.push_back(B.Val[PB++]);
+      }
+    }
+    for (; PA < EA; ++PA) {
+      C.Crd.push_back(A.Crd[PA]);
+      C.Val.push_back(A.Val[PA]);
+    }
+    for (; PB < EB; ++PB) {
+      C.Crd.push_back(B.Crd[PB]);
+      C.Val.push_back(B.Val[PB]);
+    }
+  }
+  C.Pos[static_cast<size_t>(A.NumRows)] = C.Crd.size();
+  return C;
+}
+
+double taco::inner(const CsrMatrix<double> &A, const CsrMatrix<double> &B) {
+  ETCH_ASSERT(A.NumRows == B.NumRows && A.NumCols == B.NumCols,
+              "dimension mismatch");
+  double Out = 0.0;
+  for (Idx I = 0; I < A.NumRows; ++I) {
+    size_t PA = A.Pos[static_cast<size_t>(I)],
+           EA = A.Pos[static_cast<size_t>(I) + 1];
+    size_t PB = B.Pos[static_cast<size_t>(I)],
+           EB = B.Pos[static_cast<size_t>(I) + 1];
+    while (PA < EA && PB < EB) {
+      Idx JA = A.Crd[PA], JB = B.Crd[PB];
+      if (JA == JB)
+        Out += A.Val[PA++] * B.Val[PB++];
+      else if (JA < JB)
+        ++PA;
+      else
+        ++PB;
+    }
+  }
+  return Out;
+}
+
+CsrMatrix<double> taco::mmul(const CsrMatrix<double> &A,
+                             const CsrMatrix<double> &B) {
+  ETCH_ASSERT(A.NumCols == B.NumRows, "dimension mismatch");
+  CsrMatrix<double> C(A.NumRows, B.NumCols);
+  // Dense workspace + touched-coordinate list (TACO's workspace lowering).
+  std::vector<double> W(static_cast<size_t>(B.NumCols), 0.0);
+  std::vector<Idx> Touched;
+  for (Idx I = 0; I < A.NumRows; ++I) {
+    C.Pos[static_cast<size_t>(I)] = C.Crd.size();
+    Touched.clear();
+    for (size_t PA = A.Pos[static_cast<size_t>(I)];
+         PA < A.Pos[static_cast<size_t>(I) + 1]; ++PA) {
+      Idx J = A.Crd[PA];
+      double VA = A.Val[PA];
+      for (size_t PB = B.Pos[static_cast<size_t>(J)];
+           PB < B.Pos[static_cast<size_t>(J) + 1]; ++PB) {
+        Idx K = B.Crd[PB];
+        if (W[static_cast<size_t>(K)] == 0.0)
+          Touched.push_back(K);
+        W[static_cast<size_t>(K)] += VA * B.Val[PB];
+      }
+    }
+    std::sort(Touched.begin(), Touched.end());
+    for (Idx K : Touched) {
+      C.Crd.push_back(K);
+      C.Val.push_back(W[static_cast<size_t>(K)]);
+      W[static_cast<size_t>(K)] = 0.0;
+    }
+  }
+  C.Pos[static_cast<size_t>(A.NumRows)] = C.Crd.size();
+  return C;
+}
+
+DcsrMatrix<double> taco::smul(const DcsrMatrix<double> &A,
+                              const DcsrMatrix<double> &B) {
+  ETCH_ASSERT(A.NumRows == B.NumRows && A.NumCols == B.NumCols,
+              "dimension mismatch");
+  DcsrMatrix<double> C;
+  C.NumRows = A.NumRows;
+  C.NumCols = A.NumCols;
+  C.Pos.push_back(0);
+  size_t RA = 0, RB = 0;
+  while (RA < A.RowCrd.size() && RB < B.RowCrd.size()) {
+    Idx IA = A.RowCrd[RA], IB = B.RowCrd[RB];
+    if (IA < IB) {
+      ++RA;
+      continue;
+    }
+    if (IB < IA) {
+      ++RB;
+      continue;
+    }
+    size_t Before = C.Crd.size();
+    size_t PA = A.Pos[RA], EA = A.Pos[RA + 1];
+    size_t PB = B.Pos[RB], EB = B.Pos[RB + 1];
+    while (PA < EA && PB < EB) {
+      Idx JA = A.Crd[PA], JB = B.Crd[PB];
+      if (JA == JB) {
+        C.Crd.push_back(JA);
+        C.Val.push_back(A.Val[PA++] * B.Val[PB++]);
+      } else if (JA < JB) {
+        ++PA;
+      } else {
+        ++PB;
+      }
+    }
+    if (C.Crd.size() != Before) {
+      C.RowCrd.push_back(IA);
+      C.Pos.push_back(C.Crd.size());
+    }
+    ++RA;
+    ++RB;
+  }
+  return C;
+}
+
+void taco::mttkrp(const CsfTensor3<double> &B, const std::vector<double> &C,
+                  const std::vector<double> &D, int64_t R,
+                  std::vector<double> &A) {
+  ETCH_ASSERT(static_cast<int64_t>(C.size()) == B.DimJ * R,
+              "C factor dimension mismatch");
+  ETCH_ASSERT(static_cast<int64_t>(D.size()) == B.DimK * R,
+              "D factor dimension mismatch");
+  A.assign(static_cast<size_t>(B.DimI * R), 0.0);
+  // The canonical TACO MTTKRP loop nest (i, k, l, j) on CSF.
+  for (size_t QI = 0; QI < B.Crd0.size(); ++QI) {
+    Idx I = B.Crd0[QI];
+    for (size_t QJ = B.Pos0[QI]; QJ < B.Pos0[QI + 1]; ++QJ) {
+      Idx K = B.Crd1[QJ];
+      for (size_t QK = B.Pos1[QJ]; QK < B.Pos1[QJ + 1]; ++QK) {
+        Idx L = B.Crd2[QK];
+        double V = B.Val[QK];
+        const double *CRow = &C[static_cast<size_t>(K * R)];
+        const double *DRow = &D[static_cast<size_t>(L * R)];
+        double *ARow = &A[static_cast<size_t>(I * R)];
+        for (int64_t J = 0; J < R; ++J)
+          ARow[J] += V * CRow[J] * DRow[J];
+      }
+    }
+  }
+}

@@ -1,0 +1,61 @@
+//===- baselines/taco_kernels.h - Hand-written TACO-style kernels -*-C++-*-=//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TACO comparator of Figure 17, substituted per DESIGN.md: TACO's
+/// performance comes from the loop nests it emits, so this library is
+/// those loop nests written by hand, one per benchmark expression, in the
+/// style of the code TACO generates (coordinate-wise two-pointer merges,
+/// dense workspaces for mat-mul, no binary-search skipping — TACO advances
+/// iterators one coordinate at a time, which is exactly the contrast the
+/// paper's `smul` result exploits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_BASELINES_TACO_KERNELS_H
+#define ETCH_BASELINES_TACO_KERNELS_H
+
+#include "formats/csf.h"
+#include "formats/matrices.h"
+#include "formats/vectors.h"
+
+namespace etch {
+namespace taco {
+
+/// y(i) = Σ_j A(i,j) · x(j), dense x and y (TACO's canonical SpMV).
+void spmv(const CsrMatrix<double> &A, const DenseVector<double> &X,
+          DenseVector<double> &Y);
+
+/// out = Σ_i x(i) · y(i) · z(i), sparse vectors (the Figure 2 kernel).
+double tripleDot(const SparseVector<double> &X, const SparseVector<double> &Y,
+                 const SparseVector<double> &Z);
+
+/// C = A + B on CSR (row-wise two-pointer merge).
+CsrMatrix<double> matAdd(const CsrMatrix<double> &A,
+                         const CsrMatrix<double> &B);
+
+/// out = Σ_{i,j} A(i,j) · B(i,j) (matrix inner product; row-wise
+/// two-pointer intersection).
+double inner(const CsrMatrix<double> &A, const CsrMatrix<double> &B);
+
+/// C = A · B on CSR via linear combination of rows with a dense workspace
+/// (TACO's workspace algorithm from Kjolstad et al. 2019).
+CsrMatrix<double> mmul(const CsrMatrix<double> &A, const CsrMatrix<double> &B);
+
+/// C = A ∘ B (elementwise) on DCSR, two-pointer merges at both levels.
+DcsrMatrix<double> smul(const DcsrMatrix<double> &A,
+                        const DcsrMatrix<double> &B);
+
+/// A(i,j) = Σ_{k,l} B(i,k,l) · C(k,j) · D(l,j): MTTKRP over a CSF tensor
+/// with dense factor matrices of R columns, row-major (k*R + j).
+void mttkrp(const CsfTensor3<double> &B, const std::vector<double> &C,
+            const std::vector<double> &D, int64_t R,
+            std::vector<double> &A);
+
+} // namespace taco
+} // namespace etch
+
+#endif // ETCH_BASELINES_TACO_KERNELS_H

@@ -1,0 +1,46 @@
+//===- compiler/c_emit.h - Emitting P programs as C ------------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The final lowering of the Etch pipeline (Figure 1): `P` maps directly to
+/// C. `emitCStatements` renders a program body; `emitCProgram` wraps it in
+/// a free-standing translation unit with the input arrays baked in as
+/// static initialisers and the requested outputs printed to stdout — the
+/// form used by the golden tests, which compile the result with the system
+/// C compiler and compare against the VM and the denotational oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_COMPILER_C_EMIT_H
+#define ETCH_COMPILER_C_EMIT_H
+
+#include "compiler/imp.h"
+#include "compiler/vm.h"
+
+#include <string>
+#include <vector>
+
+namespace etch {
+
+/// Renders \p Body as C statements at the given indent level.
+std::string emitCStatements(const PRef &Body, int Indent = 1);
+
+/// Specification of what a generated program prints when it finishes.
+struct COutputSpec {
+  std::vector<std::string> Scalars; ///< Printed as "name=value".
+  /// (name, length) pairs printed as "name[i]=value" lines.
+  std::vector<std::pair<std::string, int64_t>> Arrays;
+};
+
+/// Renders a complete C translation unit: includes, any custom-op preludes
+/// found in \p Body, the arrays of \p Inputs baked as static data, main()
+/// running \p Body, and printf lines for \p Outputs.
+std::string emitCProgram(const PRef &Body, const VmMemory &Inputs,
+                         const COutputSpec &Outputs);
+
+} // namespace etch
+
+#endif // ETCH_COMPILER_C_EMIT_H

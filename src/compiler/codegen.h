@@ -1,0 +1,63 @@
+//===- compiler/codegen.h - Destination passing and compile ----*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code generator of Figures 15–16. `compileStream(dest, stream)`
+/// produces code satisfying the Hoare triple
+/// `{out = v} compile out q {out = v + [[q]]}`: one while loop per stream
+/// level, with a recursive call for nested values and the same loop minus
+/// the index for contracted levels.
+///
+/// Destinations follow destination-passing style (Section 7.3): a
+/// destination either accumulates a scalar (base case) or maps an index
+/// expression to a sub-destination (per level). Provided destinations:
+/// scalar accumulator variables, dense (strided) arrays, and sparse
+/// (crd/val appending) builders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_COMPILER_CODEGEN_H
+#define ETCH_COMPILER_CODEGEN_H
+
+#include "compiler/syn_stream.h"
+
+namespace etch {
+
+/// Where one level of output goes. Exactly one member is set:
+/// \c Accum at the scalar base case, \c Locate at stream levels.
+/// Locate returns (code to run before descending, the sub-destination,
+/// code to run after the inner level completes).
+struct Dest {
+  std::function<PRef(ERef Value)> Accum;
+  std::function<std::tuple<PRef, Dest, PRef>(ERef Index)> Locate;
+};
+
+/// Accumulates into a scalar variable: `out = out + v` under \p Alg.
+Dest scalarDest(const ScalarAlgebra &Alg, std::string VarName);
+
+/// Accumulates into a dense row-major array: level k adds
+/// `index * Strides[k]` to the flat offset; the leaf does
+/// `arr[offset] = arr[offset] + v`.
+Dest denseDest(const ScalarAlgebra &Alg, std::string ArrName,
+               std::vector<ERef> Strides);
+
+/// Appends to a one-level sparse output: on locate, pushes the index onto
+/// \p CrdArr and zero-initialises \p ValArr at the write position tracked
+/// by counter variable \p CntVar; the leaf accumulates into that position.
+/// Arrays must be pre-sized to capacity; the caller owns CntVar's decl.
+Dest sparseVecDest(const ScalarAlgebra &Alg, std::string CrdArr,
+                   std::string ValArr, std::string CntVar);
+
+/// Compiles a full stream into \p D (Figure 15): declarations, init, then
+/// the level loop; contracted levels reuse the same destination.
+PRef compileStream(const Dest &D, const SynRef &S);
+
+/// Compiles a value (stream or scalar) into \p D — the paper's `compile`.
+PRef compileValue(const Dest &D, const SynValue &V);
+
+} // namespace etch
+
+#endif // ETCH_COMPILER_CODEGEN_H

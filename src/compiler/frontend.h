@@ -1,0 +1,117 @@
+//===- compiler/frontend.h - Lowering L into syntactic streams -*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first lowering pass of the Etch pipeline (Figure 1): contraction
+/// expressions become syntactic indexed streams. Input variables carry a
+/// *tensor binding* — per-level data-structure choices (dense or
+/// compressed, with a skip search policy), exactly the per-level format
+/// abstraction of Section 7.3 — and the lowering threads positions through
+/// the levels the way TACO-style level formats do (pos/crd arrays).
+///
+/// Supported fragment: sums and expansions may appear anywhere except
+/// underneath a multiplication operand (a product of contracted streams is
+/// not the contraction of a product; write sum-of-products instead — the
+/// helpers in core/expr.h produce that form). Renames must preserve the
+/// global attribute order, as required for valid streams (Definition 5.7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_COMPILER_FRONTEND_H
+#define ETCH_COMPILER_FRONTEND_H
+
+#include "compiler/codegen.h"
+#include "compiler/vm.h"
+#include "core/expr.h"
+#include "formats/csf.h"
+#include "formats/matrices.h"
+#include "formats/vectors.h"
+
+#include <map>
+
+namespace etch {
+
+/// One storage level of a bound tensor (Chou et al.-style level formats).
+struct LevelSpec {
+  enum Kind { Dense, Compressed } K = Compressed;
+  SearchPolicy Policy = SearchPolicy::Linear;
+};
+
+/// A variable's physical binding: its shape and per-level formats. Arrays
+/// follow the naming convention `<name>_pos<k>` / `<name>_crd<k>` for
+/// compressed level k and `<name>_vals` for the leaf values.
+struct TensorBinding {
+  std::string Name;
+  Shape Shp;                    ///< Attributes, outermost first (sorted).
+  std::vector<LevelSpec> Levels; ///< One per attribute.
+};
+
+/// Everything lowering needs: name generation, the scalar algebra, the
+/// variable bindings, and each attribute's extent (for dense levels and
+/// expansions).
+struct LowerCtx {
+  NameGen G;
+  const ScalarAlgebra *Alg = &f64Algebra();
+  std::map<std::string, TensorBinding> Bindings;
+  std::map<uint32_t, int64_t> Dims; ///< Attr id -> index-set size.
+
+  void bind(TensorBinding B) { Bindings[B.Name] = std::move(B); }
+  void setDim(Attr A, int64_t N) { Dims[A.id()] = N; }
+  int64_t dimOf(Attr A) const;
+
+  /// The typing context induced by the bindings.
+  TypeContext types() const;
+};
+
+/// Lowers \p E to a syntactic stream value. Aborts on expressions outside
+/// the supported fragment (see file comment).
+SynValue lowerExpr(LowerCtx &Ctx, const ExprPtr &E);
+
+/// Lowers and compiles \p E into destination \p D.
+PRef compileExpr(LowerCtx &Ctx, const ExprPtr &E, const Dest &D);
+
+/// Lowers a fully contracted version of \p E (Σ over its whole shape) into
+/// scalar accumulator \p OutVar; the returned program declares OutVar.
+PRef compileFullContraction(LowerCtx &Ctx, const ExprPtr &E,
+                            const std::string &OutVar);
+
+//===----------------------------------------------------------------------===//
+// Binding data into the VM (and mirroring the arrays for C emission)
+//===----------------------------------------------------------------------===//
+
+/// Binds a sparse vector under \p Name: one compressed level.
+void bindSparseVector(VmMemory &M, const std::string &Name,
+                      const SparseVector<double> &V);
+
+/// Binds a dense vector under \p Name: one dense level.
+void bindDenseVector(VmMemory &M, const std::string &Name,
+                     const DenseVector<double> &V);
+
+/// Binds a CSR matrix: dense row level over compressed column level.
+void bindCsr(VmMemory &M, const std::string &Name, const CsrMatrix<double> &A);
+
+/// Binds a DCSR matrix: compressed over compressed.
+void bindDcsr(VmMemory &M, const std::string &Name,
+              const DcsrMatrix<double> &A);
+
+/// Binds an order-3 CSF tensor: compressed at every level.
+void bindCsf3(VmMemory &M, const std::string &Name,
+              const CsfTensor3<double> &T);
+
+/// The matching TensorBinding constructors (formats chosen per level).
+TensorBinding sparseVecBinding(std::string Name, Attr A,
+                               SearchPolicy P = SearchPolicy::Linear);
+TensorBinding denseVecBinding(std::string Name, Attr A);
+TensorBinding csrBinding(std::string Name, Attr Row, Attr Col,
+                         SearchPolicy P = SearchPolicy::Linear);
+TensorBinding dcsrBinding(std::string Name, Attr Row, Attr Col,
+                          SearchPolicy P = SearchPolicy::Linear);
+TensorBinding csf3Binding(std::string Name, Attr I, Attr J, Attr K,
+                          SearchPolicy P = SearchPolicy::Linear);
+
+} // namespace etch
+
+#endif // ETCH_COMPILER_FRONTEND_H

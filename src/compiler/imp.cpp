@@ -1,0 +1,269 @@
+//===- compiler/imp.cpp - The target IRs E and P --------------------------===//
+
+#include "compiler/imp.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+
+using namespace etch;
+
+const char *etch::impTypeName(ImpType T) {
+  switch (T) {
+  case ImpType::I64:
+    return "i64";
+  case ImpType::F64:
+    return "f64";
+  case ImpType::Bool:
+    return "bool";
+  }
+  ETCH_UNREACHABLE("unknown ImpType");
+}
+
+ImpType etch::impTypeOf(const ImpValue &V) {
+  if (std::holds_alternative<int64_t>(V))
+    return ImpType::I64;
+  if (std::holds_alternative<double>(V))
+    return ImpType::F64;
+  return ImpType::Bool;
+}
+
+//===----------------------------------------------------------------------===//
+// EExpr
+//===----------------------------------------------------------------------===//
+
+ERef EExpr::var(std::string Name, ImpType Ty) {
+  auto E = std::shared_ptr<EExpr>(new EExpr());
+  E->Kind = EKind::Var;
+  E->Name = std::move(Name);
+  E->Ty = Ty;
+  return E;
+}
+
+ERef EExpr::constant(ImpValue V) {
+  auto E = std::shared_ptr<EExpr>(new EExpr());
+  E->Kind = EKind::Const;
+  E->Ty = impTypeOf(V);
+  E->Payload = V;
+  return E;
+}
+
+ERef EExpr::access(std::string Array, ImpType Elem, ERef Index) {
+  ETCH_ASSERT(Index && Index->type() == ImpType::I64,
+              "array index must be an i64 expression");
+  auto E = std::shared_ptr<EExpr>(new EExpr());
+  E->Kind = EKind::Access;
+  E->Name = std::move(Array);
+  E->Ty = Elem;
+  E->Args.push_back(std::move(Index));
+  return E;
+}
+
+ERef EExpr::call(const OpDef *Op, std::vector<ERef> Args) {
+  ETCH_ASSERT(Op, "null op");
+  ETCH_ASSERT(Args.size() == Op->ArgTypes.size(), "op arity mismatch");
+  for (size_t I = 0; I < Args.size(); ++I) {
+    ETCH_ASSERT(Args[I], "null op argument");
+    ETCH_ASSERT(Args[I]->type() == Op->ArgTypes[I] ||
+                    (Op->Lazy == OpDef::Laziness::Select && I > 0),
+                "op argument type mismatch");
+  }
+  auto E = std::shared_ptr<EExpr>(new EExpr());
+  E->Kind = EKind::Call;
+  E->Ty = Op->Result;
+  E->Op = Op;
+  E->Args = std::move(Args);
+  return E;
+}
+
+std::string EExpr::toString() const {
+  switch (Kind) {
+  case EKind::Var:
+    return Name;
+  case EKind::Const: {
+    char Buf[64];
+    if (const auto *I = std::get_if<int64_t>(&Payload)) {
+      std::snprintf(Buf, sizeof(Buf), "%" PRId64, *I);
+    } else if (const auto *D = std::get_if<double>(&Payload)) {
+      if (*D == std::numeric_limits<double>::infinity())
+        return "INFINITY";
+      if (*D == -std::numeric_limits<double>::infinity())
+        return "(-INFINITY)";
+      std::snprintf(Buf, sizeof(Buf), "%.17g", *D);
+      // Force a floating literal so C keeps the type.
+      std::string S = Buf;
+      if (S.find_first_of(".eEnif") == std::string::npos)
+        S += ".0";
+      return S;
+    } else {
+      return std::get<bool>(Payload) ? "1" : "0";
+    }
+    return Buf;
+  }
+  case EKind::Access:
+    return Name + "[" + Args[0]->toString() + "]";
+  case EKind::Call: {
+    // Substitute {N} placeholders in the op's C format string.
+    const std::string &F = Op->CFormat;
+    std::string Out;
+    for (size_t I = 0; I < F.size(); ++I) {
+      if (F[I] == '{' && I + 2 < F.size() + 1) {
+        size_t Close = F.find('}', I);
+        ETCH_ASSERT(Close != std::string::npos, "bad op format string");
+        int N = std::stoi(F.substr(I + 1, Close - I - 1));
+        ETCH_ASSERT(N >= 0 && N < static_cast<int>(Args.size()),
+                    "op format placeholder out of range");
+        Out += Args[static_cast<size_t>(N)]->toString();
+        I = Close;
+      } else {
+        Out += F[I];
+      }
+    }
+    return Out;
+  }
+  }
+  ETCH_UNREACHABLE("unknown EKind");
+}
+
+//===----------------------------------------------------------------------===//
+// PStmt
+//===----------------------------------------------------------------------===//
+
+PRef PStmt::seq(std::vector<PRef> Stmts) {
+  // Flatten nested sequences and drop no-ops for readable output.
+  std::vector<PRef> Flat;
+  for (auto &St : Stmts) {
+    ETCH_ASSERT(St, "null statement");
+    if (St->Kind == PKind::Noop)
+      continue;
+    if (St->Kind == PKind::Seq) {
+      for (const auto &C : St->Children)
+        Flat.push_back(C);
+      continue;
+    }
+    Flat.push_back(std::move(St));
+  }
+  if (Flat.empty())
+    return noop();
+  if (Flat.size() == 1)
+    return Flat[0];
+  auto P = std::shared_ptr<PStmt>(new PStmt());
+  P->Kind = PKind::Seq;
+  P->Children = std::move(Flat);
+  return P;
+}
+
+PRef PStmt::whileLoop(ERef Cond, PRef Body) {
+  ETCH_ASSERT(Cond && Cond->type() == ImpType::Bool,
+              "while condition must be boolean");
+  auto P = std::shared_ptr<PStmt>(new PStmt());
+  P->Kind = PKind::While;
+  P->Cond = std::move(Cond);
+  P->Children.push_back(std::move(Body));
+  return P;
+}
+
+PRef PStmt::branch(ERef Cond, PRef Then, PRef Else) {
+  ETCH_ASSERT(Cond && Cond->type() == ImpType::Bool,
+              "branch condition must be boolean");
+  auto P = std::shared_ptr<PStmt>(new PStmt());
+  P->Kind = PKind::Branch;
+  P->Cond = std::move(Cond);
+  P->Children.push_back(std::move(Then));
+  P->Children.push_back(std::move(Else));
+  return P;
+}
+
+PRef PStmt::noop() {
+  static PRef N = std::shared_ptr<PStmt>(new PStmt());
+  return N;
+}
+
+PRef PStmt::storeVar(std::string Name, ERef Value) {
+  ETCH_ASSERT(Value, "null store value");
+  auto P = std::shared_ptr<PStmt>(new PStmt());
+  P->Kind = PKind::StoreVar;
+  P->Name = std::move(Name);
+  P->Value = std::move(Value);
+  return P;
+}
+
+PRef PStmt::storeArr(std::string Name, ERef Index, ERef Value) {
+  ETCH_ASSERT(Index && Index->type() == ImpType::I64, "bad array index");
+  ETCH_ASSERT(Value, "null store value");
+  auto P = std::shared_ptr<PStmt>(new PStmt());
+  P->Kind = PKind::StoreArr;
+  P->Name = std::move(Name);
+  P->Index = std::move(Index);
+  P->Value = std::move(Value);
+  return P;
+}
+
+PRef PStmt::declVar(std::string Name, ImpType Ty, ERef Init) {
+  ETCH_ASSERT(Init, "null initialiser");
+  auto P = std::shared_ptr<PStmt>(new PStmt());
+  P->Kind = PKind::DeclVar;
+  P->Name = std::move(Name);
+  P->Ty = Ty;
+  P->Value = std::move(Init);
+  return P;
+}
+
+PRef PStmt::declArr(std::string Name, ImpType Ty, ERef Size) {
+  ETCH_ASSERT(Size && Size->type() == ImpType::I64, "bad array size");
+  auto P = std::shared_ptr<PStmt>(new PStmt());
+  P->Kind = PKind::DeclArr;
+  P->Name = std::move(Name);
+  P->Ty = Ty;
+  P->Value = std::move(Size);
+  return P;
+}
+
+PRef PStmt::comment(std::string Text) {
+  auto P = std::shared_ptr<PStmt>(new PStmt());
+  P->Kind = PKind::Comment;
+  P->Name = std::move(Text);
+  return P;
+}
+
+std::string PStmt::toString(int IndentLevel) const {
+  std::string Pad(static_cast<size_t>(IndentLevel) * 2, ' ');
+  switch (Kind) {
+  case PKind::Seq: {
+    std::string Out;
+    for (const auto &C : Children)
+      Out += C->toString(IndentLevel);
+    return Out;
+  }
+  case PKind::While: {
+    std::string Out = Pad + "while (" + Cond->toString() + ") {\n";
+    Out += Children[0]->toString(IndentLevel + 1);
+    return Out + Pad + "}\n";
+  }
+  case PKind::Branch: {
+    std::string Out = Pad + "if (" + Cond->toString() + ") {\n";
+    Out += Children[0]->toString(IndentLevel + 1);
+    if (Children[1]->Kind != PKind::Noop) {
+      Out += Pad + "} else {\n";
+      Out += Children[1]->toString(IndentLevel + 1);
+    }
+    return Out + Pad + "}\n";
+  }
+  case PKind::Noop:
+    return "";
+  case PKind::StoreVar:
+    return Pad + Name + " = " + Value->toString() + ";\n";
+  case PKind::StoreArr:
+    return Pad + Name + "[" + Index->toString() + "] = " +
+           Value->toString() + ";\n";
+  case PKind::DeclVar:
+    return Pad + std::string(impTypeName(Ty)) + " " + Name + " = " +
+           Value->toString() + ";\n";
+  case PKind::DeclArr:
+    return Pad + std::string(impTypeName(Ty)) + " " + Name + "[" +
+           Value->toString() + "];\n";
+  case PKind::Comment:
+    return Pad + "// " + Name + "\n";
+  }
+  ETCH_UNREACHABLE("unknown PKind");
+}

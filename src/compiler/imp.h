@@ -1,0 +1,187 @@
+//===- compiler/imp.h - The target IRs E (expressions) and P ----*- C++-*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler's target languages from Figure 11: a small expression
+/// language `E` (variables, array accesses, and fully-applied calls to
+/// operations from an open, user-extensible set — Figure 12) and a small
+/// imperative language `P` (sequencing, while, branch, no-op, and stores).
+/// `P` maps directly onto C; it is also directly interpretable by the VM in
+/// compiler/vm.h so compiled programs can be tested without an external
+/// toolchain.
+///
+/// Where the Lean original indexes `E` by a Lean type, we carry a small
+/// runtime type tag (ImpType) and check operator applications dynamically
+/// at construction time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_COMPILER_IMP_H
+#define ETCH_COMPILER_IMP_H
+
+#include "support/assert.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace etch {
+
+/// The scalar types of the target language.
+enum class ImpType { I64, F64, Bool };
+
+/// Returns "i64" / "f64" / "bool".
+const char *impTypeName(ImpType T);
+
+/// A runtime scalar value (used by the VM and by constant expressions).
+using ImpValue = std::variant<int64_t, double, bool>;
+
+/// Returns the type tag of a runtime value.
+ImpType impTypeOf(const ImpValue &V);
+
+class EExpr;
+using ERef = std::shared_ptr<const EExpr>;
+
+/// A user-extensible operation (Figure 12): a name, a signature, a
+/// functional specification (the interpreter), and C syntax. Operations are
+/// unprivileged — the semiring arithmetic, comparisons, and min/max the
+/// compiler itself needs are ordinary OpDefs in compiler/ops.h, and users
+/// may define more (the paper's TPC-H Q9 does this for a timestamp-to-year
+/// conversion) without touching the compiler.
+struct OpDef {
+  std::string Name;
+  ImpType Result;
+  std::vector<ImpType> ArgTypes;
+
+  /// The functional specification: evaluates the op on argument values.
+  std::function<ImpValue(std::span<const ImpValue>)> Spec;
+
+  /// C syntax: a format string where {0}, {1}, ... are the (parenthesised)
+  /// arguments, e.g. "({0} + {1})" or "my_fn({0})".
+  std::string CFormat;
+
+  /// Optional C code (helper function definitions) emitted once in the
+  /// preamble of any program using this op.
+  std::string CPrelude;
+
+  /// Lazy ops (select / logical and / or) evaluate only the arguments the
+  /// semantics demands; the VM special-cases them so that guarded
+  /// expressions can protect out-of-bounds accesses, matching C's
+  /// short-circuit evaluation.
+  enum class Laziness { Eager, Select, AndAlso, OrElse };
+  Laziness Lazy = Laziness::Eager;
+};
+
+/// Expression nodes (Figure 11's E): immutable trees.
+enum class EKind { Var, Const, Access, Call };
+
+class EExpr {
+public:
+  EKind kind() const { return Kind; }
+  ImpType type() const { return Ty; }
+
+  /// Variable or array name (Var / Access).
+  const std::string &name() const { return Name; }
+
+  /// Constant payload (Const).
+  const ImpValue &constant() const { return Payload; }
+
+  /// The called op (Call).
+  const OpDef *op() const { return Op; }
+
+  /// Call arguments; for Access, Args[0] is the index expression.
+  const std::vector<ERef> &args() const { return Args; }
+
+  /// Factories.
+  static ERef var(std::string Name, ImpType Ty);
+  static ERef constant(ImpValue V);
+  static ERef access(std::string Array, ImpType Elem, ERef Index);
+  static ERef call(const OpDef *Op, std::vector<ERef> Args);
+
+  /// Renders a C-like string (used by both the C emitter and diagnostics).
+  std::string toString() const;
+
+private:
+  EExpr() = default;
+  EKind Kind = EKind::Const;
+  ImpType Ty = ImpType::I64;
+  std::string Name;
+  ImpValue Payload = int64_t{0};
+  const OpDef *Op = nullptr;
+  std::vector<ERef> Args;
+};
+
+class PStmt;
+using PRef = std::shared_ptr<const PStmt>;
+
+/// Statement nodes (Figure 11's P).
+enum class PKind {
+  Seq,      ///< Children in order.
+  While,    ///< while (Cond) Children[0]
+  Branch,   ///< if (Cond) Children[0] else Children[1]
+  Noop,     ///< No-op ("skip" in the paper; renamed to avoid clashing with
+            ///< stream skip).
+  StoreVar, ///< Name = Value
+  StoreArr, ///< Name[Index] = Value
+  DeclVar,  ///< Ty Name = Value  (zero default)
+  DeclArr,  ///< Ty Name[Size]   (zero-initialised; Size an I64 expr)
+  Comment,  ///< Emitted as a C comment; no semantics.
+};
+
+class PStmt {
+public:
+  PKind kind() const { return Kind; }
+  const std::string &name() const { return Name; }
+  ImpType type() const { return Ty; }
+  const ERef &cond() const { return Cond; }
+  const ERef &indexExpr() const { return Index; }
+  const ERef &valueExpr() const { return Value; }
+  const std::vector<PRef> &children() const { return Children; }
+  const std::string &text() const { return Name; }
+
+  /// Factories.
+  static PRef seq(std::vector<PRef> Stmts);
+  static PRef seq2(PRef A, PRef B) { return seq({std::move(A), std::move(B)}); }
+  static PRef whileLoop(ERef Cond, PRef Body);
+  static PRef branch(ERef Cond, PRef Then, PRef Else);
+  static PRef noop();
+  static PRef storeVar(std::string Name, ERef Value);
+  static PRef storeArr(std::string Name, ERef Index, ERef Value);
+  static PRef declVar(std::string Name, ImpType Ty, ERef Init);
+  static PRef declArr(std::string Name, ImpType Ty, ERef Size);
+  static PRef comment(std::string Text);
+
+  /// Renders indented pseudo-C for diagnostics.
+  std::string toString(int IndentLevel = 0) const;
+
+private:
+  PStmt() = default;
+  PKind Kind = PKind::Noop;
+  std::string Name;
+  ImpType Ty = ImpType::I64;
+  ERef Cond, Index, Value;
+  std::vector<PRef> Children;
+};
+
+/// Generates fresh, unique names with a common prefix ("x0_p", "x1_crd"...).
+class NameGen {
+public:
+  /// Returns Base + the next counter value, e.g. fresh("q") -> "q3".
+  std::string fresh(const std::string &Base) {
+    return Base + std::to_string(Counter++);
+  }
+
+private:
+  int Counter = 0;
+};
+
+} // namespace etch
+
+#endif // ETCH_COMPILER_IMP_H

@@ -1,0 +1,214 @@
+//===- compiler/ops.cpp - Built-in operations and E builders -------------===//
+
+#include "compiler/ops.h"
+
+#include <limits>
+
+using namespace etch;
+
+namespace {
+
+int64_t asI(const ImpValue &V) { return std::get<int64_t>(V); }
+double asF(const ImpValue &V) { return std::get<double>(V); }
+bool asB(const ImpValue &V) { return std::get<bool>(V); }
+
+OpDef makeOp(std::string Name, ImpType R, std::vector<ImpType> Args,
+             std::function<ImpValue(std::span<const ImpValue>)> Spec,
+             std::string Fmt,
+             OpDef::Laziness Lazy = OpDef::Laziness::Eager) {
+  OpDef O;
+  O.Name = std::move(Name);
+  O.Result = R;
+  O.ArgTypes = std::move(Args);
+  O.Spec = std::move(Spec);
+  O.CFormat = std::move(Fmt);
+  O.Lazy = Lazy;
+  return O;
+}
+
+} // namespace
+
+#define ETCH_DEFINE_OP(Getter, ...)                                           \
+  const OpDef *Ops::Getter() {                                                \
+    static OpDef O = makeOp(__VA_ARGS__);                                     \
+    return &O;                                                                \
+  }
+
+using VS = std::span<const ImpValue>;
+using IT = ImpType;
+
+ETCH_DEFINE_OP(addI, "addI", IT::I64, {IT::I64, IT::I64},
+               [](VS A) -> ImpValue { return asI(A[0]) + asI(A[1]); },
+               "({0} + {1})")
+ETCH_DEFINE_OP(subI, "subI", IT::I64, {IT::I64, IT::I64},
+               [](VS A) -> ImpValue { return asI(A[0]) - asI(A[1]); },
+               "({0} - {1})")
+ETCH_DEFINE_OP(mulI, "mulI", IT::I64, {IT::I64, IT::I64},
+               [](VS A) -> ImpValue { return asI(A[0]) * asI(A[1]); },
+               "({0} * {1})")
+ETCH_DEFINE_OP(divI, "divI", IT::I64, {IT::I64, IT::I64},
+               [](VS A) -> ImpValue { return asI(A[0]) / asI(A[1]); },
+               "({0} / {1})")
+ETCH_DEFINE_OP(modI, "modI", IT::I64, {IT::I64, IT::I64},
+               [](VS A) -> ImpValue { return asI(A[0]) % asI(A[1]); },
+               "({0} % {1})")
+ETCH_DEFINE_OP(minI, "minI", IT::I64, {IT::I64, IT::I64},
+               [](VS A) -> ImpValue {
+                 return asI(A[0]) < asI(A[1]) ? asI(A[0]) : asI(A[1]);
+               },
+               "(({0} < {1}) ? {0} : {1})")
+ETCH_DEFINE_OP(maxI, "maxI", IT::I64, {IT::I64, IT::I64},
+               [](VS A) -> ImpValue {
+                 return asI(A[0]) > asI(A[1]) ? asI(A[0]) : asI(A[1]);
+               },
+               "(({0} > {1}) ? {0} : {1})")
+ETCH_DEFINE_OP(ltI, "ltI", IT::Bool, {IT::I64, IT::I64},
+               [](VS A) -> ImpValue { return asI(A[0]) < asI(A[1]); },
+               "({0} < {1})")
+ETCH_DEFINE_OP(leI, "leI", IT::Bool, {IT::I64, IT::I64},
+               [](VS A) -> ImpValue { return asI(A[0]) <= asI(A[1]); },
+               "({0} <= {1})")
+ETCH_DEFINE_OP(eqI, "eqI", IT::Bool, {IT::I64, IT::I64},
+               [](VS A) -> ImpValue { return asI(A[0]) == asI(A[1]); },
+               "({0} == {1})")
+ETCH_DEFINE_OP(neI, "neI", IT::Bool, {IT::I64, IT::I64},
+               [](VS A) -> ImpValue { return asI(A[0]) != asI(A[1]); },
+               "({0} != {1})")
+
+ETCH_DEFINE_OP(addF, "addF", IT::F64, {IT::F64, IT::F64},
+               [](VS A) -> ImpValue { return asF(A[0]) + asF(A[1]); },
+               "({0} + {1})")
+ETCH_DEFINE_OP(subF, "subF", IT::F64, {IT::F64, IT::F64},
+               [](VS A) -> ImpValue { return asF(A[0]) - asF(A[1]); },
+               "({0} - {1})")
+ETCH_DEFINE_OP(mulF, "mulF", IT::F64, {IT::F64, IT::F64},
+               [](VS A) -> ImpValue { return asF(A[0]) * asF(A[1]); },
+               "({0} * {1})")
+ETCH_DEFINE_OP(divF, "divF", IT::F64, {IT::F64, IT::F64},
+               [](VS A) -> ImpValue { return asF(A[0]) / asF(A[1]); },
+               "({0} / {1})")
+ETCH_DEFINE_OP(minF, "minF", IT::F64, {IT::F64, IT::F64},
+               [](VS A) -> ImpValue {
+                 return asF(A[0]) < asF(A[1]) ? asF(A[0]) : asF(A[1]);
+               },
+               "(({0} < {1}) ? {0} : {1})")
+ETCH_DEFINE_OP(ltF, "ltF", IT::Bool, {IT::F64, IT::F64},
+               [](VS A) -> ImpValue { return asF(A[0]) < asF(A[1]); },
+               "({0} < {1})")
+
+ETCH_DEFINE_OP(andB, "andB", IT::Bool, {IT::Bool, IT::Bool},
+               [](VS A) -> ImpValue { return asB(A[0]) && asB(A[1]); },
+               "({0} && {1})", OpDef::Laziness::AndAlso)
+ETCH_DEFINE_OP(orB, "orB", IT::Bool, {IT::Bool, IT::Bool},
+               [](VS A) -> ImpValue { return asB(A[0]) || asB(A[1]); },
+               "({0} || {1})", OpDef::Laziness::OrElse)
+ETCH_DEFINE_OP(notB, "notB", IT::Bool, {IT::Bool},
+               [](VS A) -> ImpValue { return !asB(A[0]); }, "(!{0})")
+
+ETCH_DEFINE_OP(selectI, "selectI", IT::I64, {IT::Bool, IT::I64, IT::I64},
+               [](VS A) -> ImpValue { return asB(A[0]) ? A[1] : A[2]; },
+               "({0} ? {1} : {2})", OpDef::Laziness::Select)
+ETCH_DEFINE_OP(selectF, "selectF", IT::F64, {IT::Bool, IT::F64, IT::F64},
+               [](VS A) -> ImpValue { return asB(A[0]) ? A[1] : A[2]; },
+               "({0} ? {1} : {2})", OpDef::Laziness::Select)
+ETCH_DEFINE_OP(selectB, "selectB", IT::Bool, {IT::Bool, IT::Bool, IT::Bool},
+               [](VS A) -> ImpValue { return asB(A[0]) ? A[1] : A[2]; },
+               "({0} ? {1} : {2})", OpDef::Laziness::Select)
+
+ETCH_DEFINE_OP(boolToI, "boolToI", IT::I64, {IT::Bool},
+               [](VS A) -> ImpValue { return static_cast<int64_t>(asB(A[0])); },
+               "((int64_t){0})")
+ETCH_DEFINE_OP(i64ToF, "i64ToF", IT::F64, {IT::I64},
+               [](VS A) -> ImpValue { return static_cast<double>(asI(A[0])); },
+               "((double){0})")
+
+#undef ETCH_DEFINE_OP
+
+ERef etch::eAddI(ERef A, ERef B) {
+  return EExpr::call(Ops::addI(), {std::move(A), std::move(B)});
+}
+ERef etch::eSubI(ERef A, ERef B) {
+  return EExpr::call(Ops::subI(), {std::move(A), std::move(B)});
+}
+ERef etch::eMinI(ERef A, ERef B) {
+  return EExpr::call(Ops::minI(), {std::move(A), std::move(B)});
+}
+ERef etch::eMaxI(ERef A, ERef B) {
+  return EExpr::call(Ops::maxI(), {std::move(A), std::move(B)});
+}
+ERef etch::eLtI(ERef A, ERef B) {
+  return EExpr::call(Ops::ltI(), {std::move(A), std::move(B)});
+}
+ERef etch::eLeI(ERef A, ERef B) {
+  return EExpr::call(Ops::leI(), {std::move(A), std::move(B)});
+}
+ERef etch::eEqI(ERef A, ERef B) {
+  return EExpr::call(Ops::eqI(), {std::move(A), std::move(B)});
+}
+ERef etch::eAnd(ERef A, ERef B) {
+  return EExpr::call(Ops::andB(), {std::move(A), std::move(B)});
+}
+ERef etch::eOr(ERef A, ERef B) {
+  return EExpr::call(Ops::orB(), {std::move(A), std::move(B)});
+}
+ERef etch::eNot(ERef A) { return EExpr::call(Ops::notB(), {std::move(A)}); }
+
+ERef etch::eSelect(ERef C, ERef A, ERef B) {
+  ETCH_ASSERT(A->type() == B->type(), "select branches must share a type");
+  const OpDef *Op = nullptr;
+  switch (A->type()) {
+  case ImpType::I64:
+    Op = Ops::selectI();
+    break;
+  case ImpType::F64:
+    Op = Ops::selectF();
+    break;
+  case ImpType::Bool:
+    Op = Ops::selectB();
+    break;
+  }
+  return EExpr::call(Op, {std::move(C), std::move(A), std::move(B)});
+}
+
+ERef etch::eI64Max() {
+  return eConstI(std::numeric_limits<int64_t>::max());
+}
+
+std::unique_ptr<OpDef> etch::makeCustomOp(
+    std::string Name, ImpType Result, std::vector<ImpType> ArgTypes,
+    std::function<ImpValue(std::span<const ImpValue>)> Spec,
+    std::string CFormat, std::string CPrelude) {
+  auto O = std::make_unique<OpDef>();
+  O->Name = std::move(Name);
+  O->Result = Result;
+  O->ArgTypes = std::move(ArgTypes);
+  O->Spec = std::move(Spec);
+  O->CFormat = std::move(CFormat);
+  O->CPrelude = std::move(CPrelude);
+  return O;
+}
+
+const ScalarAlgebra &etch::f64Algebra() {
+  static ScalarAlgebra A{ImpType::F64, eConstF(0.0), eConstF(1.0),
+                         Ops::addF(), Ops::mulF(), Ops::selectF()};
+  return A;
+}
+
+const ScalarAlgebra &etch::i64Algebra() {
+  static ScalarAlgebra A{ImpType::I64, eConstI(0), eConstI(1), Ops::addI(),
+                         Ops::mulI(), Ops::selectI()};
+  return A;
+}
+
+const ScalarAlgebra &etch::boolAlgebra() {
+  static ScalarAlgebra A{ImpType::Bool, eBool(false), eBool(true),
+                         Ops::orB(), Ops::andB(), Ops::selectB()};
+  return A;
+}
+
+const ScalarAlgebra &etch::minPlusAlgebra() {
+  static ScalarAlgebra A{
+      ImpType::F64, eConstF(std::numeric_limits<double>::infinity()),
+      eConstF(0.0), Ops::minF(), Ops::addF(), Ops::selectF()};
+  return A;
+}

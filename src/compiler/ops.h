@@ -1,0 +1,134 @@
+//===- compiler/ops.h - Built-in operations and E builders -----*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The built-in operation set (arithmetic, comparisons, min/max, lazy
+/// booleans and select) plus terse builder helpers for E expressions. As in
+/// Figure 12, nothing here is privileged: the compiler consumes OpDefs
+/// through the same interface user-defined operations use, and
+/// `makeCustomOp` shows how external C code is attached (the paper's Q9
+/// timestamp-to-year op is built this way in the relational layer).
+///
+/// The scalar algebra a contraction program computes over is reified as a
+/// ScalarAlgebra — the (0, 1, +, *) of one semiring as IR fragments — so
+/// the code generator is generic over semirings (Section 7.3: "as long as
+/// a semiring has a runtime representation ... it can be used").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_COMPILER_OPS_H
+#define ETCH_COMPILER_OPS_H
+
+#include "compiler/imp.h"
+
+namespace etch {
+
+/// Accessors for the built-in operations. Each returns a pointer to a
+/// function-local static OpDef (stable for the process lifetime).
+struct Ops {
+  // i64 arithmetic and comparisons.
+  static const OpDef *addI();
+  static const OpDef *subI();
+  static const OpDef *mulI();
+  static const OpDef *divI();
+  static const OpDef *modI();
+  static const OpDef *minI();
+  static const OpDef *maxI();
+  static const OpDef *ltI();
+  static const OpDef *leI();
+  static const OpDef *eqI();
+  static const OpDef *neI();
+  // f64 arithmetic.
+  static const OpDef *addF();
+  static const OpDef *subF();
+  static const OpDef *mulF();
+  static const OpDef *divF();
+  static const OpDef *minF();
+  static const OpDef *ltF();
+  // Booleans; and/or are lazy (short-circuit) like C.
+  static const OpDef *andB();
+  static const OpDef *orB();
+  static const OpDef *notB();
+  // Lazy select (C ternary), one per result type.
+  static const OpDef *selectI();
+  static const OpDef *selectF();
+  static const OpDef *selectB();
+  // Conversions.
+  static const OpDef *boolToI();
+  static const OpDef *i64ToF();
+};
+
+//===----------------------------------------------------------------------===//
+// Builder helpers
+//===----------------------------------------------------------------------===//
+
+inline ERef eConstI(int64_t V) { return EExpr::constant(V); }
+inline ERef eConstF(double V) { return EExpr::constant(V); }
+inline ERef eBool(bool V) { return EExpr::constant(V); }
+inline ERef eVarI(std::string N) { return EExpr::var(std::move(N), ImpType::I64); }
+
+ERef eAddI(ERef A, ERef B);
+ERef eSubI(ERef A, ERef B);
+ERef eMinI(ERef A, ERef B);
+ERef eMaxI(ERef A, ERef B);
+ERef eLtI(ERef A, ERef B);
+ERef eLeI(ERef A, ERef B);
+ERef eEqI(ERef A, ERef B);
+ERef eAnd(ERef A, ERef B);
+ERef eOr(ERef A, ERef B);
+ERef eNot(ERef A);
+
+/// A lazy conditional, dispatching on the branch type (A and B must agree).
+ERef eSelect(ERef C, ERef A, ERef B);
+
+/// Largest i64, used as the index of an exhausted side in additions.
+ERef eI64Max();
+
+/// Creates a user-defined operation (Figure 12's extension mechanism). The
+/// caller owns the returned object and keeps it alive while expressions
+/// reference it. \p CPrelude may define helper C functions used by
+/// \p CFormat.
+std::unique_ptr<OpDef>
+makeCustomOp(std::string Name, ImpType Result, std::vector<ImpType> ArgTypes,
+             std::function<ImpValue(std::span<const ImpValue>)> Spec,
+             std::string CFormat, std::string CPrelude = "");
+
+//===----------------------------------------------------------------------===//
+// Scalar algebras (semirings as IR fragments)
+//===----------------------------------------------------------------------===//
+
+/// One semiring's (0, 1, +, *) in IR form.
+struct ScalarAlgebra {
+  ImpType Ty;
+  ERef Zero;
+  ERef One;
+  const OpDef *Add;
+  const OpDef *Mul;
+  const OpDef *Select; ///< Lazy conditional at this type.
+
+  ERef add(ERef A, ERef B) const {
+    return EExpr::call(Add, {std::move(A), std::move(B)});
+  }
+  ERef mul(ERef A, ERef B) const {
+    return EExpr::call(Mul, {std::move(A), std::move(B)});
+  }
+  ERef select(ERef C, ERef A, ERef B) const {
+    return EExpr::call(Select, {std::move(C), std::move(A), std::move(B)});
+  }
+};
+
+/// (+, *) over f64 — tensor algebra.
+const ScalarAlgebra &f64Algebra();
+/// (+, *) over i64 — counting / bags.
+const ScalarAlgebra &i64Algebra();
+/// (or, and) over bool — relations.
+const ScalarAlgebra &boolAlgebra();
+/// (min, +) over f64 — tropical aggregates. Zero is +inf.
+const ScalarAlgebra &minPlusAlgebra();
+
+} // namespace etch
+
+#endif // ETCH_COMPILER_OPS_H

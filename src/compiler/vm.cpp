@@ -1,0 +1,235 @@
+//===- compiler/vm.cpp - An interpreter for the target IR P --------------===//
+
+#include "compiler/vm.h"
+
+using namespace etch;
+
+void VmMemory::setArrayI64(const std::string &Name,
+                           const std::vector<int64_t> &Data) {
+  std::vector<ImpValue> V;
+  V.reserve(Data.size());
+  for (int64_t X : Data)
+    V.emplace_back(X);
+  Arrays[Name] = std::move(V);
+}
+
+void VmMemory::setArrayF64(const std::string &Name,
+                           const std::vector<double> &Data) {
+  std::vector<ImpValue> V;
+  V.reserve(Data.size());
+  for (double X : Data)
+    V.emplace_back(X);
+  Arrays[Name] = std::move(V);
+}
+
+namespace {
+
+ImpValue zeroOf(ImpType T) {
+  switch (T) {
+  case ImpType::I64:
+    return int64_t{0};
+  case ImpType::F64:
+    return 0.0;
+  case ImpType::Bool:
+    return false;
+  }
+  ETCH_UNREACHABLE("unknown ImpType");
+}
+
+/// The interpreter proper. Errors latch into Error; execution then unwinds
+/// quickly because every step checks ok().
+class Interp {
+public:
+  Interp(VmMemory &M, int64_t MaxSteps) : M(M), StepsLeft(MaxSteps) {}
+
+  bool ok() const { return Error.empty(); }
+  const std::string &error() const { return Error; }
+
+  ImpValue eval(const EExpr &E) {
+    if (!ok())
+      return int64_t{0};
+    switch (E.kind()) {
+    case EKind::Const:
+      return E.constant();
+    case EKind::Var: {
+      auto V = M.getScalar(E.name());
+      if (!V)
+        return fail("read of undefined variable '" + E.name() + "'");
+      return *V;
+    }
+    case EKind::Access: {
+      const auto *Arr = M.getArray(E.name());
+      if (!Arr)
+        return fail("access of undefined array '" + E.name() + "'");
+      ImpValue IdxV = eval(*E.args()[0]);
+      if (!ok())
+        return int64_t{0};
+      int64_t I = std::get<int64_t>(IdxV);
+      if (I < 0 || static_cast<size_t>(I) >= Arr->size())
+        return fail("out-of-bounds access " + E.name() + "[" +
+                    std::to_string(I) + "], size " +
+                    std::to_string(Arr->size()));
+      return (*Arr)[static_cast<size_t>(I)];
+    }
+    case EKind::Call: {
+      const OpDef *Op = E.op();
+      switch (Op->Lazy) {
+      case OpDef::Laziness::AndAlso: {
+        ImpValue A = eval(*E.args()[0]);
+        if (!ok() || !std::get<bool>(A))
+          return false;
+        return eval(*E.args()[1]);
+      }
+      case OpDef::Laziness::OrElse: {
+        ImpValue A = eval(*E.args()[0]);
+        if (!ok())
+          return false;
+        if (std::get<bool>(A))
+          return true;
+        return eval(*E.args()[1]);
+      }
+      case OpDef::Laziness::Select: {
+        ImpValue C = eval(*E.args()[0]);
+        if (!ok())
+          return int64_t{0};
+        return eval(*E.args()[std::get<bool>(C) ? 1 : 2]);
+      }
+      case OpDef::Laziness::Eager: {
+        std::vector<ImpValue> Args;
+        Args.reserve(E.args().size());
+        for (const auto &A : E.args()) {
+          Args.push_back(eval(*A));
+          if (!ok())
+            return int64_t{0};
+        }
+        return Op->Spec(Args);
+      }
+      }
+      ETCH_UNREACHABLE("unknown laziness");
+    }
+    }
+    ETCH_UNREACHABLE("unknown EKind");
+  }
+
+  void exec(const PStmt &P) {
+    if (!ok())
+      return;
+    if (--StepsLeft < 0) {
+      fail("step budget exhausted (possible non-termination)");
+      return;
+    }
+    switch (P.kind()) {
+    case PKind::Seq:
+      for (const auto &C : P.children()) {
+        exec(*C);
+        if (!ok())
+          return;
+      }
+      return;
+    case PKind::While:
+      while (ok()) {
+        if (--StepsLeft < 0) {
+          fail("step budget exhausted (possible non-termination)");
+          return;
+        }
+        ImpValue C = eval(*P.cond());
+        if (!ok() || !std::get<bool>(C))
+          return;
+        exec(*P.children()[0]);
+      }
+      return;
+    case PKind::Branch: {
+      ImpValue C = eval(*P.cond());
+      if (!ok())
+        return;
+      exec(std::get<bool>(C) ? *P.children()[0] : *P.children()[1]);
+      return;
+    }
+    case PKind::Noop:
+    case PKind::Comment:
+      return;
+    case PKind::StoreVar: {
+      ImpValue V = eval(*P.valueExpr());
+      if (ok())
+        M.setScalar(P.name(), V);
+      return;
+    }
+    case PKind::StoreArr: {
+      ImpValue IdxV = eval(*P.indexExpr());
+      ImpValue V = eval(*P.valueExpr());
+      if (!ok())
+        return;
+      auto *Arr = M.getArrayMutable(P.name());
+      if (!Arr) {
+        fail("store to undefined array '" + P.name() + "'");
+        return;
+      }
+      int64_t I = std::get<int64_t>(IdxV);
+      if (I < 0 || static_cast<size_t>(I) >= Arr->size()) {
+        fail("out-of-bounds store " + P.name() + "[" + std::to_string(I) +
+             "], size " + std::to_string(Arr->size()));
+        return;
+      }
+      (*Arr)[static_cast<size_t>(I)] = V;
+      return;
+    }
+    case PKind::DeclVar: {
+      ImpValue V = eval(*P.valueExpr());
+      if (ok())
+        M.setScalar(P.name(), V);
+      return;
+    }
+    case PKind::DeclArr: {
+      ImpValue SizeV = eval(*P.valueExpr());
+      if (!ok())
+        return;
+      int64_t N = std::get<int64_t>(SizeV);
+      if (N < 0) {
+        fail("negative array size for '" + P.name() + "'");
+        return;
+      }
+      M.setArray(P.name(), std::vector<ImpValue>(static_cast<size_t>(N),
+                                                 zeroOf(P.type())));
+      return;
+    }
+    }
+    ETCH_UNREACHABLE("unknown PKind");
+  }
+
+private:
+  ImpValue fail(std::string Msg) {
+    if (Error.empty())
+      Error = std::move(Msg);
+    return int64_t{0};
+  }
+
+  VmMemory &M;
+  int64_t StepsLeft;
+  std::string Error;
+};
+
+} // namespace
+
+std::optional<std::string> etch::vmExecute(const PRef &Program,
+                                           VmMemory &Memory,
+                                           int64_t MaxSteps) {
+  ETCH_ASSERT(Program, "null program");
+  Interp I(Memory, MaxSteps);
+  I.exec(*Program);
+  if (!I.ok())
+    return I.error();
+  return std::nullopt;
+}
+
+std::optional<ImpValue> etch::vmEval(const ERef &E, const VmMemory &Memory,
+                                     std::string *Err) {
+  ETCH_ASSERT(E, "null expression");
+  Interp I(const_cast<VmMemory &>(Memory), 1 << 20);
+  ImpValue V = I.eval(*E);
+  if (!I.ok()) {
+    if (Err)
+      *Err = I.error();
+    return std::nullopt;
+  }
+  return V;
+}

@@ -1,0 +1,86 @@
+//===- compiler/vm.h - An interpreter for the target IR P ------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct interpreter (VM) for `P` programs with a simple memory model:
+/// named scalars and named arrays of scalars. This realises the paper's
+/// `run : P -> S -> S` / `eval : E α -> S -> α` semantic functions as an
+/// executable machine, letting every compiled program be tested in-process
+/// against the denotational oracle — no external C toolchain in the loop.
+/// (A separate golden test does compile the emitted C with the system
+/// compiler and checks agreement with the VM.)
+///
+/// The VM bounds-checks all array accesses and enforces a step budget, so
+/// compiler bugs surface as errors instead of undefined behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_COMPILER_VM_H
+#define ETCH_COMPILER_VM_H
+
+#include "compiler/imp.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace etch {
+
+/// The machine state: scalar variables and arrays. Inputs are poked in
+/// before execution; outputs are read back afterwards.
+class VmMemory {
+public:
+  void setScalar(const std::string &Name, ImpValue V) { Scalars[Name] = V; }
+
+  /// Returns the scalar, or nullopt if undefined.
+  std::optional<ImpValue> getScalar(const std::string &Name) const {
+    auto It = Scalars.find(Name);
+    if (It == Scalars.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  void setArray(const std::string &Name, std::vector<ImpValue> Data) {
+    Arrays[Name] = std::move(Data);
+  }
+  void setArrayI64(const std::string &Name, const std::vector<int64_t> &Data);
+  void setArrayF64(const std::string &Name, const std::vector<double> &Data);
+
+  /// Returns the array, or nullptr if undefined.
+  const std::vector<ImpValue> *getArray(const std::string &Name) const {
+    auto It = Arrays.find(Name);
+    return It == Arrays.end() ? nullptr : &It->second;
+  }
+
+  std::vector<ImpValue> *getArrayMutable(const std::string &Name) {
+    auto It = Arrays.find(Name);
+    return It == Arrays.end() ? nullptr : &It->second;
+  }
+
+  /// All arrays, e.g. for baking inputs into an emitted C program.
+  const std::unordered_map<std::string, std::vector<ImpValue>> &
+  allArrays() const {
+    return Arrays;
+  }
+
+private:
+  std::unordered_map<std::string, ImpValue> Scalars;
+  std::unordered_map<std::string, std::vector<ImpValue>> Arrays;
+};
+
+/// Executes \p Program against \p Memory. Returns nullopt on success or a
+/// diagnostic on failure (unbound name, out-of-bounds access, type error,
+/// or exceeding \p MaxSteps statement executions).
+std::optional<std::string> vmExecute(const PRef &Program, VmMemory &Memory,
+                                     int64_t MaxSteps = int64_t(1) << 28);
+
+/// Evaluates a closed expression against \p Memory. Returns nullopt and
+/// sets \p Err on failure.
+std::optional<ImpValue> vmEval(const ERef &E, const VmMemory &Memory,
+                               std::string *Err = nullptr);
+
+} // namespace etch
+
+#endif // ETCH_COMPILER_VM_H

@@ -1,0 +1,98 @@
+//===- core/attr.cpp - Attributes, shapes, and the global order ----------===//
+
+#include "core/attr.h"
+
+#include "support/assert.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace etch;
+
+namespace {
+
+/// The process-wide attribute interner. Function-local statics avoid static
+/// constructor ordering issues.
+struct Interner {
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, uint32_t> Index;
+};
+
+Interner &interner() {
+  static Interner I;
+  return I;
+}
+
+} // namespace
+
+Attr Attr::named(const std::string &Name) {
+  Interner &I = interner();
+  auto It = I.Index.find(Name);
+  if (It != I.Index.end())
+    return Attr(It->second);
+  uint32_t Id = static_cast<uint32_t>(I.Names.size());
+  I.Names.push_back(Name);
+  I.Index.emplace(Name, Id);
+  return Attr(Id);
+}
+
+const std::string &Attr::name() const {
+  Interner &I = interner();
+  ETCH_ASSERT(Id < I.Names.size(), "invalid attribute");
+  return I.Names[Id];
+}
+
+Shape etch::makeShape(std::vector<Attr> Attrs) {
+  std::sort(Attrs.begin(), Attrs.end());
+  Attrs.erase(std::unique(Attrs.begin(), Attrs.end()), Attrs.end());
+  return Attrs;
+}
+
+bool etch::shapeContains(const Shape &S, Attr A) {
+  return std::binary_search(S.begin(), S.end(), A);
+}
+
+Shape etch::shapeUnion(const Shape &A, const Shape &B) {
+  Shape Out;
+  Out.reserve(A.size() + B.size());
+  std::set_union(A.begin(), A.end(), B.begin(), B.end(),
+                 std::back_inserter(Out));
+  return Out;
+}
+
+Shape etch::shapeIntersect(const Shape &A, const Shape &B) {
+  Shape Out;
+  std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                        std::back_inserter(Out));
+  return Out;
+}
+
+Shape etch::shapeMinus(const Shape &A, const Shape &B) {
+  Shape Out;
+  std::set_difference(A.begin(), A.end(), B.begin(), B.end(),
+                      std::back_inserter(Out));
+  return Out;
+}
+
+int etch::shapeIndexOf(const Shape &S, Attr A) {
+  auto It = std::lower_bound(S.begin(), S.end(), A);
+  if (It == S.end() || *It != A)
+    return -1;
+  return static_cast<int>(It - S.begin());
+}
+
+int etch::attrsBefore(const Shape &S, Attr A) {
+  auto It = std::lower_bound(S.begin(), S.end(), A);
+  return static_cast<int>(It - S.begin());
+}
+
+std::string etch::shapeToString(const Shape &S) {
+  std::string Out = "{";
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += S[I].name();
+  }
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,86 @@
+//===- core/attr.h - Attributes, shapes, and the global order --*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Attributes (Definition 4.2 of the paper) are unique names for the
+/// dimensions of tensors / columns of relations. A *shape* is a set of
+/// attributes. The stream algebra (Section 5.2) additionally requires a
+/// total order on attributes; we use the interning order (the order in
+/// which `Attr::named` first sees each name), which callers control by
+/// registering attributes in their preferred hierarchy order. Helpers for
+/// sorted-set operations on shapes live here too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_CORE_ATTR_H
+#define ETCH_CORE_ATTR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace etch {
+
+/// An interned attribute name. Attributes compare by their interning order,
+/// which doubles as the global attribute order of the stream algebra.
+class Attr {
+public:
+  Attr() : Id(~0u) {}
+
+  /// Interns \p Name and returns its attribute. Repeated calls with the same
+  /// name return the same attribute.
+  static Attr named(const std::string &Name);
+
+  /// Returns the attribute's name.
+  const std::string &name() const;
+
+  /// Returns the interning index (position in the global order).
+  uint32_t id() const { return Id; }
+
+  bool valid() const { return Id != ~0u; }
+
+  friend bool operator==(Attr A, Attr B) { return A.Id == B.Id; }
+  friend bool operator!=(Attr A, Attr B) { return A.Id != B.Id; }
+  friend bool operator<(Attr A, Attr B) { return A.Id < B.Id; }
+  friend bool operator<=(Attr A, Attr B) { return A.Id <= B.Id; }
+
+private:
+  explicit Attr(uint32_t Id) : Id(Id) {}
+  uint32_t Id;
+};
+
+/// A shape: a set of attributes kept sorted by the global order.
+using Shape = std::vector<Attr>;
+
+/// Returns a sorted, duplicate-free shape from \p Attrs.
+Shape makeShape(std::vector<Attr> Attrs);
+
+/// Returns true if sorted \p S contains \p A.
+bool shapeContains(const Shape &S, Attr A);
+
+/// Returns the union of two sorted shapes.
+Shape shapeUnion(const Shape &A, const Shape &B);
+
+/// Returns the intersection of two sorted shapes.
+Shape shapeIntersect(const Shape &A, const Shape &B);
+
+/// Returns A \ B for sorted shapes.
+Shape shapeMinus(const Shape &A, const Shape &B);
+
+/// Returns the position of \p A within sorted \p S, or -1 if absent.
+int shapeIndexOf(const Shape &S, Attr A);
+
+/// Returns #(a, S): the number of attributes in \p S strictly before \p A in
+/// the global order (Definition 5.8). This is the nesting depth at which the
+/// `map^k` operators insert or contract \p A.
+int attrsBefore(const Shape &S, Attr A);
+
+/// Renders "{a, b, c}" for diagnostics.
+std::string shapeToString(const Shape &S);
+
+} // namespace etch
+
+#endif // ETCH_CORE_ATTR_H

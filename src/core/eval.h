@@ -1,0 +1,69 @@
+//===- core/eval.h - Denotational evaluation of L into T -------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The denotational semantics `[[−]]^T : L -> T` of Figure 4c: a contraction
+/// expression evaluates, under a context binding variables to K-relations,
+/// to a K-relation. Each syntactic form maps onto the corresponding
+/// K-relation operation. This evaluator is the oracle in every correctness
+/// test: the stream semantics (streams/), the compiled VM programs
+/// (compiler/), and the emitted C all must agree with it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_CORE_EVAL_H
+#define ETCH_CORE_EVAL_H
+
+#include "core/expr.h"
+#include "core/krelation.h"
+#include "support/assert.h"
+
+#include <map>
+
+namespace etch {
+
+/// A value context: variable name -> K-relation (the `c` of Figure 4a).
+template <Semiring S>
+using ValueContext = std::map<std::string, KRelation<S>>;
+
+/// Evaluates \p E under \p Ctx. The expression must be well-typed with
+/// respect to the shapes of the bound relations; violations abort.
+template <Semiring S>
+KRelation<S> evalT(const ExprPtr &E, const ValueContext<S> &Ctx) {
+  ETCH_ASSERT(E, "null expression");
+  switch (E->kind()) {
+  case ExprKind::Var: {
+    auto It = Ctx.find(E->varName());
+    ETCH_ASSERT(It != Ctx.end(), "unbound variable in value context");
+    return It->second;
+  }
+  case ExprKind::Add:
+    return evalT(E->lhs(), Ctx).add(evalT(E->rhs(), Ctx));
+  case ExprKind::Mul:
+    return evalT(E->lhs(), Ctx).mul(evalT(E->rhs(), Ctx));
+  case ExprKind::Sum:
+    return evalT(E->lhs(), Ctx).contract(E->attr());
+  case ExprKind::Expand:
+    return evalT(E->lhs(), Ctx).expand(E->attr());
+  case ExprKind::Rename:
+    return evalT(E->lhs(), Ctx).rename(E->mapping());
+  }
+  ETCH_UNREACHABLE("unknown expression kind");
+}
+
+/// Builds the TypeContext matching a ValueContext (each variable typed with
+/// the full shape of its bound relation).
+template <Semiring S>
+TypeContext typesOf(const ValueContext<S> &Ctx) {
+  TypeContext Types;
+  for (const auto &[Name, Rel] : Ctx)
+    Types.emplace(Name, Rel.shape());
+  return Types;
+}
+
+} // namespace etch
+
+#endif // ETCH_CORE_EVAL_H

@@ -1,0 +1,195 @@
+//===- core/expr.cpp - The contraction expression language L -------------===//
+
+#include "core/expr.h"
+
+#include "support/assert.h"
+
+#include <algorithm>
+
+using namespace etch;
+
+ExprPtr Expr::var(std::string Name) {
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Var;
+  E->VarName = std::move(Name);
+  return E;
+}
+
+ExprPtr Expr::add(ExprPtr A, ExprPtr B) {
+  ETCH_ASSERT(A && B, "null operand");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Add;
+  E->Lhs = std::move(A);
+  E->Rhs = std::move(B);
+  return E;
+}
+
+ExprPtr Expr::mul(ExprPtr A, ExprPtr B) {
+  ETCH_ASSERT(A && B, "null operand");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Mul;
+  E->Lhs = std::move(A);
+  E->Rhs = std::move(B);
+  return E;
+}
+
+ExprPtr Expr::sum(Attr A, ExprPtr Child) {
+  ETCH_ASSERT(Child, "null operand");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Sum;
+  E->BoundAttr = A;
+  E->Lhs = std::move(Child);
+  return E;
+}
+
+ExprPtr Expr::expand(Attr A, ExprPtr Child) {
+  ETCH_ASSERT(Child, "null operand");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Expand;
+  E->BoundAttr = A;
+  E->Lhs = std::move(Child);
+  return E;
+}
+
+ExprPtr Expr::rename(std::vector<std::pair<Attr, Attr>> Mapping,
+                     ExprPtr Child) {
+  ETCH_ASSERT(Child, "null operand");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Rename;
+  E->Mapping = std::move(Mapping);
+  E->Lhs = std::move(Child);
+  return E;
+}
+
+std::string Expr::toString() const {
+  switch (Kind) {
+  case ExprKind::Var:
+    return VarName;
+  case ExprKind::Add:
+    return "(" + Lhs->toString() + " + " + Rhs->toString() + ")";
+  case ExprKind::Mul:
+    return "(" + Lhs->toString() + " * " + Rhs->toString() + ")";
+  case ExprKind::Sum:
+    return "sum_" + BoundAttr.name() + " " + Lhs->toString();
+  case ExprKind::Expand:
+    return "up_" + BoundAttr.name() + " " + Lhs->toString();
+  case ExprKind::Rename: {
+    std::string Out = "rename[";
+    for (size_t I = 0; I < Mapping.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Mapping[I].first.name() + ":=" + Mapping[I].second.name();
+    }
+    return Out + "] " + Lhs->toString();
+  }
+  }
+  ETCH_UNREACHABLE("unknown expression kind");
+}
+
+static void setErr(std::string *Err, std::string Msg) {
+  if (Err)
+    *Err = std::move(Msg);
+}
+
+std::optional<Shape> etch::inferShape(const ExprPtr &E, const TypeContext &Ctx,
+                                      std::string *Err) {
+  ETCH_ASSERT(E, "null expression");
+  switch (E->kind()) {
+  case ExprKind::Var: {
+    auto It = Ctx.find(E->varName());
+    if (It == Ctx.end()) {
+      setErr(Err, "unbound variable '" + E->varName() + "'");
+      return std::nullopt;
+    }
+    return It->second;
+  }
+  case ExprKind::Add:
+  case ExprKind::Mul: {
+    auto A = inferShape(E->lhs(), Ctx, Err);
+    if (!A)
+      return std::nullopt;
+    auto B = inferShape(E->rhs(), Ctx, Err);
+    if (!B)
+      return std::nullopt;
+    if (*A != *B) {
+      setErr(Err, std::string(E->kind() == ExprKind::Add ? "+" : "*") +
+                      " requires equal shapes, got " + shapeToString(*A) +
+                      " and " + shapeToString(*B));
+      return std::nullopt;
+    }
+    return A;
+  }
+  case ExprKind::Sum: {
+    auto A = inferShape(E->lhs(), Ctx, Err);
+    if (!A)
+      return std::nullopt;
+    if (!shapeContains(*A, E->attr())) {
+      setErr(Err, "sum over attribute '" + E->attr().name() +
+                      "' absent from shape " + shapeToString(*A));
+      return std::nullopt;
+    }
+    return shapeMinus(*A, {E->attr()});
+  }
+  case ExprKind::Expand: {
+    auto A = inferShape(E->lhs(), Ctx, Err);
+    if (!A)
+      return std::nullopt;
+    if (shapeContains(*A, E->attr())) {
+      setErr(Err, "expansion over attribute '" + E->attr().name() +
+                      "' already present in shape " + shapeToString(*A));
+      return std::nullopt;
+    }
+    return shapeUnion(*A, {E->attr()});
+  }
+  case ExprKind::Rename: {
+    auto A = inferShape(E->lhs(), Ctx, Err);
+    if (!A)
+      return std::nullopt;
+    std::vector<Attr> Renamed;
+    for (Attr X : *A) {
+      Attr Y = X;
+      for (const auto &[From, To] : E->mapping())
+        if (From == X)
+          Y = To;
+      Renamed.push_back(Y);
+    }
+    Shape Out = makeShape(Renamed);
+    if (Out.size() != A->size()) {
+      setErr(Err, "rename merges attributes in shape " + shapeToString(*A));
+      return std::nullopt;
+    }
+    return Out;
+  }
+  }
+  ETCH_UNREACHABLE("unknown expression kind");
+}
+
+ExprPtr etch::mulExpand(ExprPtr A, ExprPtr B, const TypeContext &Ctx,
+                        std::string *Err) {
+  auto SA = inferShape(A, Ctx, Err);
+  if (!SA)
+    return nullptr;
+  auto SB = inferShape(B, Ctx, Err);
+  if (!SB)
+    return nullptr;
+  // Expand each side over the attributes only the other side has. Expansion
+  // order is irrelevant to the semantics; apply in global attribute order.
+  for (Attr X : shapeMinus(*SB, *SA))
+    A = Expr::expand(X, std::move(A));
+  for (Attr X : shapeMinus(*SA, *SB))
+    B = Expr::expand(X, std::move(B));
+  return Expr::mul(std::move(A), std::move(B));
+}
+
+ExprPtr etch::sumAll(ExprPtr E, const TypeContext &Ctx, std::string *Err) {
+  auto SE = inferShape(E, Ctx, Err);
+  if (!SE)
+    return nullptr;
+  // Contract innermost (last in the global order) attributes first so the
+  // stream lowering peels sums from the inside out.
+  Shape S = *SE;
+  std::reverse(S.begin(), S.end());
+  for (Attr A : S)
+    E = Expr::sum(A, std::move(E));
+  return E;
+}

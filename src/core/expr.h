@@ -1,0 +1,110 @@
+//===- core/expr.h - The contraction expression language L -----*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contraction expression language `L` (Figure 4a) and its typing rules
+/// (Figure 4b). Expressions are immutable trees: variables, `+`, `·`, the
+/// contraction operator `Σ_a`, the expansion operator `↑_a`, and attribute
+/// renaming. Typing assigns each expression a *shape* (a set of attributes);
+/// `inferShape` implements Figure 4b and reports violations.
+///
+/// Both semantics consume this AST: the denotational evaluator in
+/// core/eval.h (the `T` algebra) and the stream lowering in
+/// streams/lower.h / compiler/frontend.h (the `S` algebra).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_CORE_EXPR_H
+#define ETCH_CORE_EXPR_H
+
+#include "core/attr.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace etch {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Discriminator for the expression forms of Figure 4a.
+enum class ExprKind { Var, Add, Mul, Sum, Expand, Rename };
+
+/// An immutable contraction-language expression node.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+
+  /// Variable name (Kind == Var).
+  const std::string &varName() const { return VarName; }
+
+  /// Operands: lhs() for unary nodes, lhs()/rhs() for binary ones.
+  const ExprPtr &lhs() const { return Lhs; }
+  const ExprPtr &rhs() const { return Rhs; }
+
+  /// The bound attribute of Σ_a / ↑_a (Kind == Sum or Expand).
+  Attr attr() const { return BoundAttr; }
+
+  /// The (old, new) pairs of a rename node.
+  const std::vector<std::pair<Attr, Attr>> &mapping() const { return Mapping; }
+
+  /// Factory functions. These are the only way to build expressions.
+  static ExprPtr var(std::string Name);
+  static ExprPtr add(ExprPtr A, ExprPtr B);
+  static ExprPtr mul(ExprPtr A, ExprPtr B);
+  static ExprPtr sum(Attr A, ExprPtr E);
+  static ExprPtr expand(Attr A, ExprPtr E);
+  static ExprPtr rename(std::vector<std::pair<Attr, Attr>> Mapping, ExprPtr E);
+
+  /// Renders the expression with the paper's notation, e.g.
+  /// "Σb (↑c x · ↑a y)".
+  std::string toString() const;
+
+private:
+  Expr() = default;
+  ExprKind Kind = ExprKind::Var;
+  std::string VarName;
+  ExprPtr Lhs, Rhs;
+  Attr BoundAttr;
+  std::vector<std::pair<Attr, Attr>> Mapping;
+};
+
+/// A typing context: variable name -> declared shape (the `τ` of Figure 4a).
+using TypeContext = std::map<std::string, Shape>;
+
+/// Infers the shape of \p E under \p Ctx per Figure 4b. On a typing error
+/// returns std::nullopt and, if \p Err is non-null, stores a diagnostic.
+std::optional<Shape> inferShape(const ExprPtr &E, const TypeContext &Ctx,
+                                std::string *Err = nullptr);
+
+/// Builds `A · B` inserting the expansion operators each side needs so both
+/// reach the union shape, as the paper notes can always be inferred from the
+/// argument shapes ("in every operation involving ↑, the set of attributes
+/// to expand over can be inferred"). Returns nullptr on a typing error.
+ExprPtr mulExpand(ExprPtr A, ExprPtr B, const TypeContext &Ctx,
+                  std::string *Err = nullptr);
+
+/// Builds `Σ_{a1} Σ_{a2} ... E` over every attribute of E's shape, yielding
+/// a scalar expression (full contraction / aggregate). Sums innermost
+/// attributes first. Returns nullptr on a typing error.
+ExprPtr sumAll(ExprPtr E, const TypeContext &Ctx, std::string *Err = nullptr);
+
+/// Convenience operators mirroring the paper's infix notation. These perform
+/// *strict* (same-shape) combination; use mulExpand for the inferred form.
+inline ExprPtr operator+(ExprPtr A, ExprPtr B) {
+  return Expr::add(std::move(A), std::move(B));
+}
+inline ExprPtr operator*(ExprPtr A, ExprPtr B) {
+  return Expr::mul(std::move(A), std::move(B));
+}
+
+} // namespace etch
+
+#endif // ETCH_CORE_EXPR_H

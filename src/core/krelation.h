@@ -1,0 +1,286 @@
+//===- core/krelation.h - K-relations: the functional semantics -*- C++-*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// K-relations (Definition 4.6): functions `I_S -> K` from tuples of a shape
+/// S into a semiring K, the denotational semantics `T` of the contraction
+/// language (Figure 4c, after Green et al.'s positive algebra). This is the
+/// *reference* implementation — a finite map with nested-loop operations —
+/// used as the oracle that indexed streams are tested against (Theorem 6.1).
+/// It is deliberately simple, not fast.
+///
+/// The paper permits K-relations with infinite support as long as they are
+/// multiplied with something finite (expansion `↑a` produces them). We
+/// represent this by splitting a relation's shape into a *finite* part,
+/// carried by the map, and a *dense* part along which the value is constant
+/// (the expanded attributes). Multiplication intersects dense parts away;
+/// addition and contraction require their operands to be finite along the
+/// attributes they touch, matching the paper's well-formedness condition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_CORE_KRELATION_H
+#define ETCH_CORE_KRELATION_H
+
+#include "core/attr.h"
+#include "core/semiring.h"
+#include "support/assert.h"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace etch {
+
+/// Index values. The core semantics fixes every index set to (a subset of)
+/// the integers; the relational layer dictionary-encodes strings into dense
+/// integer ids before they reach this layer.
+using Idx = int64_t;
+
+/// A tuple: coordinates aligned with a sorted shape.
+using Tuple = std::vector<Idx>;
+
+/// A K-relation over semiring \p S. See the file comment.
+template <Semiring S> class KRelation {
+public:
+  using Value = typename S::Value;
+
+  /// An empty (all-zero) relation of the given full shape; \p Dense must be
+  /// a subset of \p Full.
+  explicit KRelation(Shape Full = {}, Shape Dense = {})
+      : Full(std::move(Full)), Dense(std::move(Dense)),
+        Finite(shapeMinus(this->Full, this->Dense)) {
+    ETCH_ASSERT(shapeIntersect(this->Full, this->Dense).size() ==
+                    this->Dense.size(),
+                "dense attributes must belong to the shape");
+  }
+
+  /// A scalar relation (shape {}) holding \p V.
+  static KRelation scalar(Value V) {
+    KRelation R;
+    if (!S::isZero(V))
+      R.Data.emplace(Tuple{}, V);
+    return R;
+  }
+
+  const Shape &shape() const { return Full; }
+  const Shape &denseAttrs() const { return Dense; }
+  const Shape &finiteShape() const { return Finite; }
+  bool isFinite() const { return Dense.empty(); }
+
+  /// Number of explicitly stored (finite-support) entries.
+  size_t supportSize() const { return Data.size(); }
+
+  /// Adds \p V at the finite-shape tuple \p T (accumulating).
+  void insert(const Tuple &T, Value V) {
+    ETCH_ASSERT(T.size() == Finite.size(), "tuple arity mismatch");
+    auto [It, Inserted] = Data.emplace(T, V);
+    if (!Inserted)
+      It->second = S::add(It->second, V);
+  }
+
+  /// Returns the value at a tuple over the *finite* shape.
+  Value at(const Tuple &T) const {
+    ETCH_ASSERT(T.size() == Finite.size(), "tuple arity mismatch");
+    auto It = Data.find(T);
+    return It == Data.end() ? S::zero() : It->second;
+  }
+
+  /// Iteration over stored entries (finite tuples), sorted lexicographically.
+  const std::map<Tuple, Value> &entries() const { return Data; }
+
+  /// Pointwise addition. Shapes and dense parts must agree.
+  KRelation add(const KRelation &Other) const {
+    ETCH_ASSERT(Full == Other.Full && Dense == Other.Dense,
+                "addition requires identical shapes");
+    KRelation Out(Full, Dense);
+    Out.Data = Data;
+    for (const auto &[T, V] : Other.Data)
+      Out.insert(T, V);
+    Out.pruneZeros();
+    return Out;
+  }
+
+  /// Pointwise multiplication of relations with the same full shape
+  /// (the typing rule for `·`). Dense attributes of one side are resolved
+  /// against finite attributes of the other (the intersection optimisation);
+  /// attributes dense on both sides stay dense.
+  KRelation mul(const KRelation &Other) const {
+    ETCH_ASSERT(Full == Other.Full, "multiplication requires equal shapes");
+    Shape OutDense = shapeIntersect(Dense, Other.Dense);
+    KRelation Out(Full, OutDense);
+
+    // Positions, within each operand's finite tuple, of every attribute of
+    // the output finite shape (-1 when the operand is dense there).
+    std::vector<int> PosA, PosB;
+    for (Attr A : Out.Finite) {
+      PosA.push_back(shapeIndexOf(Finite, A));
+      PosB.push_back(shapeIndexOf(Other.Finite, A));
+    }
+
+    for (const auto &[TA, VA] : Data) {
+      for (const auto &[TB, VB] : Other.Data) {
+        bool Agree = true;
+        Tuple T(Out.Finite.size());
+        for (size_t I = 0; I < Out.Finite.size() && Agree; ++I) {
+          int IA = PosA[I], IB = PosB[I];
+          if (IA >= 0 && IB >= 0 && TA[IA] != TB[IB])
+            Agree = false;
+          else
+            T[I] = IA >= 0 ? TA[IA] : TB[IB];
+        }
+        if (!Agree)
+          continue;
+        Value V = S::mul(VA, VB);
+        if (!S::isZero(V))
+          Out.insert(T, V);
+      }
+    }
+    Out.pruneZeros();
+    return Out;
+  }
+
+  /// Contraction `Σ_a` (Figure 4c): sums out attribute \p A, which must be
+  /// finitely supported (summing a dense attribute would be an infinite sum).
+  KRelation contract(Attr A) const {
+    ETCH_ASSERT(shapeContains(Full, A), "contracted attribute not in shape");
+    ETCH_ASSERT(!shapeContains(Dense, A),
+                "cannot contract an expanded (infinite-support) attribute");
+    int Pos = shapeIndexOf(Finite, A);
+    KRelation Out(shapeMinus(Full, {A}), Dense);
+    for (const auto &[T, V] : Data) {
+      Tuple U = T;
+      U.erase(U.begin() + Pos);
+      Out.insert(U, V);
+    }
+    Out.pruneZeros();
+    return Out;
+  }
+
+  /// Expansion `↑a` (Figure 4c): repeats the value along a new attribute,
+  /// producing a relation dense in \p A.
+  KRelation expand(Attr A) const {
+    ETCH_ASSERT(!shapeContains(Full, A), "expansion over existing attribute");
+    KRelation Out(shapeUnion(Full, {A}), shapeUnion(Dense, {A}));
+    Out.Data = Data;
+    return Out;
+  }
+
+  /// Expansion with an explicit finite universe, materialising the copies.
+  /// Used by tests to compare against the dense representation.
+  KRelation expandFinite(Attr A, const std::vector<Idx> &Universe) const {
+    ETCH_ASSERT(!shapeContains(Full, A), "expansion over existing attribute");
+    KRelation Out(shapeUnion(Full, {A}), Dense);
+    int Pos = shapeIndexOf(Out.Finite, A);
+    for (const auto &[T, V] : Data) {
+      for (Idx I : Universe) {
+        Tuple U = T;
+        U.insert(U.begin() + Pos, I);
+        Out.insert(U, V);
+      }
+    }
+    return Out;
+  }
+
+  /// Renaming (Figure 4c): \p Mapping lists (old, new) attribute pairs; any
+  /// attribute not listed keeps its name. The result shape must be
+  /// duplicate-free.
+  KRelation rename(const std::vector<std::pair<Attr, Attr>> &Mapping) const {
+    auto renameAttr = [&](Attr A) {
+      for (const auto &[From, To] : Mapping)
+        if (From == A)
+          return To;
+      return A;
+    };
+    std::vector<Attr> NewFullV, NewDenseV, NewFiniteV;
+    for (Attr A : Full)
+      NewFullV.push_back(renameAttr(A));
+    for (Attr A : Dense)
+      NewDenseV.push_back(renameAttr(A));
+    for (Attr A : Finite)
+      NewFiniteV.push_back(renameAttr(A));
+    Shape NewFull = makeShape(NewFullV);
+    ETCH_ASSERT(NewFull.size() == Full.size(),
+                "rename must not merge attributes");
+    KRelation Out(NewFull, makeShape(NewDenseV));
+
+    // Permutation from old finite positions to new sorted finite positions.
+    std::vector<int> Perm(NewFiniteV.size());
+    for (size_t I = 0; I < NewFiniteV.size(); ++I)
+      Perm[I] = shapeIndexOf(Out.Finite, NewFiniteV[I]);
+    for (const auto &[T, V] : Data) {
+      Tuple U(T.size());
+      for (size_t I = 0; I < T.size(); ++I)
+        U[Perm[I]] = T[I];
+      Out.insert(U, V);
+    }
+    return Out;
+  }
+
+  /// Drops explicitly stored zeros so that equality compares supports.
+  void pruneZeros() {
+    for (auto It = Data.begin(); It != Data.end();) {
+      if (S::isZero(It->second))
+        It = Data.erase(It);
+      else
+        ++It;
+    }
+  }
+
+  /// Exact structural equality (same shape, same stored nonzeros).
+  bool equals(const KRelation &Other) const {
+    return Full == Other.Full && Dense == Other.Dense && Data == Other.Data;
+  }
+
+  /// Equality up to a relative/absolute tolerance on values, for
+  /// floating-point semirings where operation reassociation perturbs results.
+  bool approxEquals(const KRelation &Other, double Tol = 1e-9) const {
+    if (Full != Other.Full || Dense != Other.Dense)
+      return false;
+    auto Close = [Tol](double A, double B) {
+      double Scale = std::fmax(1.0, std::fmax(std::fabs(A), std::fabs(B)));
+      return std::fabs(A - B) <= Tol * Scale;
+    };
+    for (const auto &[T, V] : Data)
+      if (!Close(static_cast<double>(V),
+                 static_cast<double>(Other.at(T))))
+        return false;
+    for (const auto &[T, V] : Other.Data)
+      if (!Close(static_cast<double>(V), static_cast<double>(at(T))))
+        return false;
+    return true;
+  }
+
+  /// Renders entries for diagnostics: "(i, j) -> v" lines.
+  std::string toString() const {
+    std::string Out = "shape " + shapeToString(Full);
+    if (!Dense.empty())
+      Out += " dense " + shapeToString(Dense);
+    Out += "\n";
+    for (const auto &[T, V] : Data) {
+      Out += "  (";
+      for (size_t I = 0; I < T.size(); ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += std::to_string(T[I]);
+      }
+      Out += ") -> " + std::to_string(V) + "\n";
+    }
+    return Out;
+  }
+
+private:
+  Shape Full;
+  Shape Dense;
+  Shape Finite;
+  std::map<Tuple, Value> Data;
+};
+
+} // namespace etch
+
+#endif // ETCH_CORE_KRELATION_H

@@ -1,0 +1,107 @@
+//===- core/semiring.h - Semiring scalar structures ------------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semirings (Definition 4.5). A semiring `K` supplies `(+, 0)` as a
+/// commutative monoid, `(*, 1)` as a monoid, distributivity, and the
+/// absorption law `0 * x = 0`. Contraction expressions are parameterised by
+/// the semiring: ordinary arithmetic gives tensors, booleans give relations,
+/// (min, +) gives shortest paths, and counting gives bags. Everything in the
+/// repository that combines values goes through one of these trait structs,
+/// so swapping the scalar algebra never touches iteration code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_CORE_SEMIRING_H
+#define ETCH_CORE_SEMIRING_H
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace etch {
+
+/// The interface every semiring trait struct satisfies.
+template <typename S>
+concept Semiring = requires(typename S::Value A, typename S::Value B) {
+  typename S::Value;
+  { S::zero() } -> std::same_as<typename S::Value>;
+  { S::one() } -> std::same_as<typename S::Value>;
+  { S::add(A, B) } -> std::same_as<typename S::Value>;
+  { S::mul(A, B) } -> std::same_as<typename S::Value>;
+  { S::isZero(A) } -> std::same_as<bool>;
+};
+
+/// Real arithmetic over double: the scalar algebra of sparse tensor algebra.
+struct F64Semiring {
+  using Value = double;
+  static Value zero() { return 0.0; }
+  static Value one() { return 1.0; }
+  static Value add(Value A, Value B) { return A + B; }
+  static Value mul(Value A, Value B) { return A * B; }
+  static bool isZero(Value A) { return A == 0.0; }
+  static std::string name() { return "f64"; }
+};
+
+/// Integer arithmetic: multisets / bags (a function I_S -> N counts
+/// multiplicities).
+struct I64Semiring {
+  using Value = int64_t;
+  static Value zero() { return 0; }
+  static Value one() { return 1; }
+  static Value add(Value A, Value B) { return A + B; }
+  static Value mul(Value A, Value B) { return A * B; }
+  static bool isZero(Value A) { return A == 0; }
+  static std::string name() { return "i64"; }
+};
+
+/// Booleans with (or, and): classical relations. A relation is an indicator
+/// function on a Cartesian product of index sets (Section 4.3).
+struct BoolSemiring {
+  using Value = bool;
+  static Value zero() { return false; }
+  static Value one() { return true; }
+  static Value add(Value A, Value B) { return A || B; }
+  static Value mul(Value A, Value B) { return A && B; }
+  static bool isZero(Value A) { return !A; }
+  static std::string name() { return "bool"; }
+};
+
+/// The tropical (min, +) semiring over double, used by the paper's
+/// evaluation for shortest-path style aggregates. Zero is +infinity.
+struct MinPlusSemiring {
+  using Value = double;
+  static Value zero() { return std::numeric_limits<double>::infinity(); }
+  static Value one() { return 0.0; }
+  static Value add(Value A, Value B) { return A < B ? A : B; }
+  static Value mul(Value A, Value B) { return A + B; }
+  static bool isZero(Value A) {
+    return A == std::numeric_limits<double>::infinity();
+  }
+  static std::string name() { return "minplus"; }
+};
+
+/// (max, *) over non-negative doubles: Viterbi-style most-probable-path.
+struct MaxTimesSemiring {
+  using Value = double;
+  static Value zero() { return 0.0; }
+  static Value one() { return 1.0; }
+  static Value add(Value A, Value B) { return A > B ? A : B; }
+  static Value mul(Value A, Value B) { return A * B; }
+  static bool isZero(Value A) { return A == 0.0; }
+  static std::string name() { return "maxtimes"; }
+};
+
+static_assert(Semiring<F64Semiring>);
+static_assert(Semiring<I64Semiring>);
+static_assert(Semiring<BoolSemiring>);
+static_assert(Semiring<MinPlusSemiring>);
+static_assert(Semiring<MaxTimesSemiring>);
+
+} // namespace etch
+
+#endif // ETCH_CORE_SEMIRING_H

@@ -1,0 +1,115 @@
+//===- formats/csf.h - Compressed sparse fiber (order-3) -------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A three-level compressed sparse fiber (CSF) tensor: compressed at every
+/// level, the format TACO and SPLATT use for higher-order tensors and the
+/// input format of the MTTKRP benchmark (Figure 17).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_FORMATS_CSF_H
+#define ETCH_FORMATS_CSF_H
+
+#include "core/krelation.h"
+#include "streams/primitives.h"
+#include "support/assert.h"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+namespace etch {
+
+/// A coordinate-form order-3 entry.
+template <typename V> struct Coo3Entry {
+  Idx I, J, K;
+  V Val;
+};
+
+/// CSF for an order-3 tensor T(i, j, k).
+template <typename V> struct CsfTensor3 {
+  Idx DimI = 0, DimJ = 0, DimK = 0;
+  std::vector<Idx> Crd0;    // Distinct i values.
+  std::vector<size_t> Pos0; // Into Crd1; length Crd0.size() + 1.
+  std::vector<Idx> Crd1;    // j values per i-fiber.
+  std::vector<size_t> Pos1; // Into Crd2; length Crd1.size() + 1.
+  std::vector<Idx> Crd2;    // k values per (i, j)-fiber.
+  std::vector<V> Val;
+
+  size_t nnz() const { return Val.size(); }
+
+  static CsfTensor3 fromCoo(Idx DimI, Idx DimJ, Idx DimK,
+                            std::vector<Coo3Entry<V>> Coo) {
+    std::sort(Coo.begin(), Coo.end(), [](const auto &A, const auto &B) {
+      return std::tie(A.I, A.J, A.K) < std::tie(B.I, B.J, B.K);
+    });
+    CsfTensor3 T;
+    T.DimI = DimI;
+    T.DimJ = DimJ;
+    T.DimK = DimK;
+    T.Pos0.push_back(0);
+    for (size_t P = 0; P < Coo.size();) {
+      ETCH_ASSERT(Coo[P].I >= 0 && Coo[P].I < DimI, "i out of range");
+      T.Crd0.push_back(Coo[P].I);
+      Idx I = Coo[P].I;
+      while (P < Coo.size() && Coo[P].I == I) {
+        Idx J = Coo[P].J;
+        ETCH_ASSERT(J >= 0 && J < DimJ, "j out of range");
+        T.Crd1.push_back(J);
+        T.Pos1.push_back(T.Crd2.size());
+        while (P < Coo.size() && Coo[P].I == I && Coo[P].J == J) {
+          ETCH_ASSERT(Coo[P].K >= 0 && Coo[P].K < DimK, "k out of range");
+          ETCH_ASSERT(T.Crd2.size() == T.Pos1.back() ||
+                          T.Crd2.back() != Coo[P].K,
+                      "duplicate coordinate");
+          T.Crd2.push_back(Coo[P].K);
+          T.Val.push_back(Coo[P].Val);
+          ++P;
+        }
+      }
+      T.Pos0.push_back(T.Crd1.size());
+    }
+    T.Pos1.push_back(T.Crd2.size());
+    return T;
+  }
+
+  /// A nested stream `i ->s j ->s k ->s V`, compressed at every level.
+  template <SearchPolicy P = SearchPolicy::Linear> auto stream() const {
+    const Idx *Crd1P = Crd1.data();
+    const Idx *Crd2P = Crd2.data();
+    const V *ValP = Val.data();
+    const size_t *Pos0P = Pos0.data();
+    const size_t *Pos1P = Pos1.data();
+    auto Fiber = [Crd1P, Crd2P, ValP, Pos0P, Pos1P](size_t QI) {
+      auto Row = [Crd2P, ValP, Pos1P](size_t QJ) {
+        auto Leaf = [ValP](size_t QK) { return ValP[QK]; };
+        return SparseStream<decltype(Leaf), P>(Crd2P, Pos1P[QJ],
+                                               Pos1P[QJ + 1], Leaf);
+      };
+      return SparseStream<decltype(Row), P>(Crd1P, Pos0P[QI], Pos0P[QI + 1],
+                                            Row);
+    };
+    return SparseStream<decltype(Fiber), P>(Crd0.data(), 0, Crd0.size(),
+                                            Fiber);
+  }
+
+  template <Semiring S>
+  KRelation<S> toKRelation(Attr AI, Attr AJ, Attr AK) const {
+    ETCH_ASSERT(AI < AJ && AJ < AK, "attribute order must match levels");
+    KRelation<S> Rel(Shape{AI, AJ, AK});
+    for (size_t QI = 0; QI < Crd0.size(); ++QI)
+      for (size_t QJ = Pos0[QI]; QJ < Pos0[QI + 1]; ++QJ)
+        for (size_t QK = Pos1[QJ]; QK < Pos1[QJ + 1]; ++QK)
+          Rel.insert({Crd0[QI], Crd1[QJ], Crd2[QK]}, Val[QK]);
+    Rel.pruneZeros();
+    return Rel;
+  }
+};
+
+} // namespace etch
+
+#endif // ETCH_FORMATS_CSF_H

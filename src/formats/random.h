@@ -1,0 +1,85 @@
+//===- formats/random.h - Synthetic sparse data generators -----*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic tensor generators, mirroring the paper's use of
+/// synthetic matrices swept across sparsity levels (Section 8.1: "we use
+/// synthetic matrices ... as they let us sweep over different sparsity
+/// percentages"). Values are drawn from [0.5, 1.5] so products never
+/// cancel to zero by accident.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_FORMATS_RANDOM_H
+#define ETCH_FORMATS_RANDOM_H
+
+#include "formats/csf.h"
+#include "formats/matrices.h"
+#include "formats/vectors.h"
+#include "support/rng.h"
+
+namespace etch {
+
+/// A non-zero value in [0.5, 1.5].
+inline double randomValue(Rng &R) { return 0.5 + R.nextDouble(); }
+
+/// A sparse vector of dimension \p N with exactly \p Nnz entries.
+inline SparseVector<double> randomSparseVector(Rng &R, Idx N, size_t Nnz) {
+  SparseVector<double> V(N);
+  for (uint64_t C : R.sampleDistinctSorted(Nnz, static_cast<uint64_t>(N)))
+    V.push(static_cast<Idx>(C), randomValue(R));
+  return V;
+}
+
+/// COO entries for a Rows x Cols matrix with exactly \p Nnz distinct
+/// positions.
+inline std::vector<CooEntry<double>> randomCoo(Rng &R, Idx Rows, Idx Cols,
+                                               size_t Nnz) {
+  std::vector<CooEntry<double>> Coo;
+  Coo.reserve(Nnz);
+  uint64_t Universe = static_cast<uint64_t>(Rows) * Cols;
+  for (uint64_t C : R.sampleDistinctSorted(Nnz, Universe))
+    Coo.push_back({static_cast<Idx>(C / Cols), static_cast<Idx>(C % Cols),
+                   randomValue(R)});
+  return Coo;
+}
+
+inline CsrMatrix<double> randomCsr(Rng &R, Idx Rows, Idx Cols, size_t Nnz) {
+  return CsrMatrix<double>::fromCoo(Rows, Cols, randomCoo(R, Rows, Cols, Nnz));
+}
+
+inline DcsrMatrix<double> randomDcsr(Rng &R, Idx Rows, Idx Cols, size_t Nnz) {
+  return DcsrMatrix<double>::fromCoo(Rows, Cols,
+                                     randomCoo(R, Rows, Cols, Nnz));
+}
+
+/// An order-3 CSF tensor with exactly \p Nnz distinct coordinates.
+inline CsfTensor3<double> randomCsf3(Rng &R, Idx DimI, Idx DimJ, Idx DimK,
+                                     size_t Nnz) {
+  std::vector<Coo3Entry<double>> Coo;
+  Coo.reserve(Nnz);
+  uint64_t Universe =
+      static_cast<uint64_t>(DimI) * DimJ * static_cast<uint64_t>(DimK);
+  for (uint64_t C : R.sampleDistinctSorted(Nnz, Universe)) {
+    Idx K = static_cast<Idx>(C % DimK);
+    Idx J = static_cast<Idx>((C / DimK) % DimJ);
+    Idx I = static_cast<Idx>(C / (static_cast<uint64_t>(DimK) * DimJ));
+    Coo.push_back({I, J, K, randomValue(R)});
+  }
+  return CsfTensor3<double>::fromCoo(DimI, DimJ, DimK, std::move(Coo));
+}
+
+/// A dense vector with uniform values in [0.5, 1.5].
+inline DenseVector<double> randomDenseVector(Rng &R, Idx N) {
+  DenseVector<double> V(N);
+  for (Idx I = 0; I < N; ++I)
+    V.Val[static_cast<size_t>(I)] = randomValue(R);
+  return V;
+}
+
+} // namespace etch
+
+#endif // ETCH_FORMATS_RANDOM_H

@@ -1,0 +1,78 @@
+//===- formats/vectors.h - Dense and sparse vector storage -----*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owning storage for one-dimensional tensors in the two level formats of
+/// Example 5.2: dense (a value per index) and compressed (parallel sorted
+/// coordinate / value arrays). Each exposes `stream()` accessors returning
+/// indexed-stream cursors over its data; the compressed format offers every
+/// SearchPolicy so benchmarks can ablate the skip implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_FORMATS_VECTORS_H
+#define ETCH_FORMATS_VECTORS_H
+
+#include "core/krelation.h"
+#include "streams/primitives.h"
+#include "support/assert.h"
+
+#include <vector>
+
+namespace etch {
+
+/// A dense vector of length Size.
+template <typename V> struct DenseVector {
+  Idx Size = 0;
+  std::vector<V> Val;
+
+  explicit DenseVector(Idx Size = 0, V Init = V())
+      : Size(Size), Val(static_cast<size_t>(Size), Init) {}
+
+  /// A stream over all Size entries (zeros included).
+  auto stream() const { return denseVecStream(Val.data(), Size); }
+};
+
+/// A compressed (sparse) vector: strictly increasing coordinates with their
+/// values; Size records the nominal dimension.
+template <typename V> struct SparseVector {
+  Idx Size = 0;
+  std::vector<Idx> Crd;
+  std::vector<V> Val;
+
+  SparseVector() = default;
+  explicit SparseVector(Idx Size) : Size(Size) {}
+
+  size_t nnz() const { return Crd.size(); }
+
+  /// Appends an entry; coordinates must arrive strictly increasing.
+  void push(Idx I, V X) {
+    ETCH_ASSERT(Crd.empty() || I > Crd.back(),
+                "sparse vector coordinates must be strictly increasing");
+    ETCH_ASSERT(I >= 0 && I < Size, "coordinate out of range");
+    Crd.push_back(I);
+    Val.push_back(X);
+  }
+
+  /// A stream with the given skip policy (Example 5.2's `skip`; binary /
+  /// galloping search make long skips logarithmic).
+  template <SearchPolicy P = SearchPolicy::Linear> auto stream() const {
+    return sparseVecStream<V, P>(Crd.data(), Val.data(), Crd.size());
+  }
+
+  /// The vector as a K-relation of shape {A} (test oracle form).
+  template <Semiring S> KRelation<S> toKRelation(Attr A) const {
+    KRelation<S> R(Shape{A});
+    for (size_t P = 0; P < Crd.size(); ++P)
+      R.insert({Crd[P]}, Val[P]);
+    R.pruneZeros();
+    return R;
+  }
+};
+
+} // namespace etch
+
+#endif // ETCH_FORMATS_VECTORS_H

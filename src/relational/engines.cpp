@@ -1,0 +1,103 @@
+//===- relational/engines.cpp - Pairwise baseline query engines ----------===//
+
+#include "relational/engines.h"
+
+#include "support/assert.h"
+
+#include <algorithm>
+#include <bit>
+
+using namespace etch;
+
+//===----------------------------------------------------------------------===//
+// HashIndex
+//===----------------------------------------------------------------------===//
+
+HashIndex::HashIndex(std::span<const Idx> Keys) : Keys(Keys) {
+  size_t Buckets = std::bit_ceil(std::max<size_t>(Keys.size() * 2, 16));
+  Shift = 64 - std::countr_zero(Buckets);
+  Heads.assign(Buckets, -1);
+  Next.assign(Keys.size(), -1);
+  for (size_t I = 0; I < Keys.size(); ++I) {
+    size_t B = bucketOf(Keys[I]);
+    Next[I] = Heads[B];
+    Heads[B] = static_cast<int32_t>(I);
+  }
+}
+
+void HashIndex::probe(Idx Key, std::vector<RowId> &Out) const {
+  for (int32_t I = Heads[bucketOf(Key)]; I >= 0; I = Next[static_cast<size_t>(I)])
+    if (Keys[static_cast<size_t>(I)] == Key)
+      Out.push_back(static_cast<RowId>(I));
+}
+
+int64_t HashIndex::probeOne(Idx Key) const {
+  for (int32_t I = Heads[bucketOf(Key)]; I >= 0; I = Next[static_cast<size_t>(I)])
+    if (Keys[static_cast<size_t>(I)] == Key)
+      return I;
+  return -1;
+}
+
+//===----------------------------------------------------------------------===//
+// hashJoin / gather
+//===----------------------------------------------------------------------===//
+
+JoinPairs etch::hashJoin(std::span<const Idx> BuildKeys,
+                         std::span<const Idx> ProbeKeys,
+                         std::span<const RowId> ProbeSel) {
+  HashIndex H(BuildKeys);
+  JoinPairs Out;
+  std::vector<RowId> Matches;
+  auto probeRow = [&](RowId P) {
+    Matches.clear();
+    H.probe(ProbeKeys[P], Matches);
+    for (RowId B : Matches) {
+      Out.Left.push_back(B);
+      Out.Right.push_back(P);
+    }
+  };
+  if (ProbeSel.empty()) {
+    for (size_t P = 0; P < ProbeKeys.size(); ++P)
+      probeRow(static_cast<RowId>(P));
+  } else {
+    for (RowId P : ProbeSel)
+      probeRow(P);
+  }
+  return Out;
+}
+
+std::vector<Idx> etch::gather(std::span<const Idx> Column,
+                              std::span<const RowId> Sel) {
+  std::vector<Idx> Out;
+  Out.reserve(Sel.size());
+  for (RowId R : Sel)
+    Out.push_back(Column[R]);
+  return Out;
+}
+
+std::vector<double> etch::gather(std::span<const double> Column,
+                                 std::span<const RowId> Sel) {
+  std::vector<double> Out;
+  Out.reserve(Sel.size());
+  for (RowId R : Sel)
+    Out.push_back(Column[R]);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// SortedIndex
+//===----------------------------------------------------------------------===//
+
+SortedIndex::SortedIndex(std::span<const Idx> Keys) {
+  Entries.reserve(Keys.size());
+  for (size_t I = 0; I < Keys.size(); ++I)
+    Entries.emplace_back(Keys[I], static_cast<RowId>(I));
+  std::sort(Entries.begin(), Entries.end());
+}
+
+size_t SortedIndex::lowerBound(Idx Key) const {
+  return static_cast<size_t>(
+      std::lower_bound(Entries.begin(), Entries.end(),
+                       std::make_pair(Key, RowId(0))) -
+      Entries.begin());
+}

@@ -1,0 +1,73 @@
+//===- relational/prepared.h - Pre-built query structures ------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Definitions of the opaque Prepared structs from queries.h: the physical
+/// structures each engine gets to build before the timed region, per the
+/// paper's methodology (data loaded, indexes with Etch's column ordering
+/// pre-created). Internal to the relational library and the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_RELATIONAL_PREPARED_H
+#define ETCH_RELATIONAL_PREPARED_H
+
+#include "relational/engines.h"
+#include "relational/queries.h"
+#include "relational/trie.h"
+
+namespace etch {
+
+struct Q5Prepared {
+  // Fused side, [custkey, orderkey, suppkey] column order. The tries hold
+  // *base* relations only — the date window, region filter, and nation
+  // equality evaluate fused, inside the query loops, as functional lookups
+  // / boolean predicates (Etch's user-defined operators). orderkey and
+  // custkey are dense integers, so the dense-pointer layout of Example 2.2
+  // applies to lineitem's order level.
+  Trie<2, double> Ord; // (custkey, orderkey), all orders
+  // lineitem (orderkey, suppkey) -> revenue, dense order level:
+  // LiPos[o]..LiPos[o+1) of (LiS, LiRev).
+  std::vector<size_t> LiPos;
+  std::vector<Idx> LiS;
+  std::vector<double> LiRev;
+  // Row-store side: B-tree-like indexes.
+  SortedIndex LiByOrder;
+  SortedIndex SuppByKey;
+};
+
+/// Lineitem leaf payload for Q9: partial revenue and quantity sums.
+struct Q9LiAgg {
+  double Rev = 0.0;
+  double Qty = 0.0;
+};
+
+struct Q9Prepared {
+  // Fused side: [partkey, suppkey, orderkey] column order, so the very
+  // selective green(p) predicate — evaluated fused as a boolean-valued
+  // stream, exactly the paper's Q9 encoding of substring matching — prunes
+  // whole (s, o) subtrees at the outermost level, and each trie is
+  // traversed exactly once (the GenericJoin ordering).
+  Trie<3, Q9LiAgg> Line; // (partkey, suppkey, orderkey)
+  Trie<2, double> Ps; // (partkey, suppkey) -> supplycost
+  // Row-store side.
+  SortedIndex PartByKey;
+  SortedIndex PsByKey;
+  SortedIndex SuppByKey;
+};
+
+struct TrianglePrepared {
+  // Fused side: tries in [a, b] / [b, c] / [a, c] order.
+  Trie<2, int64_t> R, S, T;
+  // Row-store side.
+  SortedIndex SByB;
+  SortedIndex TByCA;
+  Idx MaxA; ///< Composite-key stride for T's (c, a) index.
+};
+
+} // namespace etch
+
+#endif // ETCH_RELATIONAL_PREPARED_H

@@ -1,0 +1,201 @@
+//===- relational/queries_q5.cpp - TPC-H Q5 on three engines -------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Q5 as a contraction expression (the manual translation of Section 8.2):
+//
+//   rev(n) = Σ_c Σ_o Σ_s  asia(n) · customer(n,c) · orders(c,o)
+//                        · lineitem(o,s) · supplier(n,s)
+//
+// with orders pre-filtered to the 1994 date window (selection pushdown)
+// and the region join folded into the per-nation indicator asia(n) — the
+// kind of choice the paper notes is "analogous to those made by a query
+// optimizer". Column order: nation < custkey < orderkey < suppkey.
+//
+//===----------------------------------------------------------------------===//
+
+#include "relational/prepared.h"
+#include "streams/combinators.h"
+#include "streams/eval.h"
+
+using namespace etch;
+
+//===----------------------------------------------------------------------===//
+// Preparation (index building; outside the timed region)
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Q5Prepared> etch::q5Prepare(const TpchDb &Db) {
+  // The orders trie holds every order: filters run fused at query time.
+  std::vector<std::array<Idx, 2>> OrdKeys;
+  OrdKeys.reserve(Db.numOrders());
+  for (size_t O = 0; O < Db.numOrders(); ++O)
+    OrdKeys.push_back({Db.OrdCust[O], static_cast<Idx>(O)});
+
+  // lineitem with a dense order level: counting sort into slices.
+  std::vector<size_t> LiPos(Db.numOrders() + 1, 0);
+  for (size_t L = 0; L < Db.numLineitems(); ++L)
+    ++LiPos[static_cast<size_t>(Db.LiOrder[L]) + 1];
+  for (size_t O = 0; O < Db.numOrders(); ++O)
+    LiPos[O + 1] += LiPos[O];
+  std::vector<Idx> LiS(Db.numLineitems());
+  std::vector<double> LiRev(Db.numLineitems());
+  {
+    std::vector<size_t> Cursor(LiPos.begin(), LiPos.end() - 1);
+    for (size_t L = 0; L < Db.numLineitems(); ++L) {
+      size_t Slot = Cursor[static_cast<size_t>(Db.LiOrder[L])]++;
+      LiS[Slot] = Db.LiSupp[L];
+      LiRev[Slot] = Db.LiExtendedPrice[L] * (1.0 - Db.LiDiscount[L]);
+    }
+  }
+
+  std::vector<Idx> SuppRowKeys(Db.numSuppliers());
+  for (size_t S = 0; S < Db.numSuppliers(); ++S)
+    SuppRowKeys[S] = static_cast<Idx>(S);
+
+  return std::unique_ptr<Q5Prepared>(new Q5Prepared{
+      Trie<2, double>::fromKeys(std::move(OrdKeys), 1.0),
+      std::move(LiPos), std::move(LiS), std::move(LiRev),
+      SortedIndex(Db.LiOrder), SortedIndex(SuppRowKeys)});
+}
+
+//===----------------------------------------------------------------------===//
+// Fused (indexed streams)
+//===----------------------------------------------------------------------===//
+
+Q5Result etch::q5Fused(const TpchDb &Db, const Q5Prepared &P) {
+  // Column order [c, o, s] over base tries. The region predicate — a
+  // boolean-valued stream over the customer level — prunes whole customers
+  // before their orders are touched (hierarchical iteration); the date
+  // predicate prunes orders before their lineitems; the supplier join is a
+  // functional lookup with the residual predicate s_nation == c_nation.
+  Q5Result Out{};
+  forEach(P.Ord.stream(), [&](Idx C, auto OLevel) {
+    Idx N = Db.CustNation[static_cast<size_t>(C)];
+    if (Db.NationRegion[static_cast<size_t>(N)] != TpchDb::asiaRegion())
+      return;
+    double &Acc = Out[static_cast<size_t>(N)];
+    forEach(std::move(OLevel), [&](Idx O, double) {
+      if (Db.OrdDate[static_cast<size_t>(O)] < TpchDb::q5DateLo() ||
+          Db.OrdDate[static_cast<size_t>(O)] >= TpchDb::q5DateHi())
+        return;
+      for (size_t Q = P.LiPos[static_cast<size_t>(O)];
+           Q < P.LiPos[static_cast<size_t>(O) + 1]; ++Q)
+        if (Db.SuppNation[static_cast<size_t>(P.LiS[Q])] == N)
+          Acc += P.LiRev[Q];
+    });
+  });
+  return Out;
+}
+
+Q5Result etch::q5Fused(const TpchDb &Db) {
+  return q5Fused(Db, *q5Prepare(Db));
+}
+
+//===----------------------------------------------------------------------===//
+// Columnar (pairwise vectorised hash joins, materialised intermediates)
+//===----------------------------------------------------------------------===//
+
+Q5Result etch::q5Columnar(const TpchDb &Db) {
+  // Plan: σ_date(orders) ⋈ customer ⋈ lineitem ⋈ supplier, then the
+  // n_nation = s_nation filter and the ASIA filter, group-by nation.
+  // Every join materialises gathered key columns (the DuckDB model).
+  std::vector<RowId> OrdSel = filterRows(Db.OrdDate, [](Idx D) {
+    return D >= TpchDb::q5DateLo() && D < TpchDb::q5DateHi();
+  });
+
+  // orders ⋈ customer on custkey. Customer keys are their row ids, so the
+  // "join" gathers c_nationkey through a hash table, as an engine would.
+  std::vector<Idx> CustKeys(Db.numCustomers());
+  for (size_t C = 0; C < Db.numCustomers(); ++C)
+    CustKeys[C] = static_cast<Idx>(C);
+  JoinPairs OC = hashJoin(CustKeys, Db.OrdCust, OrdSel);
+  // Materialise: per matched order row, its orderkey and customer nation.
+  // (With a probe selection, JoinPairs.Right already holds actual row ids.)
+  const std::vector<RowId> &OrdRows = OC.Right;
+  std::vector<Idx> OrdKey(OrdRows.size());
+  for (size_t I = 0; I < OrdRows.size(); ++I)
+    OrdKey[I] = static_cast<Idx>(OrdRows[I]);
+  std::vector<Idx> OrdCustNation = gather(Db.CustNation, OC.Left);
+
+  // lineitem ⋈ (orders ⋈ customer) on orderkey.
+  JoinPairs LO = hashJoin(OrdKey, Db.LiOrder);
+  std::vector<Idx> LiSupp2 = gather(Db.LiSupp, LO.Right);
+  std::vector<Idx> LiCustNation;
+  LiCustNation.reserve(LO.size());
+  for (size_t I = 0; I < LO.size(); ++I)
+    LiCustNation.push_back(OrdCustNation[LO.Left[I]]);
+  std::vector<double> LiRevenue;
+  LiRevenue.reserve(LO.size());
+  for (size_t I = 0; I < LO.size(); ++I) {
+    RowId L = LO.Right[I];
+    LiRevenue.push_back(Db.LiExtendedPrice[L] * (1.0 - Db.LiDiscount[L]));
+  }
+
+  // ⋈ supplier on suppkey, then filter s_nation == c_nation and ASIA.
+  Q5Result Out{};
+  for (size_t I = 0; I < LiSupp2.size(); ++I) {
+    Idx SNat = Db.SuppNation[static_cast<size_t>(LiSupp2[I])];
+    if (SNat != LiCustNation[I])
+      continue;
+    if (Db.NationRegion[static_cast<size_t>(SNat)] != TpchDb::asiaRegion())
+      continue;
+    Out[static_cast<size_t>(SNat)] += LiRevenue[I];
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Row store (tuple-at-a-time index nested loops)
+//===----------------------------------------------------------------------===//
+
+Q5Result etch::q5RowStore(const TpchDb &Db, const Q5Prepared &P) {
+  // SQLite-style plan: scan orders; per order, probe the customer table,
+  // then the lineitem-by-orderkey B-tree; per lineitem, probe the supplier
+  // B-tree; evaluate the residual predicates row by row.
+  Q5Result Out{};
+  for (size_t O = 0; O < Db.numOrders(); ++O) {
+    if (Db.OrdDate[O] < TpchDb::q5DateLo() ||
+        Db.OrdDate[O] >= TpchDb::q5DateHi())
+      continue;
+    Idx CNat = Db.CustNation[static_cast<size_t>(Db.OrdCust[O])];
+    if (Db.NationRegion[static_cast<size_t>(CNat)] != TpchDb::asiaRegion())
+      continue;
+    P.LiByOrder.scanEqual(static_cast<Idx>(O), [&](RowId L) {
+      P.SuppByKey.scanEqual(Db.LiSupp[L], [&](RowId S) {
+        if (Db.SuppNation[S] != CNat)
+          return;
+        Out[static_cast<size_t>(CNat)] +=
+            Db.LiExtendedPrice[L] * (1.0 - Db.LiDiscount[L]);
+      });
+    });
+  }
+  return Out;
+}
+
+Q5Result etch::q5RowStore(const TpchDb &Db) {
+  return q5RowStore(Db, *q5Prepare(Db));
+}
+
+//===----------------------------------------------------------------------===//
+// Reference oracle
+//===----------------------------------------------------------------------===//
+
+Q5Result etch::q5Reference(const TpchDb &Db) {
+  Q5Result Out{};
+  for (size_t L = 0; L < Db.numLineitems(); ++L) {
+    size_t O = static_cast<size_t>(Db.LiOrder[L]);
+    if (Db.OrdDate[O] < TpchDb::q5DateLo() ||
+        Db.OrdDate[O] >= TpchDb::q5DateHi())
+      continue;
+    Idx CNat = Db.CustNation[static_cast<size_t>(Db.OrdCust[O])];
+    Idx SNat = Db.SuppNation[static_cast<size_t>(Db.LiSupp[L])];
+    if (CNat != SNat ||
+        Db.NationRegion[static_cast<size_t>(SNat)] != TpchDb::asiaRegion())
+      continue;
+    Out[static_cast<size_t>(SNat)] +=
+        Db.LiExtendedPrice[L] * (1.0 - Db.LiDiscount[L]);
+  }
+  return Out;
+}

@@ -1,0 +1,231 @@
+//===- relational/queries_q9.cpp - TPC-H Q9 on three engines -------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Q9 as a contraction expression:
+//
+//   profit(n, y) = Σ_o Σ_p Σ_s  lineitem(o,p,s) · green(p) · partsupp(p,s)
+//                             · supplier(s,n) · year(o,y)
+//
+// Column order: orderkey < partkey < suppkey. The supplier -> nation and
+// order -> year maps are functional, so they lower to lookups on the
+// group-by path (a user-defined function in Etch terms — the paper's Q9
+// uses exactly such custom operators for its date handling). The lineitem
+// payload carries (Σ extendedprice·(1-discount), Σ quantity) so the profit
+// `rev - supplycost · qty` stays linear under duplicate-key merging.
+//
+//===----------------------------------------------------------------------===//
+
+#include "relational/prepared.h"
+#include "streams/combinators.h"
+#include "streams/eval.h"
+
+#include <algorithm>
+
+using namespace etch;
+
+namespace {
+
+size_t cell(Idx Nation, int Year) {
+  return static_cast<size_t>(Nation) * 7 + static_cast<size_t>(Year - 1992);
+}
+
+/// Leaf combiner for lineitem ⋈ partsupp: fires at the s level, where the
+/// left side still has an order substream below it — scale that substream
+/// by the matched supplycost (profit = rev - cost * qty, linear in the
+/// merged payload).
+struct ProfitCombine {
+  template <typename OStream>
+  auto operator()(OStream Orders, double Cost) const {
+    return mapStream(std::move(Orders), [Cost](const Q9LiAgg &A) {
+      return A.Rev - Cost * A.Qty;
+    });
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Preparation
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Q9Prepared> etch::q9Prepare(const TpchDb &Db) {
+  std::vector<std::pair<std::array<Idx, 3>, Q9LiAgg>> LiRows;
+  LiRows.reserve(Db.numLineitems());
+  for (size_t L = 0; L < Db.numLineitems(); ++L)
+    LiRows.push_back(
+        {{Db.LiPart[L], Db.LiSupp[L], Db.LiOrder[L]},
+         {Db.LiExtendedPrice[L] * (1.0 - Db.LiDiscount[L]),
+          Db.LiQuantity[L]}});
+
+  std::vector<std::pair<std::array<Idx, 2>, double>> PsRows;
+  PsRows.reserve(Db.PsPart.size());
+  for (size_t I = 0; I < Db.PsPart.size(); ++I)
+    PsRows.push_back({{Db.PsPart[I], Db.PsSupp[I]}, Db.PsSupplyCost[I]});
+
+  const Idx NS = static_cast<Idx>(Db.numSuppliers());
+  std::vector<Idx> PartKeys(Db.numParts());
+  for (size_t P = 0; P < Db.numParts(); ++P)
+    PartKeys[P] = static_cast<Idx>(P);
+  std::vector<Idx> PsKey(Db.PsPart.size());
+  for (size_t I = 0; I < Db.PsPart.size(); ++I)
+    PsKey[I] = Db.PsPart[I] * NS + Db.PsSupp[I];
+  std::vector<Idx> SuppKeys(Db.numSuppliers());
+  for (size_t S = 0; S < Db.numSuppliers(); ++S)
+    SuppKeys[S] = static_cast<Idx>(S);
+
+  return std::unique_ptr<Q9Prepared>(new Q9Prepared{
+      Trie<3, Q9LiAgg>::fromRows(std::move(LiRows),
+                                 [](Q9LiAgg &A, const Q9LiAgg &B) {
+                                   A.Rev += B.Rev;
+                                   A.Qty += B.Qty;
+                                 }),
+      Trie<2, double>::fromRows(std::move(PsRows), [](double &, double) {}),
+      SortedIndex(PartKeys), SortedIndex(PsKey), SortedIndex(SuppKeys)});
+}
+
+//===----------------------------------------------------------------------===//
+// Fused (indexed streams)
+//===----------------------------------------------------------------------===//
+
+Q9Result etch::q9Fused(const TpchDb &Db, const Q9Prepared &P) {
+  // Column order [p, s, o]: the green(p) predicate — a boolean-valued
+  // stream, the paper's Q9 encoding of substring matching — prunes whole
+  // (s, o) subtrees at the outermost level; partsupp joins at (p, s); and
+  // every trie is traversed exactly once.
+  auto Profit = joinStreams(ProfitCombine{}, P.Line.stream(),
+                            P.Ps.stream());
+
+  Q9Result Out{};
+  forEach(std::move(Profit), [&](Idx Part, auto SLevel) {
+    if (!Db.PartGreen[static_cast<size_t>(Part)])
+      return;
+    forEach(std::move(SLevel), [&](Idx S, auto OLevel) {
+      Idx Nation = Db.SuppNation[static_cast<size_t>(S)];
+      forEach(std::move(OLevel), [&](Idx O, double Amount) {
+        int Year = TpchDb::yearOfDate(Db.OrdDate[static_cast<size_t>(O)]);
+        Out[cell(Nation, Year)] += Amount;
+      });
+    });
+  });
+  return Out;
+}
+
+Q9Result etch::q9Fused(const TpchDb &Db) {
+  return q9Fused(Db, *q9Prepare(Db));
+}
+
+//===----------------------------------------------------------------------===//
+// Columnar (pairwise vectorised hash joins)
+//===----------------------------------------------------------------------===//
+
+Q9Result etch::q9Columnar(const TpchDb &Db) {
+  // Plan: σ_green(part) ⋈ lineitem on partkey; ⋈ partsupp on the
+  // composite (partkey, suppkey); then lookups join orders and supplier.
+  std::vector<Idx> GreenParts;
+  for (size_t P = 0; P < Db.numParts(); ++P)
+    if (Db.PartGreen[P])
+      GreenParts.push_back(static_cast<Idx>(P));
+  JoinPairs LP = hashJoin(GreenParts, Db.LiPart);
+
+  // Materialise the surviving lineitem columns.
+  std::vector<Idx> LiOrder2 = gather(Db.LiOrder, LP.Right);
+  std::vector<Idx> LiSupp2 = gather(Db.LiSupp, LP.Right);
+  std::vector<Idx> LiPart2 = gather(Db.LiPart, LP.Right);
+  std::vector<double> LiRev2, LiQty2;
+  LiRev2.reserve(LP.size());
+  LiQty2.reserve(LP.size());
+  for (RowId L : LP.Right) {
+    LiRev2.push_back(Db.LiExtendedPrice[L] * (1.0 - Db.LiDiscount[L]));
+    LiQty2.push_back(Db.LiQuantity[L]);
+  }
+
+  // ⋈ partsupp on composite key partkey * S + suppkey.
+  const Idx NS = static_cast<Idx>(Db.numSuppliers());
+  std::vector<Idx> PsKey(Db.PsPart.size());
+  for (size_t I = 0; I < Db.PsPart.size(); ++I)
+    PsKey[I] = Db.PsPart[I] * NS + Db.PsSupp[I];
+  std::vector<Idx> LiKey(LiPart2.size());
+  for (size_t I = 0; I < LiPart2.size(); ++I)
+    LiKey[I] = LiPart2[I] * NS + LiSupp2[I];
+  JoinPairs LPS = hashJoin(PsKey, LiKey);
+
+  Q9Result Out{};
+  for (size_t I = 0; I < LPS.size(); ++I) {
+    RowId Li = LPS.Right[I];
+    double Profit =
+        LiRev2[Li] - Db.PsSupplyCost[LPS.Left[I]] * LiQty2[Li];
+    Idx S = LiSupp2[Li];
+    int Year = TpchDb::yearOfDate(
+        Db.OrdDate[static_cast<size_t>(LiOrder2[Li])]);
+    Out[cell(Db.SuppNation[static_cast<size_t>(S)], Year)] += Profit;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Row store (tuple-at-a-time index nested loops)
+//===----------------------------------------------------------------------===//
+
+Q9Result etch::q9RowStore(const TpchDb &Db, const Q9Prepared &P) {
+  // Scan lineitem; per tuple probe part, partsupp (composite), orders, and
+  // supplier through B-tree-like indexes.
+  const Idx NS = static_cast<Idx>(Db.numSuppliers());
+  Q9Result Out{};
+  for (size_t L = 0; L < Db.numLineitems(); ++L) {
+    bool Green = false;
+    P.PartByKey.scanEqual(Db.LiPart[L],
+                          [&](RowId Pr) { Green = Db.PartGreen[Pr] != 0; });
+    if (!Green)
+      continue;
+    double Rev = Db.LiExtendedPrice[L] * (1.0 - Db.LiDiscount[L]);
+    int Year = TpchDb::yearOfDate(
+        Db.OrdDate[static_cast<size_t>(Db.LiOrder[L])]);
+    P.PsByKey.scanEqual(Db.LiPart[L] * NS + Db.LiSupp[L], [&](RowId Ps) {
+      double Profit = Rev - Db.PsSupplyCost[Ps] * Db.LiQuantity[L];
+      P.SuppByKey.scanEqual(Db.LiSupp[L], [&](RowId S) {
+        Out[cell(Db.SuppNation[S], Year)] += Profit;
+      });
+    });
+  }
+  return Out;
+}
+
+Q9Result etch::q9RowStore(const TpchDb &Db) {
+  return q9RowStore(Db, *q9Prepare(Db));
+}
+
+//===----------------------------------------------------------------------===//
+// Reference oracle
+//===----------------------------------------------------------------------===//
+
+Q9Result etch::q9Reference(const TpchDb &Db) {
+  const Idx NS = static_cast<Idx>(Db.numSuppliers());
+  // Direct map from composite key to supplycost.
+  std::vector<std::pair<Idx, double>> Ps;
+  Ps.reserve(Db.PsPart.size());
+  for (size_t I = 0; I < Db.PsPart.size(); ++I)
+    Ps.emplace_back(Db.PsPart[I] * NS + Db.PsSupp[I], Db.PsSupplyCost[I]);
+  std::sort(Ps.begin(), Ps.end());
+
+  Q9Result Out{};
+  for (size_t L = 0; L < Db.numLineitems(); ++L) {
+    if (!Db.PartGreen[static_cast<size_t>(Db.LiPart[L])])
+      continue;
+    Idx Key = Db.LiPart[L] * NS + Db.LiSupp[L];
+    auto It = std::lower_bound(Ps.begin(), Ps.end(),
+                               std::make_pair(Key, 0.0));
+    for (; It != Ps.end() && It->first == Key; ++It) {
+      double Profit =
+          Db.LiExtendedPrice[L] * (1.0 - Db.LiDiscount[L]) -
+          It->second * Db.LiQuantity[L];
+      int Year = TpchDb::yearOfDate(
+          Db.OrdDate[static_cast<size_t>(Db.LiOrder[L])]);
+      Out[cell(Db.SuppNation[static_cast<size_t>(Db.LiSupp[L])], Year)] +=
+          Profit;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,95 @@
+//===- relational/tpch.cpp - A deterministic scaled-down TPC-H dbgen -----===//
+
+#include "relational/tpch.h"
+
+#include "support/assert.h"
+
+using namespace etch;
+
+size_t TpchDb::totalRows() const {
+  return RegionName.size() + NationRegion.size() + SuppNation.size() +
+         CustNation.size() + PartGreen.size() + PsPart.size() +
+         OrdCust.size() + LiOrder.size();
+}
+
+TpchDb etch::generateTpch(double ScaleFactor, uint64_t Seed) {
+  ETCH_ASSERT(ScaleFactor > 0, "scale factor must be positive");
+  Rng R(Seed);
+  TpchDb Db;
+
+  auto Scaled = [&](double Base) {
+    auto N = static_cast<size_t>(Base * ScaleFactor);
+    return N < 1 ? size_t(1) : N;
+  };
+
+  // region / nation: fixed small dimension tables (5 regions, 25 nations,
+  // 5 per region — the official layout).
+  Db.RegionName = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+  static const char *const Nations[25] = {
+      "ALGERIA", "ETHIOPIA", "KENYA",   "MOROCCO",   "MOZAMBIQUE",
+      "ARGENTINA", "BRAZIL",  "CANADA", "PERU",      "UNITED STATES",
+      "CHINA",   "INDIA",     "INDONESIA", "JAPAN",  "VIETNAM",
+      "FRANCE",  "GERMANY",   "ROMANIA", "RUSSIA",   "UNITED KINGDOM",
+      "EGYPT",   "IRAN",      "IRAQ",   "JORDAN",    "SAUDI ARABIA"};
+  for (int N = 0; N < 25; ++N) {
+    Db.NationRegion.push_back(N / 5);
+    Db.NationName.push_back(Nations[N]);
+  }
+
+  const size_t NumSupp = Scaled(10'000);
+  const size_t NumCust = Scaled(150'000);
+  const size_t NumPart = Scaled(200'000);
+  const size_t NumOrders = Scaled(1'500'000);
+  const Idx DateRange = 7 * 365;
+
+  Db.SuppNation.reserve(NumSupp);
+  for (size_t I = 0; I < NumSupp; ++I)
+    Db.SuppNation.push_back(static_cast<Idx>(R.nextBelow(25)));
+
+  Db.CustNation.reserve(NumCust);
+  for (size_t I = 0; I < NumCust; ++I)
+    Db.CustNation.push_back(static_cast<Idx>(R.nextBelow(25)));
+
+  // p_name contains one of 92 colour words in 5 slots; P(green) ~ 5.4%.
+  Db.PartGreen.reserve(NumPart);
+  for (size_t I = 0; I < NumPart; ++I)
+    Db.PartGreen.push_back(R.nextBool(0.054) ? 1 : 0);
+
+  // partsupp: each part is stocked by 4 distinct suppliers (the official
+  // s = (p + k*(S/4)) % S pattern keeps them distinct and uniform).
+  Db.PsPart.reserve(NumPart * 4);
+  Db.PsSupp.reserve(NumPart * 4);
+  Db.PsSupplyCost.reserve(NumPart * 4);
+  for (size_t P = 0; P < NumPart; ++P) {
+    for (int K = 0; K < 4; ++K) {
+      size_t S = (P + static_cast<size_t>(K) * (NumSupp / 4 + 1)) % NumSupp;
+      Db.PsPart.push_back(static_cast<Idx>(P));
+      Db.PsSupp.push_back(static_cast<Idx>(S));
+      Db.PsSupplyCost.push_back(1.0 + R.nextDouble() * 999.0);
+    }
+  }
+
+  Db.OrdCust.reserve(NumOrders);
+  Db.OrdDate.reserve(NumOrders);
+  for (size_t I = 0; I < NumOrders; ++I) {
+    Db.OrdCust.push_back(static_cast<Idx>(R.nextBelow(NumCust)));
+    Db.OrdDate.push_back(static_cast<Idx>(R.nextBelow(
+        static_cast<uint64_t>(DateRange))));
+  }
+
+  // lineitem: 1..7 lines per order (average 4 -> ~6M at SF 1). Each line
+  // picks a (part, supplier) pair from partsupp so the Q9 joins all hit.
+  for (size_t O = 0; O < NumOrders; ++O) {
+    int Lines = 1 + static_cast<int>(R.nextBelow(7));
+    for (int L = 0; L < Lines; ++L) {
+      size_t Ps = R.nextBelow(Db.PsPart.size());
+      Db.LiOrder.push_back(static_cast<Idx>(O));
+      Db.LiPart.push_back(Db.PsPart[Ps]);
+      Db.LiSupp.push_back(Db.PsSupp[Ps]);
+      Db.LiQuantity.push_back(1.0 + static_cast<double>(R.nextBelow(50)));
+      Db.LiExtendedPrice.push_back(900.0 + R.nextDouble() * 104000.0);
+      Db.LiDiscount.push_back(static_cast<double>(R.nextBelow(11)) / 100.0);
+    }
+  }
+  return Db;
+}

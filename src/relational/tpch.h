@@ -1,0 +1,94 @@
+//===- relational/tpch.h - A deterministic scaled-down TPC-H dbgen -*-C++-*-=//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-process generator for the TPC-H schema (the data behind
+/// Figure 19), replacing the official dbgen tool: same tables, same
+/// cardinality ratios per scale factor, uniform keys, dictionary-encoded
+/// strings (string payloads are never touched by the queries we reproduce,
+/// only their selective predicates, which we model directly — e.g.
+/// `p_name LIKE '%green%'` becomes a per-part boolean drawn at the official
+/// ~5.4% selectivity). Everything derives deterministically from a seed.
+///
+/// Cardinalities at scale factor SF (per the TPC-H specification):
+///   region 5, nation 25, supplier 10k·SF, customer 150k·SF,
+///   part 200k·SF, partsupp 800k·SF (4 suppliers/part),
+///   orders 1.5M·SF, lineitem ~6M·SF (1..7 lines/order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_RELATIONAL_TPCH_H
+#define ETCH_RELATIONAL_TPCH_H
+
+#include "core/krelation.h" // Idx
+#include "support/rng.h"
+
+#include <string>
+#include <vector>
+
+namespace etch {
+
+/// The TPC-H database as struct-of-array tables. All keys are dense
+/// 0-based integers (dictionary encoding); dates are day numbers from
+/// 1992-01-01 across the 7-year window 1992..1998.
+struct TpchDb {
+  // region(r_regionkey, r_name): 5 rows; region 2 plays "ASIA".
+  std::vector<std::string> RegionName;
+
+  // nation(n_nationkey, n_regionkey, n_name): 25 rows.
+  std::vector<Idx> NationRegion;
+  std::vector<std::string> NationName;
+
+  // supplier(s_suppkey, s_nationkey).
+  std::vector<Idx> SuppNation;
+
+  // customer(c_custkey, c_nationkey).
+  std::vector<Idx> CustNation;
+
+  // part(p_partkey, p_green): whether p_name contains "green" (~5.4%).
+  std::vector<uint8_t> PartGreen;
+
+  // partsupp(ps_partkey, ps_suppkey, ps_supplycost): 4 rows per part.
+  std::vector<Idx> PsPart, PsSupp;
+  std::vector<double> PsSupplyCost;
+
+  // orders(o_orderkey, o_custkey, o_orderdate).
+  std::vector<Idx> OrdCust;
+  std::vector<Idx> OrdDate; ///< Days since 1992-01-01, in [0, 7*365).
+
+  // lineitem(l_orderkey, l_partkey, l_suppkey, l_quantity,
+  //          l_extendedprice, l_discount).
+  std::vector<Idx> LiOrder, LiPart, LiSupp;
+  std::vector<double> LiQuantity, LiExtendedPrice, LiDiscount;
+
+  size_t numSuppliers() const { return SuppNation.size(); }
+  size_t numCustomers() const { return CustNation.size(); }
+  size_t numParts() const { return PartGreen.size(); }
+  size_t numOrders() const { return OrdCust.size(); }
+  size_t numLineitems() const { return LiOrder.size(); }
+
+  /// Total row count across the joined tables (the paper quotes "7.7 and
+  /// 8.5 million rows" for Q5/Q9 at SF=1).
+  size_t totalRows() const;
+
+  /// The year (1992..1998) of an order date.
+  static int yearOfDate(Idx Days) { return 1992 + static_cast<int>(Days / 365); }
+
+  /// Day-number bounds of the Q5 window [1994-01-01, 1995-01-01).
+  static Idx q5DateLo() { return 2 * 365; }
+  static Idx q5DateHi() { return 3 * 365; }
+
+  /// The "ASIA" region key.
+  static Idx asiaRegion() { return 2; }
+};
+
+/// Generates the database at \p ScaleFactor (1.0 = the official 1GB scale;
+/// laptop-scale runs use 0.005..0.1) from \p Seed.
+TpchDb generateTpch(double ScaleFactor, uint64_t Seed = 0x7c9d);
+
+} // namespace etch
+
+#endif // ETCH_RELATIONAL_TPCH_H

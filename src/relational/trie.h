@@ -1,0 +1,132 @@
+//===- relational/trie.h - Hierarchical (trie) relation indexes -*- C++-*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Etch-side physical representation of relations: a sorted trie over
+/// the key columns (Example 2.1's hierarchical storage), i.e. a fully
+/// compressed multi-level format — one crd/pos level per key column with a
+/// payload at the leaves. Tries expose nested indexed streams, so relations
+/// compose with the same multiplication/join operators as tensors; the loop
+/// structure this induces is exactly the GenericJoin / worst-case-optimal
+/// shape of Section 5.4.2.
+///
+/// The rank is a template parameter (relational schemas are static), the
+/// payload type is generic (indicator, count, or a record struct), and
+/// duplicate keys fold through a caller-supplied merge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_RELATIONAL_TRIE_H
+#define ETCH_RELATIONAL_TRIE_H
+
+#include "streams/primitives.h"
+#include "support/assert.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace etch {
+
+/// A rank-R trie with payload V at the leaves.
+template <int R, typename V> struct Trie {
+  static_assert(R >= 1 && R <= 4, "supported ranks: 1..4");
+
+  /// Crd[L] holds the coordinates of level L; Pos[L] (length
+  /// Crd[L].size() + 1) delimits each node's children in level L + 1.
+  /// Level 0 spans [0, Crd[0].size()).
+  std::array<std::vector<Idx>, R> Crd;
+  std::array<std::vector<size_t>, R> Pos; // Pos[R-1] unused.
+  std::vector<V> Val;                     // One per leaf coordinate.
+
+  size_t numLeaves() const { return Val.size(); }
+
+  /// Builds a trie from (key, payload) rows. Duplicate keys merge with
+  /// \p Merge (e.g. summing counts or revenues).
+  template <typename Merge>
+  static Trie fromRows(std::vector<std::pair<std::array<Idx, R>, V>> Rows,
+                       Merge &&MergeFn) {
+    std::sort(Rows.begin(), Rows.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    Trie T;
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const auto &[Key, Payload] = Rows[I];
+      if (I > 0 && Rows[I - 1].first == Key) {
+        MergeFn(T.Val.back(), Payload);
+        continue;
+      }
+      // Find the first level where the key diverges from the previous row.
+      int First = 0;
+      if (I > 0) {
+        while (First < R && Rows[I - 1].first[static_cast<size_t>(First)] ==
+                                Key[static_cast<size_t>(First)])
+          ++First;
+      }
+      for (int L = First; L < R; ++L) {
+        T.Crd[static_cast<size_t>(L)].push_back(Key[static_cast<size_t>(L)]);
+        if (L + 1 < R)
+          T.Pos[static_cast<size_t>(L)].push_back(
+              T.Crd[static_cast<size_t>(L + 1)].size());
+      }
+      T.Val.push_back(Payload);
+    }
+    // Close the Pos arrays: Pos[L][k] currently holds the *start* of node
+    // k's children; append the final end and convert to (start, end) pairs
+    // by construction (Pos[L] has one entry per node plus the terminator).
+    for (int L = 0; L + 1 < R; ++L)
+      T.Pos[static_cast<size_t>(L)].push_back(
+          T.Crd[static_cast<size_t>(L + 1)].size());
+    return T;
+  }
+
+  /// Builds an indicator trie (payload 1) from key rows, merging
+  /// duplicates by keeping a single entry.
+  static Trie fromKeys(std::vector<std::array<Idx, R>> Keys, V One = V(1)) {
+    std::vector<std::pair<std::array<Idx, R>, V>> Rows;
+    Rows.reserve(Keys.size());
+    for (auto &K : Keys)
+      Rows.emplace_back(K, One);
+    return fromRows(std::move(Rows), [](V &, const V &) {});
+  }
+
+  /// Builds a counting trie from key rows (duplicates sum).
+  static Trie fromKeysCounting(std::vector<std::array<Idx, R>> Keys) {
+    std::vector<std::pair<std::array<Idx, R>, V>> Rows;
+    Rows.reserve(Keys.size());
+    for (auto &K : Keys)
+      Rows.emplace_back(K, V(1));
+    return fromRows(std::move(Rows),
+                    [](V &Acc, const V &X) { Acc += X; });
+  }
+
+private:
+  template <int L, SearchPolicy P>
+  auto levelStream(size_t Begin, size_t End) const {
+    if constexpr (L == R - 1) {
+      const V *ValP = Val.data();
+      auto Leaf = [ValP](size_t Q) { return ValP[Q]; };
+      return SparseStream<decltype(Leaf), P>(
+          Crd[static_cast<size_t>(L)].data(), Begin, End, Leaf);
+    } else {
+      const size_t *PosP = Pos[static_cast<size_t>(L)].data();
+      auto Child = [this, PosP](size_t Q) {
+        return levelStream<L + 1, P>(PosP[Q], PosP[Q + 1]);
+      };
+      return SparseStream<decltype(Child), P>(
+          Crd[static_cast<size_t>(L)].data(), Begin, End, Child);
+    }
+  }
+
+public:
+  /// A nested indexed stream over all R levels.
+  template <SearchPolicy P = SearchPolicy::Gallop> auto stream() const {
+    return levelStream<0, P>(0, Crd[0].size());
+  }
+};
+
+} // namespace etch
+
+#endif // ETCH_RELATIONAL_TRIE_H

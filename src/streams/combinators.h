@@ -1,0 +1,426 @@
+//===- streams/combinators.h - Stream composition operators ----*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contraction operators on indexed streams (Section 5.1):
+///
+///   - MulStream (Definition 5.4): the intersection-optimised product. Its
+///     index is the max of its operands' indices and it is ready only when
+///     both operands are ready at the same index; its δ therefore drives
+///     every operand's skip with combined information — the multiway
+///     leapfrog behind the worst-case-optimal join result (Section 5.4.2).
+///   - AddStream: the union-merge. Its index is the min; a value is emitted
+///     from one side alone only when that side's index is strictly
+///     smaller — at a tied index the sum must wait until both sides are
+///     ready or one moves past (a not-ready state at index i may still
+///     produce a value at i later, so emitting early would drop it).
+///   - ContractStream (Section 5.1.2): Σ — forgets the index (the dummy
+///     attribute *); `skip(*, r)` becomes `skip(index(q), r)`.
+///   - MapStream (Section 5.2): the functorial action on values, used to
+///     apply Σ / ↑ at inner levels of a nested stream (`map^k`).
+///
+/// Multiplication and addition recurse structurally through nested streams:
+/// when operand values are themselves streams the combinator's value is the
+/// combinator of the inner streams, exactly the "generalises with no
+/// difficulty" construction of Section 5.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_STREAMS_COMBINATORS_H
+#define ETCH_STREAMS_COMBINATORS_H
+
+#include "core/semiring.h"
+#include "streams/stream.h"
+#include "support/assert.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace etch {
+
+//===----------------------------------------------------------------------===//
+// Multiplication
+//===----------------------------------------------------------------------===//
+
+template <Semiring S, AnIndexedStream A, AnIndexedStream B> class MulStream;
+
+/// Builds the product of two streams (or, at the leaves, of two scalars).
+template <Semiring S, typename A, typename B> auto mulValues(A Va, B Vb) {
+  if constexpr (IsStreamV<A>)
+    return MulStream<S, A, B>(std::move(Va), std::move(Vb));
+  else
+    return S::mul(Va, Vb);
+}
+
+/// The product stream of Definition 5.4, extended level-wise to nested
+/// streams. Operands must have the same level structure; contracted levels
+/// may not be multiplied (a product of sums is not a sum of pairwise
+/// products — the frontend hoists contractions out of products first).
+template <Semiring S, AnIndexedStream A, AnIndexedStream B> class MulStream {
+  static_assert(!IsContractedV<A> && !IsContractedV<B>,
+                "cannot multiply contracted (Σ) levels; hoist sums out of "
+                "products first");
+
+public:
+  using ValueType = decltype(mulValues<S>(std::declval<A>().value(),
+                                          std::declval<B>().value()));
+  static constexpr bool Contracted = false;
+
+  MulStream(A La, B Rb) : La(std::move(La)), Rb(std::move(Rb)) {}
+
+  bool valid() const { return La.valid() && Rb.valid(); }
+
+  Idx index() const { return std::max(La.index(), Rb.index()); }
+
+  bool ready() const {
+    return La.ready() && Rb.ready() && La.index() == Rb.index();
+  }
+
+  ValueType value() const { return mulValues<S>(La.value(), Rb.value()); }
+
+  void skip(Idx I, bool Strict) {
+    La.skip(I, Strict);
+    Rb.skip(I, Strict);
+  }
+
+  /// Fast δ from a ready state: both operands are ready at the shared
+  /// index, so both take their own successor.
+  void next() {
+    advanceReady(La);
+    advanceReady(Rb);
+  }
+
+private:
+  A La;
+  B Rb;
+};
+
+/// Convenience factory with deduction.
+template <Semiring S, AnIndexedStream A, AnIndexedStream B>
+MulStream<S, A, B> mulStreams(A La, B Rb) {
+  return MulStream<S, A, B>(std::move(La), std::move(Rb));
+}
+
+//===----------------------------------------------------------------------===//
+// Generalised join (multiplication with a custom leaf combiner)
+//===----------------------------------------------------------------------===//
+
+template <typename F, AnIndexedStream A, AnIndexedStream B> class JoinStream;
+
+template <typename F, typename A, typename B>
+auto joinValues(F Fn, A Va, B Vb) {
+  // Recurse only while *both* sides are still streams; a stream-vs-scalar
+  // pair ends the structural recursion and the combiner decides (e.g.
+  // KeepLeft keeps a whole substream gated by an indicator's leaf).
+  if constexpr (IsStreamV<A> && IsStreamV<B>)
+    return JoinStream<F, A, B>(std::move(Fn), std::move(Va), std::move(Vb));
+  else
+    return Fn(std::move(Va), std::move(Vb));
+}
+
+/// Identical iteration semantics to MulStream (Definition 5.4), but the
+/// leaves combine with an arbitrary functor instead of a semiring's
+/// multiplication. This is how relational queries pair heterogeneous
+/// payloads (e.g. a lineitem record with a supplycost) while still getting
+/// the multiway intersection — the paper's user-defined functions applied
+/// at the scalar level (Section 7.2).
+template <typename F, AnIndexedStream A, AnIndexedStream B> class JoinStream {
+  static_assert(!IsContractedV<A> && !IsContractedV<B>,
+                "cannot join contracted (Σ) levels");
+
+public:
+  using ValueType = decltype(joinValues(std::declval<F>(),
+                                        std::declval<A>().value(),
+                                        std::declval<B>().value()));
+  static constexpr bool Contracted = false;
+
+  JoinStream(F Fn, A La, B Rb)
+      : Fn(std::move(Fn)), La(std::move(La)), Rb(std::move(Rb)) {}
+
+  bool valid() const { return La.valid() && Rb.valid(); }
+  Idx index() const { return std::max(La.index(), Rb.index()); }
+  bool ready() const {
+    return La.ready() && Rb.ready() && La.index() == Rb.index();
+  }
+  ValueType value() const { return joinValues(Fn, La.value(), Rb.value()); }
+  void skip(Idx I, bool Strict) {
+    La.skip(I, Strict);
+    Rb.skip(I, Strict);
+  }
+
+  /// Fast δ from a ready state (see MulStream).
+  void next() {
+    advanceReady(La);
+    advanceReady(Rb);
+  }
+
+private:
+  F Fn;
+  A La;
+  B Rb;
+};
+
+template <typename F, AnIndexedStream A, AnIndexedStream B>
+JoinStream<F, A, B> joinStreams(F Fn, A La, B Rb) {
+  return JoinStream<F, A, B>(std::move(Fn), std::move(La), std::move(Rb));
+}
+
+/// A leaf combiner keeping the left payload (joins against indicator
+/// relations).
+struct KeepLeft {
+  template <typename A, typename B> A operator()(A Va, B) const {
+    return Va;
+  }
+};
+
+/// A leaf combiner keeping the right payload.
+struct KeepRight {
+  template <typename A, typename B> B operator()(A, B Vb) const {
+    return Vb;
+  }
+};
+
+/// A leaf combiner pairing both payloads.
+struct PairBoth {
+  template <typename A, typename B>
+  std::pair<A, B> operator()(A Va, B Vb) const {
+    return {std::move(Va), std::move(Vb)};
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Addition
+//===----------------------------------------------------------------------===//
+
+template <Semiring S, AnIndexedStream A, AnIndexedStream B> class AddStream;
+
+namespace detail {
+
+/// Builds the sum of two optional inner values (streams recurse; scalars
+/// use the semiring; an absent side contributes zero / an empty stream).
+template <Semiring S, typename A, typename B>
+auto addValues(std::optional<A> Va, std::optional<B> Vb) {
+  if constexpr (IsStreamV<A>) {
+    return AddStream<S, A, B>(std::move(Va), std::move(Vb));
+  } else {
+    // Coerce to the semiring's value type: leaf storage may be narrower
+    // (e.g. uint8_t indicators under the boolean semiring).
+    if (Va && Vb)
+      return S::add(*Va, *Vb);
+    if (Va)
+      return static_cast<typename S::Value>(*Va);
+    if (Vb)
+      return static_cast<typename S::Value>(*Vb);
+    return S::zero();
+  }
+}
+
+} // namespace detail
+
+/// The union-merge of two streams of identical level structure (including
+/// contracted levels, whose indices all compare equal). Either side may be
+/// absent (empty), which is how single-sided values propagate into nested
+/// levels.
+template <Semiring S, AnIndexedStream A, AnIndexedStream B> class AddStream {
+  static_assert(IsContractedV<A> == IsContractedV<B>,
+                "addition operands must agree on contracted levels");
+
+public:
+  using ValueType = decltype(detail::addValues<S>(
+      std::declval<std::optional<decltype(std::declval<A>().value())>>(),
+      std::declval<std::optional<decltype(std::declval<B>().value())>>()));
+  static constexpr bool Contracted = IsContractedV<A>;
+
+  AddStream(std::optional<A> La, std::optional<B> Rb)
+      : La(std::move(La)), Rb(std::move(Rb)) {}
+
+  bool valid() const { return aValid() || bValid(); }
+
+  Idx index() const {
+    if (aValid() && bValid())
+      return std::min(La->index(), Rb->index());
+    return aValid() ? La->index() : Rb->index();
+  }
+
+  bool ready() const {
+    bool Av = aValid(), Bv = bValid();
+    if (Av && Bv) {
+      Idx Ia = La->index(), Ib = Rb->index();
+      if (Ia < Ib)
+        return La->ready();
+      if (Ib < Ia)
+        return Rb->ready();
+      return La->ready() && Rb->ready();
+    }
+    return Av ? La->ready() : Rb->ready();
+  }
+
+  ValueType value() const {
+    bool Av = aValid(), Bv = bValid();
+    using VA = decltype(La->value());
+    using VB = decltype(Rb->value());
+    std::optional<VA> Va;
+    std::optional<VB> Vb;
+    // emplace, not operator=: lambda-closure members make stream types
+    // copy-constructible but not copy-assignable.
+    if (Av && Bv) {
+      Idx Ia = La->index(), Ib = Rb->index();
+      if (Ia <= Ib)
+        Va.emplace(La->value());
+      if (Ib <= Ia)
+        Vb.emplace(Rb->value());
+    } else if (Av) {
+      Va.emplace(La->value());
+    } else {
+      Vb.emplace(Rb->value());
+    }
+    return detail::addValues<S>(std::move(Va), std::move(Vb));
+  }
+
+  void skip(Idx I, bool Strict) {
+    if (aValid())
+      La->skip(I, Strict);
+    if (bValid())
+      Rb->skip(I, Strict);
+  }
+
+private:
+  bool aValid() const { return La && La->valid(); }
+  bool bValid() const { return Rb && Rb->valid(); }
+
+  std::optional<A> La;
+  std::optional<B> Rb;
+};
+
+/// Convenience factory for the two-sided case.
+template <Semiring S, AnIndexedStream A, AnIndexedStream B>
+AddStream<S, A, B> addStreams(A La, B Rb) {
+  return AddStream<S, A, B>(std::optional<A>(std::move(La)),
+                            std::optional<B>(std::move(Rb)));
+}
+
+//===----------------------------------------------------------------------===//
+// Contraction
+//===----------------------------------------------------------------------===//
+
+/// Σ at the outermost level (Section 5.1.2): identical to the underlying
+/// stream but indexed by the dummy attribute (rendered as index 0), with
+/// `skip(*, r) = skip(index(q), r)`.
+template <AnIndexedStream A> class ContractStream {
+public:
+  using ValueType = typename A::ValueType;
+  static constexpr bool Contracted = true;
+
+  explicit ContractStream(A Inner) : Inner(std::move(Inner)) {}
+
+  bool valid() const { return Inner.valid(); }
+  Idx index() const { return 0; }
+  bool ready() const { return Inner.ready(); }
+  ValueType value() const { return Inner.value(); }
+
+  void skip(Idx, bool Strict) { Inner.skip(Inner.index(), Strict); }
+
+  /// Fast δ from a ready state.
+  void next() { advanceReady(Inner); }
+
+private:
+  A Inner;
+};
+
+template <AnIndexedStream A> ContractStream<A> contractStream(A Inner) {
+  return ContractStream<A>(std::move(Inner));
+}
+
+//===----------------------------------------------------------------------===//
+// Map
+//===----------------------------------------------------------------------===//
+
+/// The functor action `map f` (Section 5.2): composes \p F with the value
+/// function, leaving iteration untouched. `map^k (Σ_a)` / `map^k (↑_a)` are
+/// spelled as nested MapStreams whose innermost functor applies
+/// contractStream / a RepeatStream constructor.
+template <AnIndexedStream A, typename F> class MapStream {
+public:
+  using ValueType = std::invoke_result_t<F, typename A::ValueType>;
+  static constexpr bool Contracted = IsContractedV<A>;
+
+  MapStream(A Inner, F Fn) : Inner(std::move(Inner)), Fn(std::move(Fn)) {}
+
+  bool valid() const { return Inner.valid(); }
+  Idx index() const { return Inner.index(); }
+  bool ready() const { return Inner.ready(); }
+  ValueType value() const { return Fn(Inner.value()); }
+  void skip(Idx I, bool Strict) { Inner.skip(I, Strict); }
+
+  /// Fast δ from a ready state.
+  void next() { advanceReady(Inner); }
+
+private:
+  A Inner;
+  F Fn;
+};
+
+template <AnIndexedStream A, typename F>
+MapStream<A, F> mapStream(A Inner, F Fn) {
+  return MapStream<A, F>(std::move(Inner), std::move(Fn));
+}
+
+/// Like MapStream, but the functor also sees the index: `F(index, value)`.
+/// This is how a multiplication against an always-ready random-access
+/// ("locate") level lowers — e.g. sparse ⋅ dense folds the dense operand
+/// into a lookup, the standard treatment of dense levels that TACO and the
+/// Etch compiler both apply. The indexed level must not be contracted.
+template <AnIndexedStream A, typename F> class MapIndexedStream {
+  static_assert(!IsContractedV<A>, "no index to map at a contracted level");
+
+public:
+  using ValueType = std::invoke_result_t<F, Idx, typename A::ValueType>;
+  static constexpr bool Contracted = false;
+
+  MapIndexedStream(A Inner, F Fn) : Inner(std::move(Inner)), Fn(std::move(Fn)) {}
+
+  bool valid() const { return Inner.valid(); }
+  Idx index() const { return Inner.index(); }
+  bool ready() const { return Inner.ready(); }
+  ValueType value() const { return Fn(Inner.index(), Inner.value()); }
+  void skip(Idx I, bool Strict) { Inner.skip(I, Strict); }
+
+  /// Fast δ from a ready state.
+  void next() { advanceReady(Inner); }
+
+private:
+  A Inner;
+  F Fn;
+};
+
+template <AnIndexedStream A, typename F>
+MapIndexedStream<A, F> mapIndexed(A Inner, F Fn) {
+  return MapIndexedStream<A, F>(std::move(Inner), std::move(Fn));
+}
+
+/// Multiplies a stream by a dense (always-ready, random-access) operand:
+/// `value(i) * Dense[i]`. The caller guarantees the dense extent covers the
+/// stream's index range.
+template <Semiring S, AnIndexedStream A>
+auto mulDenseLocate(A La, const typename S::Value *Dense) {
+  return mapIndexed(std::move(La),
+                    [Dense](Idx I, typename S::Value V) {
+                      return S::mul(V, Dense[I]);
+                    });
+}
+
+/// `map Σ`: contracts the level *below* the outermost one.
+template <AnIndexedStream A> auto contractInner(A Outer) {
+  auto Fn = [](typename A::ValueType Inner) {
+    return contractStream(std::move(Inner));
+  };
+  return mapStream(std::move(Outer), Fn);
+}
+
+} // namespace etch
+
+#endif // ETCH_STREAMS_COMBINATORS_H

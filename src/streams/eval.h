@@ -1,0 +1,121 @@
+//===- streams/eval.h - Stream evaluation (Definition 5.11) ----*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation function `[[−]] : S -> T` (Section 5.3): the meaning of a
+/// stream is the sum over its reachable ready states of `index ↦ value`
+/// (indexed levels) or of the bare values (contracted levels). `evalStream`
+/// materialises that sum as a KRelation and is the bridge the correctness
+/// theorem (Theorem 6.1) is stated over; the property tests check that it
+/// is a homomorphism.
+///
+/// The same recursion, specialised to consumers instead of maps, yields the
+/// fused execution drivers used by the benchmarks: `sumAll` (a full
+/// contraction — the generated code of Figure 2 is exactly this loop after
+/// inlining), and `forEach` (one level of destination passing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_STREAMS_EVAL_H
+#define ETCH_STREAMS_EVAL_H
+
+#include "core/krelation.h"
+#include "streams/stream.h"
+#include "support/assert.h"
+
+namespace etch {
+
+namespace detail {
+
+template <Semiring S, AnIndexedStream St>
+void evalRec(St Q, KRelation<S> &Out, Tuple &Prefix) {
+  using V = typename St::ValueType;
+  // Figure 15's loop shape: ready states emit then take the strict skip
+  // (fast successor); blocked states take the non-strict skip.
+  while (Q.valid()) {
+    if (Q.ready()) {
+      if constexpr (!IsContractedV<St>)
+        Prefix.push_back(Q.index());
+      if constexpr (IsStreamV<V>)
+        evalRec(Q.value(), Out, Prefix);
+      else
+        Out.insert(Prefix, Q.value());
+      if constexpr (!IsContractedV<St>)
+        Prefix.pop_back();
+      advanceReady(Q);
+    } else {
+      Q.skip(Q.index(), false);
+    }
+  }
+}
+
+} // namespace detail
+
+/// Evaluates stream \p Q into a K-relation over \p Sh. The shape must list
+/// the stream's indexed levels outermost-first, and — because valid streams
+/// respect the global attribute order (Definition 5.7) — in sorted order.
+template <Semiring S, AnIndexedStream St>
+KRelation<S> evalStream(St Q, const Shape &Sh) {
+  ETCH_ASSERT(static_cast<int>(Sh.size()) == streamShapeLen<St>(),
+              "shape length must match the stream's indexed depth");
+  KRelation<S> Out(Sh);
+  Tuple Prefix;
+  detail::evalRec(std::move(Q), Out, Prefix);
+  Out.pruneZeros();
+  return Out;
+}
+
+/// Sums every value a (nested) stream produces: the value of the fully
+/// contracted expression `Σ_{a1} ... Σ_{ak} e`. Because summation ignores
+/// indices, callers may skip wrapping levels in ContractStream. This is the
+/// execution driver for scalar-result kernels (dot products, inner
+/// products, triangle counting, TPC-H aggregates).
+template <Semiring S, AnIndexedStream St>
+typename S::Value sumAll(St Q) {
+  using V = typename St::ValueType;
+  typename S::Value Acc = S::zero();
+  while (Q.valid()) {
+    if (Q.ready()) {
+      if constexpr (IsStreamV<V>)
+        Acc = S::add(Acc, sumAll<S>(Q.value()));
+      else
+        Acc = S::add(Acc, Q.value());
+      advanceReady(Q);
+    } else {
+      Q.skip(Q.index(), false);
+    }
+  }
+  return Acc;
+}
+
+/// Drives one level of a stream, invoking `Body(index, value)` at every
+/// ready state: the destination-passing hook for writing results into
+/// caller-chosen data structures (Section 7.3).
+template <AnIndexedStream St, typename F> void forEach(St Q, F &&Body) {
+  while (Q.valid()) {
+    if (Q.ready()) {
+      Body(Q.index(), Q.value());
+      advanceReady(Q);
+    } else {
+      Q.skip(Q.index(), false);
+    }
+  }
+}
+
+/// Counts the number of δ-transitions taken to exhaust the stream: the cost
+/// model used by the asymptotic-complexity discussions (Section 5.4.1).
+template <AnIndexedStream St> int64_t countTransitions(St Q) {
+  int64_t N = 0;
+  while (Q.valid()) {
+    advance(Q);
+    ++N;
+  }
+  return N;
+}
+
+} // namespace etch
+
+#endif // ETCH_STREAMS_EVAL_H

@@ -1,0 +1,97 @@
+//===- streams/laws.h - Runtime checkers for stream laws -------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime-checkable versions of the proof obligations of Section 6: the
+/// monotonicity, strict monotonicity (Section 6.2), and lawfulness
+/// (Section 6.1) predicates on streams. The paper proves these in Lean for
+/// its combinators and asks implementers of new data structures to check
+/// them; here they are executable and exercised by the property tests over
+/// primitives and randomly composed streams, playing the Lean proof's role.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_STREAMS_LAWS_H
+#define ETCH_STREAMS_LAWS_H
+
+#include "streams/eval.h"
+
+#include <vector>
+
+namespace etch {
+
+/// Walks the δ-trajectory of \p Q and checks monotonicity: the index never
+/// decreases, and after a *ready* state it strictly increases (strict
+/// monotonicity, Section 6.2 — required for multiplication to be sound).
+/// Also confirms the trajectory reaches a terminal state within
+/// \p MaxSteps (finiteness, Definition 5.10).
+template <AnIndexedStream St>
+bool checkStrictMonotone(St Q, int64_t MaxSteps = 1 << 20) {
+  int64_t Steps = 0;
+  while (Q.valid()) {
+    if (++Steps > MaxSteps)
+      return false; // Did not terminate: treat as a law violation.
+    Idx I = Q.index();
+    bool WasReady = Q.ready();
+    advance(Q);
+    if (!Q.valid())
+      break;
+    if (Q.index() < I)
+      return false;
+    if (WasReady && !IsContractedV<St> && Q.index() <= I)
+      return false;
+  }
+  return true;
+}
+
+/// Checks that `skip` never rewinds: for each probe (I, R), skipping a copy
+/// of the stream leaves its index at >= the probe bound (when still valid)
+/// and at >= the original index.
+template <AnIndexedStream St>
+bool checkSkipMonotone(const St &Q, const std::vector<std::pair<Idx, bool>>
+                                        &Probes) {
+  for (auto [I, R] : Probes) {
+    St C = Q;
+    if (!C.valid())
+      continue;
+    Idx Before = C.index();
+    C.skip(I, R);
+    if (!C.valid())
+      continue;
+    if (C.index() < Before)
+      return false;
+  }
+  return true;
+}
+
+/// Lawfulness (Section 6.1): `skip(q, (i, r))` must not change the
+/// evaluation at any index j with (i, r) <= (j, 0) lexicographically — that
+/// is, at j > i, and also at j == i when r is false. Checks one probe by
+/// evaluating the original and the skipped stream over shape \p Sh and
+/// comparing all entries whose first coordinate passes the bound.
+template <Semiring S, AnIndexedStream St>
+bool checkSkipLawful(const St &Q, const Shape &Sh, Idx I, bool R) {
+  static_assert(!IsContractedV<St>,
+                "lawfulness probes apply to indexed outer levels");
+  KRelation<S> Full = evalStream<S>(Q, Sh);
+  St C = Q;
+  C.skip(I, R);
+  KRelation<S> Skipped = evalStream<S>(C, Sh);
+  auto Unaffected = [I, R](const Tuple &T) {
+    return T[0] > I || (T[0] == I && !R);
+  };
+  for (const auto &[T, V] : Full.entries())
+    if (Unaffected(T) && Skipped.at(T) != V)
+      return false;
+  for (const auto &[T, V] : Skipped.entries())
+    if (Unaffected(T) && Full.at(T) != V)
+      return false;
+  return true;
+}
+
+} // namespace etch
+
+#endif // ETCH_STREAMS_LAWS_H

@@ -1,0 +1,120 @@
+//===- streams/stream.h - The indexed stream abstract data type -*- C++-*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The indexed stream interface (Definition 5.1). An indexed stream of type
+/// `a ->s R` is a machine `(σ, q0, index, value, ready, skip)`; here a
+/// stream object *is* its current state (a cursor), and the functions are
+/// member functions:
+///
+///   - `valid()`  : false exactly at the terminal state (Definition 5.10);
+///   - `index()`  : the current index, a lower bound on the next ready
+///                  index (monotonicity); defined while valid;
+///   - `ready()`  : whether the current state emits a value;
+///   - `value()`  : the emitted value — a semiring scalar for base streams
+///                  or another stream for nested ones (Section 5.2);
+///                  defined while valid and ready;
+///   - `skip(i,r)`: advance to the first state whose index is >= i (r
+///                  false) or > i (r true), never moving backwards.
+///
+/// Streams are cheap value types: copying one forks the cursor without
+/// copying underlying data, which is what lets the evaluation semantics
+/// (Definition 5.11) and the laws checkers re-run suffixes of a stream.
+///
+/// A *contracted* stream (`Σ_a`, Section 5.1.2) exposes
+/// `Contracted == true`: its index is a dummy and evaluation sums its
+/// values instead of keying them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_STREAMS_STREAM_H
+#define ETCH_STREAMS_STREAM_H
+
+#include "core/krelation.h"
+
+#include <concepts>
+#include <type_traits>
+
+namespace etch {
+
+/// The structural interface of an indexed stream cursor.
+template <typename St>
+concept AnIndexedStream = requires(St Q, const St CQ, Idx I, bool R) {
+  { CQ.valid() } -> std::convertible_to<bool>;
+  { CQ.index() } -> std::convertible_to<Idx>;
+  { CQ.ready() } -> std::convertible_to<bool>;
+  CQ.value();
+  Q.skip(I, R);
+};
+
+/// True when T is an indexed stream (used to detect nesting: a stream whose
+/// value type is itself a stream is a nested stream).
+template <typename T>
+inline constexpr bool IsStreamV = AnIndexedStream<T>;
+
+namespace detail {
+template <typename T, bool = IsStreamV<T>> struct ContractedImpl {
+  static constexpr bool Value = false;
+};
+template <typename T> struct ContractedImpl<T, true> {
+  static constexpr bool Value = T::Contracted;
+};
+} // namespace detail
+
+/// True when stream T is a contracted (`* ->s R`) level.
+template <typename T>
+inline constexpr bool IsContractedV = detail::ContractedImpl<T>::Value;
+
+/// True when the stream provides a fast immediate-successor `next()`,
+/// valid only at ready states (for a compressed level it is `++pos` — the
+/// specialisation of `skip(index, true)` the paper's generated code enjoys
+/// after constant folding).
+template <typename St>
+concept HasNext = requires(St Q) { Q.next(); };
+
+/// The immediate successor function δ (Definition 5.3):
+/// `δ(q) = skip(q, (index(q), ready(q)))`. Every evaluation loop steps a
+/// stream exactly this way; ready states take the fast `next()` path when
+/// the stream provides one.
+template <AnIndexedStream St> void advance(St &Q) {
+  if constexpr (HasNext<St>) {
+    if (Q.ready()) {
+      Q.next();
+      return;
+    }
+  }
+  Q.skip(Q.index(), Q.ready());
+}
+
+/// δ from a state known to be ready.
+template <AnIndexedStream St> void advanceReady(St &Q) {
+  if constexpr (HasNext<St>)
+    Q.next();
+  else
+    Q.skip(Q.index(), true);
+}
+
+/// The number of levels in a stream type (counting contracted levels).
+template <typename T> constexpr int streamDepth() {
+  if constexpr (IsStreamV<T>)
+    return 1 + streamDepth<typename T::ValueType>();
+  else
+    return 0;
+}
+
+/// The number of *indexed* (non-contracted) levels: the length of the
+/// stream's shape τ (Definition 5.7).
+template <typename T> constexpr int streamShapeLen() {
+  if constexpr (IsStreamV<T>)
+    return (IsContractedV<T> ? 0 : 1) +
+           streamShapeLen<typename T::ValueType>();
+  else
+    return 0;
+}
+
+} // namespace etch
+
+#endif // ETCH_STREAMS_STREAM_H

@@ -1,0 +1,44 @@
+//===- support/assert.h - Assertion helpers --------------------*- C++ -*-===//
+//
+// Part of the etch project, a C++ reproduction of "Indexed Streams: A Formal
+// Intermediate Representation for Fused Contraction Programs" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion macros used throughout the library. Library code never throws;
+/// invariant violations abort with a message, mirroring LLVM's style.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_SUPPORT_ASSERT_H
+#define ETCH_SUPPORT_ASSERT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace etch {
+
+/// Prints a fatal-error message and aborts. Used by the macros below; call
+/// directly for invariant violations that must fire even in release builds.
+[[noreturn]] inline void fatalError(const char *File, int Line,
+                                    const char *Msg) {
+  std::fprintf(stderr, "etch fatal error: %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace etch
+
+/// Checks an invariant in all build modes. Unlike <cassert>, this is never
+/// compiled out: the library's correctness arguments (lawfulness, strict
+/// monotonicity) lean on these checks during testing.
+#define ETCH_ASSERT(Cond, Msg)                                                 \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::etch::fatalError(__FILE__, __LINE__, Msg);                             \
+  } while (false)
+
+/// Marks a point in the program that must be unreachable.
+#define ETCH_UNREACHABLE(Msg) ::etch::fatalError(__FILE__, __LINE__, Msg)
+
+#endif // ETCH_SUPPORT_ASSERT_H

@@ -1,0 +1,54 @@
+//===- support/rng.cpp - Deterministic random number generation ----------===//
+
+#include "support/rng.h"
+
+#include "support/assert.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace etch;
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  ETCH_ASSERT(Bound > 0, "nextBelow bound must be positive");
+  // Lemire's method: multiply into a 128-bit product and reject the small
+  // biased region at the bottom of each residue class.
+  uint64_t X = next();
+  __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+  uint64_t Low = static_cast<uint64_t>(M);
+  if (Low < Bound) {
+    uint64_t Threshold = -Bound % Bound;
+    while (Low < Threshold) {
+      X = next();
+      M = static_cast<__uint128_t>(X) * Bound;
+      Low = static_cast<uint64_t>(M);
+    }
+  }
+  return static_cast<uint64_t>(M >> 64);
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  ETCH_ASSERT(Lo <= Hi, "nextInRange requires Lo <= Hi");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+std::vector<uint64_t> Rng::sampleDistinctSorted(uint64_t Count,
+                                                uint64_t Universe) {
+  ETCH_ASSERT(Count <= Universe, "cannot sample more values than universe");
+  // Floyd's algorithm: for J in [Universe-Count, Universe), insert a random
+  // T in [0, J]; on collision insert J itself. Every Count-subset is equally
+  // likely.
+  std::unordered_set<uint64_t> Chosen;
+  Chosen.reserve(Count * 2);
+  for (uint64_t J = Universe - Count; J < Universe; ++J) {
+    uint64_t T = nextBelow(J + 1);
+    if (!Chosen.insert(T).second)
+      Chosen.insert(J);
+  }
+  std::vector<uint64_t> Result(Chosen.begin(), Chosen.end());
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}

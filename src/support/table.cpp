@@ -1,0 +1,76 @@
+//===- support/table.cpp - Aligned result-table printing -----------------===//
+
+#include "support/table.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace etch;
+
+ResultTable::ResultTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void ResultTable::addRow(std::vector<std::string> Cells) {
+  Cells.resize(Header.size());
+  Rows.push_back(std::move(Cells));
+}
+
+std::string ResultTable::num(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string ResultTable::num(int64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, Value);
+  return Buf;
+}
+
+std::string ResultTable::toString() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto appendRow = [&](std::string &Out, const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C) {
+      Out += Row[C];
+      if (C + 1 < Row.size())
+        Out.append(Widths[C] - Row[C].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  appendRow(Out, Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  Out.append(Total > 2 ? Total - 2 : Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    appendRow(Out, Row);
+  return Out;
+}
+
+std::string ResultTable::toCsv() const {
+  std::string Out;
+  auto appendRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C) {
+      Out += Row[C];
+      if (C + 1 < Row.size())
+        Out += ',';
+    }
+    Out += '\n';
+  };
+  appendRow(Header);
+  for (const auto &Row : Rows)
+    appendRow(Row);
+  return Out;
+}
+
+void ResultTable::print() const { std::fputs(toString().c_str(), stdout); }

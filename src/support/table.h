@@ -1,0 +1,52 @@
+//===- support/table.h - Aligned result-table printing ---------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny result-table builder used by the benchmark drivers to print the
+/// rows/series corresponding to the paper's tables and figures, both as an
+/// aligned console table and (optionally) as CSV.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_SUPPORT_TABLE_H
+#define ETCH_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace etch {
+
+/// Accumulates rows of string cells under a fixed header and renders them.
+class ResultTable {
+public:
+  explicit ResultTable(std::vector<std::string> Header);
+
+  /// Appends one row; pads or truncates to the header width.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience: formats a double with \p Precision digits after the point.
+  static std::string num(double Value, int Precision = 3);
+
+  /// Convenience: formats an integer.
+  static std::string num(int64_t Value);
+
+  /// Renders an aligned, human-readable table.
+  std::string toString() const;
+
+  /// Renders comma-separated values (header + rows).
+  std::string toCsv() const;
+
+  /// Prints toString() to stdout.
+  void print() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace etch
+
+#endif // ETCH_SUPPORT_TABLE_H

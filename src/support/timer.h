@@ -1,0 +1,60 @@
+//===- support/timer.h - Wall-clock timing helpers -------------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timing used by the benchmark harnesses that produce the
+/// paper's tables/figures (the google-benchmark binaries use their own
+/// timing; this is for the sweep drivers that print figure data).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_SUPPORT_TIMER_H
+#define ETCH_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace etch {
+
+/// A simple monotonic stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Runs \p Fn repeatedly and returns the minimum wall time in seconds over
+/// \p Reps runs (minimum is the standard robust estimator for CPU-bound
+/// micro-benchmarks). \p Fn must be idempotent.
+template <typename Fn> double timeBest(Fn &&Body, int Reps = 3) {
+  double Best = 1e300;
+  for (int I = 0; I < Reps; ++I) {
+    Timer T;
+    Body();
+    double S = T.seconds();
+    if (S < Best)
+      Best = S;
+  }
+  return Best;
+}
+
+} // namespace etch
+
+#endif // ETCH_SUPPORT_TIMER_H

@@ -1,0 +1,364 @@
+//===- tests/compiler_more_test.cpp - Wider compiler coverage ------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Beyond the pipeline smoke tests: every binding format (dense/sparse
+// vectors, CSR, DCSR, CSF) through the compiler, every scalar algebra,
+// randomized agreement sweeps against the denotational oracle, additions
+// at nested levels, masked streams, and further emitted-C golden runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/c_emit.h"
+#include "compiler/frontend.h"
+#include "core/eval.h"
+#include "formats/random.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <fstream>
+
+using namespace etch;
+
+namespace {
+
+Attr attrAt(size_t K) {
+  static const std::array<Attr, 3> As = {
+      Attr::named("cm_i"), Attr::named("cm_j"), Attr::named("cm_k")};
+  return As[K];
+}
+Attr AI() { return attrAt(0); }
+Attr AJ() { return attrAt(1); }
+Attr AK() { return attrAt(2); }
+
+double scalarResult(LowerCtx &Ctx, const ExprPtr &E, VmMemory &M) {
+  PRef Prog = compileFullContraction(Ctx, E, "out");
+  auto Err = vmExecute(Prog, M);
+  EXPECT_FALSE(Err.has_value()) << *Err;
+  return std::get<double>(*M.getScalar("out"));
+}
+
+class CompilerSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompilerSweep, DcsrTimesDcsrAgainstOracle) {
+  Rng R(GetParam());
+  auto A = randomDcsr(R, 15, 15, R.nextBelow(40) + 1);
+  auto B = randomDcsr(R, 15, 15, R.nextBelow(40) + 1);
+
+  LowerCtx Ctx;
+  Ctx.setDim(AI(), 15);
+  Ctx.setDim(AJ(), 15);
+  Ctx.bind(dcsrBinding("A", AI(), AJ()));
+  Ctx.bind(dcsrBinding("B", AI(), AJ(), SearchPolicy::Binary));
+  VmMemory M;
+  bindDcsr(M, "A", A);
+  bindDcsr(M, "B", B);
+
+  double Got = scalarResult(Ctx, Expr::var("A") * Expr::var("B"), M);
+  auto Want = A.toKRelation<F64Semiring>(AI(), AJ())
+                  .mul(B.toKRelation<F64Semiring>(AI(), AJ()))
+                  .contract(AJ())
+                  .contract(AI());
+  EXPECT_NEAR(Got, Want.at({}), 1e-9);
+}
+
+TEST_P(CompilerSweep, CsfContractionAgainstOracle) {
+  Rng R(GetParam() + 100);
+  auto T = randomCsf3(R, 6, 7, 8, R.nextBelow(40) + 1);
+
+  LowerCtx Ctx;
+  Ctx.setDim(AI(), 6);
+  Ctx.setDim(AJ(), 7);
+  Ctx.setDim(AK(), 8);
+  Ctx.bind(csf3Binding("T", AI(), AJ(), AK()));
+  VmMemory M;
+  bindCsf3(M, "T", T);
+
+  double Got = scalarResult(Ctx, Expr::var("T"), M);
+  auto Want = T.toKRelation<F64Semiring>(AI(), AJ(), AK())
+                  .contract(AK())
+                  .contract(AJ())
+                  .contract(AI());
+  EXPECT_NEAR(Got, Want.at({}), 1e-9);
+}
+
+TEST_P(CompilerSweep, MixedAddMulAgainstOracle) {
+  // Σ (x + y) * z over random sparse vectors: addition nested under
+  // multiplication through the syntactic combinators.
+  Rng R(GetParam() + 200);
+  const Idx N = 60;
+  auto X = randomSparseVector(R, N, R.nextBelow(30) + 1);
+  auto Y = randomSparseVector(R, N, R.nextBelow(30) + 1);
+  auto Z = randomSparseVector(R, N, R.nextBelow(30) + 1);
+
+  LowerCtx Ctx;
+  Ctx.setDim(AI(), N);
+  Ctx.bind(sparseVecBinding("x", AI()));
+  Ctx.bind(sparseVecBinding("y", AI()));
+  Ctx.bind(sparseVecBinding("z", AI()));
+  VmMemory M;
+  bindSparseVector(M, "x", X);
+  bindSparseVector(M, "y", Y);
+  bindSparseVector(M, "z", Z);
+
+  double Got = scalarResult(
+      Ctx, (Expr::var("x") + Expr::var("y")) * Expr::var("z"), M);
+  auto KX = X.toKRelation<F64Semiring>(AI());
+  auto KY = Y.toKRelation<F64Semiring>(AI());
+  auto KZ = Z.toKRelation<F64Semiring>(AI());
+  EXPECT_NEAR(Got, KX.add(KY).mul(KZ).contract(AI()).at({}), 1e-9);
+}
+
+TEST_P(CompilerSweep, MatrixAddAgainstOracle) {
+  // Nested addition: CSR + DCSR summed to a scalar.
+  Rng R(GetParam() + 300);
+  auto A = randomCsr(R, 10, 12, R.nextBelow(40) + 1);
+  auto B = randomDcsr(R, 10, 12, R.nextBelow(40) + 1);
+
+  LowerCtx Ctx;
+  Ctx.setDim(AI(), 10);
+  Ctx.setDim(AJ(), 12);
+  Ctx.bind(csrBinding("A", AI(), AJ()));
+  Ctx.bind(dcsrBinding("B", AI(), AJ()));
+  VmMemory M;
+  bindCsr(M, "A", A);
+  bindDcsr(M, "B", B);
+
+  double Got = scalarResult(Ctx, Expr::var("A") + Expr::var("B"), M);
+  auto Want = A.toKRelation<F64Semiring>(AI(), AJ())
+                  .add(B.toKRelation<F64Semiring>(AI(), AJ()))
+                  .contract(AJ())
+                  .contract(AI());
+  EXPECT_NEAR(Got, Want.at({}), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompilerSweep,
+                         ::testing::Range<uint64_t>(0, 8));
+
+//===----------------------------------------------------------------------===//
+// Other scalar algebras through the compiler
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerAlgebras, MinPlusShortestHop) {
+  // Two (min,+) "vectors": the contraction computes min_i (x_i + y_i).
+  LowerCtx Ctx;
+  Ctx.Alg = &minPlusAlgebra();
+  Ctx.setDim(AI(), 10);
+  Ctx.bind(sparseVecBinding("x", AI()));
+  Ctx.bind(sparseVecBinding("y", AI()));
+
+  VmMemory M;
+  M.setArrayI64("x_pos0", {0, 3});
+  M.setArrayI64("x_crd0", {1, 4, 7});
+  M.setArrayF64("x_vals", {3.0, 1.0, 9.0});
+  M.setArrayI64("y_pos0", {0, 3});
+  M.setArrayI64("y_crd0", {1, 4, 8});
+  M.setArrayF64("y_vals", {2.0, 6.0, 0.5});
+
+  PRef Prog = compileFullContraction(
+      Ctx, Expr::var("x") * Expr::var("y"), "out");
+  ASSERT_FALSE(vmExecute(Prog, M).has_value());
+  // Shared indices: 1 -> 3+2 = 5, 4 -> 1+6 = 7; min is 5.
+  EXPECT_DOUBLE_EQ(std::get<double>(*M.getScalar("out")), 5.0);
+}
+
+TEST(CompilerAlgebras, BoolIntersectionNonEmpty) {
+  LowerCtx Ctx;
+  Ctx.Alg = &boolAlgebra();
+  Ctx.setDim(AI(), 10);
+  Ctx.bind(sparseVecBinding("r", AI()));
+  Ctx.bind(sparseVecBinding("s", AI()));
+
+  VmMemory M;
+  M.setArrayI64("r_pos0", {0, 2});
+  M.setArrayI64("r_crd0", {2, 5});
+  M.setArray("r_vals", {true, true});
+  M.setArrayI64("s_pos0", {0, 2});
+  M.setArrayI64("s_crd0", {5, 7});
+  M.setArray("s_vals", {true, true});
+
+  PRef Prog = compileFullContraction(
+      Ctx, Expr::var("r") * Expr::var("s"), "out");
+  ASSERT_FALSE(vmExecute(Prog, M).has_value());
+  EXPECT_TRUE(std::get<bool>(*M.getScalar("out"))); // They share index 5.
+}
+
+TEST(CompilerAlgebras, I64CountsJoinSize) {
+  LowerCtx Ctx;
+  Ctx.Alg = &i64Algebra();
+  Ctx.setDim(AI(), 10);
+  Ctx.bind(sparseVecBinding("r", AI()));
+  Ctx.bind(sparseVecBinding("s", AI()));
+
+  VmMemory M;
+  M.setArrayI64("r_pos0", {0, 3});
+  M.setArrayI64("r_crd0", {1, 5, 9});
+  M.setArrayI64("r_vals", {2, 1, 1});
+  M.setArrayI64("s_pos0", {0, 2});
+  M.setArrayI64("s_crd0", {5, 9});
+  M.setArrayI64("s_vals", {3, 4});
+
+  PRef Prog = compileFullContraction(
+      Ctx, Expr::var("r") * Expr::var("s"), "out");
+  ASSERT_FALSE(vmExecute(Prog, M).has_value());
+  EXPECT_EQ(std::get<int64_t>(*M.getScalar("out")), 1 * 3 + 1 * 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering details
+//===----------------------------------------------------------------------===//
+
+TEST(Lowering, RenameIsTypeLevelOnly) {
+  // Renaming j to k must not change the generated program's behaviour.
+  Rng R(9);
+  auto X = randomSparseVector(R, 20, 8);
+  LowerCtx Ctx;
+  Ctx.setDim(AJ(), 20);
+  Ctx.setDim(AK(), 20);
+  Ctx.bind(sparseVecBinding("x", AJ()));
+  VmMemory M;
+  bindSparseVector(M, "x", X);
+
+  ExprPtr Renamed = Expr::rename({{AJ(), AK()}}, Expr::var("x"));
+  double Got = scalarResult(Ctx, Renamed, M);
+  double Want = 0;
+  for (double V : X.Val)
+    Want += V;
+  EXPECT_NEAR(Got, Want, 1e-9);
+}
+
+TEST(Lowering, SynShapeLenTracksLevels) {
+  LowerCtx Ctx;
+  Ctx.setDim(AI(), 4);
+  Ctx.setDim(AJ(), 5);
+  Ctx.bind(csrBinding("A", AI(), AJ()));
+  SynValue V = lowerExpr(Ctx, Expr::var("A"));
+  ASSERT_TRUE(V.Inner);
+  EXPECT_EQ(synShapeLen(V.Inner), 2);
+  SynValue C = lowerExpr(Ctx, Expr::sum(AJ(), Expr::var("A")));
+  EXPECT_EQ(synShapeLen(C.Inner), 1);
+}
+
+TEST(Lowering, ExpandOfScalarExpressionWorks) {
+  // ↑_i over a fully contracted (scalar) expression: Σ_i ↑_i (Σ_j x(j))
+  // equals dim(i) * Σ_j x(j).
+  Rng R(10);
+  auto X = randomSparseVector(R, 12, 5);
+  LowerCtx Ctx;
+  Ctx.setDim(AI(), 3);
+  Ctx.setDim(AJ(), 12);
+  Ctx.bind(sparseVecBinding("x", AJ()));
+  VmMemory M;
+  bindSparseVector(M, "x", X);
+
+  ExprPtr E = Expr::expand(AI(), Expr::sum(AJ(), Expr::var("x")));
+  double Got = scalarResult(Ctx, E, M);
+  double SumX = 0;
+  for (double V : X.Val)
+    SumX += V;
+  EXPECT_NEAR(Got, 3.0 * SumX, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Emitted C golden tests
+//===----------------------------------------------------------------------===//
+
+/// Compiles and runs a C source, returning stdout.
+std::string compileAndRun(const std::string &Source, const std::string &Tag) {
+  std::string Dir = ::testing::TempDir();
+  std::string CPath = Dir + "/" + Tag + ".c";
+  std::string Bin = Dir + "/" + Tag;
+  {
+    std::ofstream F(CPath);
+    F << Source;
+  }
+  std::string Cmd = "cc -O1 -o " + Bin + " " + CPath + " 2>&1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  EXPECT_NE(P, nullptr);
+  char Buf[4096];
+  std::string CompileOut;
+  while (fgets(Buf, sizeof(Buf), P))
+    CompileOut += Buf;
+  EXPECT_EQ(pclose(P), 0) << CompileOut << "\n" << Source;
+  P = popen(Bin.c_str(), "r");
+  EXPECT_NE(P, nullptr);
+  std::string Out;
+  while (fgets(Buf, sizeof(Buf), P))
+    Out += Buf;
+  EXPECT_EQ(pclose(P), 0);
+  return Out;
+}
+
+TEST(CGolden, SpmvIntoArrayMatchesVm) {
+  Rng R(31);
+  auto A = randomCsr(R, 6, 8, 18);
+  auto X = randomSparseVector(R, 8, 4);
+
+  LowerCtx Ctx;
+  Ctx.setDim(AI(), 6);
+  Ctx.setDim(AJ(), 8);
+  Ctx.bind(csrBinding("A", AI(), AJ()));
+  Ctx.bind(sparseVecBinding("x", AJ()));
+  VmMemory M;
+  bindCsr(M, "A", A);
+  bindSparseVector(M, "x", X);
+
+  ExprPtr E = Expr::sum(
+      AJ(), Expr::mul(Expr::var("A"), Expr::expand(AI(), Expr::var("x"))));
+  PRef Prog = PStmt::seq2(
+      PStmt::declArr("y", ImpType::F64, eConstI(6)),
+      compileExpr(Ctx, E, denseDest(f64Algebra(), "y", {eConstI(1)})));
+
+  // VM side.
+  ASSERT_FALSE(vmExecute(Prog, M).has_value());
+  const auto *Y = M.getArray("y");
+
+  // C side.
+  VmMemory Inputs;
+  bindCsr(Inputs, "A", A);
+  bindSparseVector(Inputs, "x", X);
+  std::string Out =
+      compileAndRun(emitCProgram(Prog, Inputs, {{}, {{"y", 6}}}),
+                    "etch_spmv_golden");
+  for (Idx I = 0; I < 6; ++I) {
+    char Want[64];
+    std::snprintf(Want, sizeof(Want), "y[%lld]=%.17g",
+                  static_cast<long long>(I),
+                  std::get<double>((*Y)[static_cast<size_t>(I)]));
+    EXPECT_NE(Out.find(Want), std::string::npos)
+        << "missing " << Want << " in:\n" << Out;
+  }
+}
+
+TEST(CGolden, BinarySearchSkipCompiles) {
+  Rng R(32);
+  auto X = randomSparseVector(R, 500, 10);
+  auto Y = randomSparseVector(R, 500, 200);
+
+  LowerCtx Ctx;
+  Ctx.setDim(AI(), 500);
+  Ctx.bind(sparseVecBinding("x", AI()));
+  Ctx.bind(sparseVecBinding("y", AI(), SearchPolicy::Binary));
+  VmMemory M;
+  bindSparseVector(M, "x", X);
+  bindSparseVector(M, "y", Y);
+
+  PRef Prog = compileFullContraction(
+      Ctx, Expr::var("x") * Expr::var("y"), "out");
+  ASSERT_FALSE(vmExecute(Prog, M).has_value());
+  double Want = std::get<double>(*M.getScalar("out"));
+
+  VmMemory Inputs;
+  bindSparseVector(Inputs, "x", X);
+  bindSparseVector(Inputs, "y", Y);
+  std::string Out = compileAndRun(
+      emitCProgram(Prog, Inputs, {{"out"}, {}}), "etch_bsearch_golden");
+  char Line[64];
+  std::snprintf(Line, sizeof(Line), "out=%.17g", Want);
+  EXPECT_NE(Out.find(Line), std::string::npos) << Out;
+}
+
+} // namespace

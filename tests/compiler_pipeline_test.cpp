@@ -1,0 +1,266 @@
+//===- tests/compiler_pipeline_test.cpp - Expr -> SynStream -> P -> VM ---===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end tests of the Etch pipeline (Figure 1): contraction
+// expressions are lowered through syntactic indexed streams to P programs,
+// executed on the VM, and compared against the denotational oracle and the
+// runtime stream model. A golden test additionally emits C, compiles it
+// with the system compiler, runs it, and compares outputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/c_emit.h"
+#include "compiler/frontend.h"
+#include "core/eval.h"
+#include "formats/random.h"
+#include "streams/combinators.h"
+#include "streams/eval.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace etch;
+
+namespace {
+
+// Intern all three in one deterministic order (the global attribute
+// order); see kernels_test.cpp.
+Attr attrAt(size_t K) {
+  static const std::array<Attr, 3> As = {
+      Attr::named("cp_i"), Attr::named("cp_j"), Attr::named("cp_k")};
+  return As[K];
+}
+Attr attrI() { return attrAt(0); }
+Attr attrJ() { return attrAt(1); }
+Attr attrK() { return attrAt(2); }
+
+SparseVector<double> vec(Idx Size, std::vector<std::pair<Idx, double>> Es) {
+  SparseVector<double> V(Size);
+  for (auto [I, X] : Es)
+    V.push(I, X);
+  return V;
+}
+
+double runScalar(LowerCtx &Ctx, const ExprPtr &E, VmMemory &M) {
+  PRef Prog = compileFullContraction(Ctx, E, "out");
+  auto Err = vmExecute(Prog, M);
+  EXPECT_FALSE(Err.has_value()) << *Err;
+  auto V = M.getScalar("out");
+  EXPECT_TRUE(V.has_value());
+  return std::get<double>(*V);
+}
+
+TEST(CompilerPipeline, TripleSparseProduct) {
+  auto X = vec(10, {{1, 2.0}, {4, 3.0}, {7, 5.0}});
+  auto Y = vec(10, {{0, 1.0}, {4, 2.0}, {7, 2.0}, {9, 9.0}});
+  auto Z = vec(10, {{4, 10.0}, {7, 3.0}, {8, 1.0}});
+
+  LowerCtx Ctx;
+  Ctx.setDim(attrI(), 10);
+  Ctx.bind(sparseVecBinding("x", attrI()));
+  Ctx.bind(sparseVecBinding("y", attrI()));
+  Ctx.bind(sparseVecBinding("z", attrI()));
+
+  VmMemory M;
+  bindSparseVector(M, "x", X);
+  bindSparseVector(M, "y", Y);
+  bindSparseVector(M, "z", Z);
+
+  ExprPtr E = Expr::var("x") * Expr::var("y") * Expr::var("z");
+  // Shared indices: 4 (3*2*10=60) and 7 (5*2*3=30).
+  EXPECT_DOUBLE_EQ(runScalar(Ctx, E, M), 90.0);
+}
+
+TEST(CompilerPipeline, BinarySearchSkipAgrees) {
+  Rng R(7);
+  auto X = randomSparseVector(R, 1000, 40);
+  auto Y = randomSparseVector(R, 1000, 600);
+
+  LowerCtx Ctx;
+  Ctx.setDim(attrI(), 1000);
+  Ctx.bind(sparseVecBinding("x", attrI(), SearchPolicy::Linear));
+  Ctx.bind(sparseVecBinding("y", attrI(), SearchPolicy::Binary));
+
+  VmMemory M;
+  bindSparseVector(M, "x", X);
+  bindSparseVector(M, "y", Y);
+
+  double Got = runScalar(Ctx, Expr::var("x") * Expr::var("y"), M);
+  double Want = sumAll<F64Semiring>(mulStreams<F64Semiring>(
+      X.stream(), Y.stream<SearchPolicy::Gallop>()));
+  EXPECT_NEAR(Got, Want, 1e-9);
+}
+
+TEST(CompilerPipeline, SpmvIntoDenseDest) {
+  Rng R(21);
+  auto A = randomCsr(R, 17, 23, 60);
+  auto X = randomSparseVector(R, 23, 9);
+
+  LowerCtx Ctx;
+  Ctx.setDim(attrI(), 17);
+  Ctx.setDim(attrJ(), 23);
+  Ctx.bind(csrBinding("A", attrI(), attrJ()));
+  Ctx.bind(sparseVecBinding("x", attrJ()));
+
+  VmMemory M;
+  bindCsr(M, "A", A);
+  bindSparseVector(M, "x", X);
+
+  // y(i) = Σ_j A(i,j) * ↑_i x(j)
+  ExprPtr E = Expr::sum(
+      attrJ(), Expr::mul(Expr::var("A"), Expr::expand(attrI(),
+                                                      Expr::var("x"))));
+
+  PRef Decl = PStmt::declArr("y", ImpType::F64, eConstI(17));
+  PRef Body = compileExpr(Ctx, E, denseDest(f64Algebra(), "y",
+                                            {eConstI(1)}));
+  auto Err = vmExecute(PStmt::seq2(Decl, Body), M);
+  ASSERT_FALSE(Err.has_value()) << *Err;
+
+  // Oracle.
+  auto Want = A.toKRelation<F64Semiring>(attrI(), attrJ())
+                  .mul(X.toKRelation<F64Semiring>(attrJ()).expand(attrI()))
+                  .contract(attrJ());
+  const auto *Y = M.getArray("y");
+  ASSERT_NE(Y, nullptr);
+  for (Idx I = 0; I < 17; ++I)
+    EXPECT_NEAR(std::get<double>((*Y)[static_cast<size_t>(I)]),
+                Want.at({I}), 1e-9)
+        << "row " << I;
+}
+
+TEST(CompilerPipeline, SparseAddIntoSparseDest) {
+  auto X = vec(12, {{1, 2.0}, {4, 3.0}, {9, 1.0}});
+  auto Y = vec(12, {{0, 1.0}, {4, 2.5}, {11, 4.0}});
+
+  LowerCtx Ctx;
+  Ctx.setDim(attrI(), 12);
+  Ctx.bind(sparseVecBinding("x", attrI()));
+  Ctx.bind(sparseVecBinding("y", attrI()));
+
+  VmMemory M;
+  bindSparseVector(M, "x", X);
+  bindSparseVector(M, "y", Y);
+
+  PRef Decls = PStmt::seq(
+      {PStmt::declArr("o_crd", ImpType::I64, eConstI(12)),
+       PStmt::declArr("o_val", ImpType::F64, eConstI(12)),
+       PStmt::declVar("o_cnt", ImpType::I64, eConstI(0))});
+  PRef Body =
+      compileExpr(Ctx, Expr::var("x") + Expr::var("y"),
+                  sparseVecDest(f64Algebra(), "o_crd", "o_val", "o_cnt"));
+  auto Err = vmExecute(PStmt::seq2(Decls, Body), M);
+  ASSERT_FALSE(Err.has_value()) << *Err;
+
+  int64_t Cnt = std::get<int64_t>(*M.getScalar("o_cnt"));
+  ASSERT_EQ(Cnt, 5);
+  std::vector<Idx> WantCrd = {0, 1, 4, 9, 11};
+  std::vector<double> WantVal = {1.0, 2.0, 5.5, 1.0, 4.0};
+  const auto *Crd = M.getArray("o_crd");
+  const auto *Val = M.getArray("o_val");
+  for (int64_t P = 0; P < Cnt; ++P) {
+    EXPECT_EQ(std::get<int64_t>((*Crd)[static_cast<size_t>(P)]),
+              WantCrd[static_cast<size_t>(P)]);
+    EXPECT_DOUBLE_EQ(std::get<double>((*Val)[static_cast<size_t>(P)]),
+                     WantVal[static_cast<size_t>(P)]);
+  }
+}
+
+TEST(CompilerPipeline, MatmulLinearCombination) {
+  Rng R(5);
+  auto A = randomCsr(R, 9, 11, 30);
+  auto B = randomCsr(R, 11, 13, 40);
+
+  // C(i,k) = Σ_j A(i,j) * B(j,k): attributes i < j < k; A over {i,j},
+  // B over {j,k}; expand A over k at depth 2, B over i at depth 0.
+  LowerCtx Ctx;
+  Ctx.setDim(attrI(), 9);
+  Ctx.setDim(attrJ(), 11);
+  Ctx.setDim(attrK(), 13);
+  Ctx.bind(csrBinding("A", attrI(), attrJ()));
+  Ctx.bind(csrBinding("B", attrJ(), attrK()));
+
+  VmMemory M;
+  bindCsr(M, "A", A);
+  bindCsr(M, "B", B);
+
+  std::string Err;
+  ExprPtr Prod =
+      mulExpand(Expr::var("A"), Expr::var("B"), Ctx.types(), &Err);
+  ASSERT_NE(Prod, nullptr) << Err;
+  ExprPtr E = Expr::sum(attrJ(), Prod);
+
+  PRef Decl = PStmt::declArr("c", ImpType::F64, eConstI(9 * 13));
+  PRef Body = compileExpr(
+      Ctx, E, denseDest(f64Algebra(), "c", {eConstI(13), eConstI(1)}));
+  auto VmErr = vmExecute(PStmt::seq2(Decl, Body), M);
+  ASSERT_FALSE(VmErr.has_value()) << *VmErr;
+
+  auto Want = A.toKRelation<F64Semiring>(attrI(), attrJ())
+                  .expand(attrK())
+                  .mul(B.toKRelation<F64Semiring>(attrJ(), attrK())
+                           .expand(attrI()))
+                  .contract(attrJ());
+  const auto *C = M.getArray("c");
+  for (Idx I = 0; I < 9; ++I)
+    for (Idx K = 0; K < 13; ++K)
+      EXPECT_NEAR(std::get<double>((*C)[static_cast<size_t>(I * 13 + K)]),
+                  Want.at({I, K}), 1e-9);
+}
+
+TEST(CompilerPipeline, EmittedCMatchesVm) {
+  // Figure 2's example, end to end through the system C compiler.
+  auto X = vec(10, {{1, 2.0}, {4, 3.0}, {7, 5.0}});
+  auto Y = vec(10, {{0, 1.0}, {4, 2.0}, {7, 2.0}, {9, 9.0}});
+  auto Z = vec(10, {{4, 10.0}, {7, 3.0}, {8, 1.0}});
+
+  LowerCtx Ctx;
+  Ctx.setDim(attrI(), 10);
+  Ctx.bind(sparseVecBinding("x", attrI()));
+  Ctx.bind(sparseVecBinding("y", attrI()));
+  Ctx.bind(sparseVecBinding("z", attrI()));
+
+  VmMemory M;
+  bindSparseVector(M, "x", X);
+  bindSparseVector(M, "y", Y);
+  bindSparseVector(M, "z", Z);
+
+  ExprPtr E = Expr::var("x") * Expr::var("y") * Expr::var("z");
+  PRef Prog = compileFullContraction(Ctx, E, "out");
+
+  std::string Source = emitCProgram(Prog, M, {{"out"}, {}});
+  std::string Dir = ::testing::TempDir();
+  std::string CPath = Dir + "/etch_triple.c";
+  std::string BinPath = Dir + "/etch_triple";
+  {
+    std::ofstream F(CPath);
+    F << Source;
+  }
+  std::string Cmd = "cc -O1 -o " + BinPath + " " + CPath + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  ASSERT_NE(Pipe, nullptr);
+  char Buf[4096];
+  std::string CompileOut;
+  while (fgets(Buf, sizeof(Buf), Pipe))
+    CompileOut += Buf;
+  ASSERT_EQ(pclose(Pipe), 0) << "C compile failed:\n"
+                             << CompileOut << "\n"
+                             << Source;
+
+  Pipe = popen(BinPath.c_str(), "r");
+  ASSERT_NE(Pipe, nullptr);
+  std::string RunOut;
+  while (fgets(Buf, sizeof(Buf), Pipe))
+    RunOut += Buf;
+  ASSERT_EQ(pclose(Pipe), 0);
+  EXPECT_EQ(RunOut, "out=90\n");
+}
+
+} // namespace

@@ -1,0 +1,340 @@
+//===- tests/core_test.cpp - Attributes, semirings, K-relations, L -------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit and property tests for the core layer: attribute interning and
+// shape algebra, semiring axioms (Definition 4.5) over random values, the
+// K-relation operations of Figure 4c (including the algebraic laws the
+// positive algebra guarantees), and the typing rules of Figure 4b with
+// their error cases.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/eval.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+using namespace etch;
+
+namespace {
+
+Attr attrAt(size_t K) {
+  static const std::array<Attr, 4> As = {
+      Attr::named("ct_a"), Attr::named("ct_b"), Attr::named("ct_c"),
+      Attr::named("ct_d")};
+  return As[K];
+}
+Attr A() { return attrAt(0); }
+Attr B() { return attrAt(1); }
+Attr C() { return attrAt(2); }
+Attr D() { return attrAt(3); }
+
+//===----------------------------------------------------------------------===//
+// Attributes and shapes
+//===----------------------------------------------------------------------===//
+
+TEST(Attr, InterningIsStable) {
+  Attr X = Attr::named("ct_stable");
+  Attr Y = Attr::named("ct_stable");
+  EXPECT_EQ(X, Y);
+  EXPECT_EQ(X.name(), "ct_stable");
+}
+
+TEST(Attr, InterningOrderIsTheGlobalOrder) {
+  EXPECT_LT(A(), B());
+  EXPECT_LT(B(), C());
+  EXPECT_LE(A(), A());
+}
+
+TEST(Shape, MakeShapeSortsAndDedups) {
+  Shape S = makeShape({C(), A(), C(), B(), A()});
+  EXPECT_EQ(S, (Shape{A(), B(), C()}));
+}
+
+TEST(Shape, SetOperations) {
+  Shape X = makeShape({A(), B(), C()});
+  Shape Y = makeShape({B(), D()});
+  EXPECT_EQ(shapeUnion(X, Y), makeShape({A(), B(), C(), D()}));
+  EXPECT_EQ(shapeIntersect(X, Y), makeShape({B()}));
+  EXPECT_EQ(shapeMinus(X, Y), makeShape({A(), C()}));
+  EXPECT_TRUE(shapeContains(X, B()));
+  EXPECT_FALSE(shapeContains(Y, A()));
+}
+
+TEST(Shape, IndexOfAndAttrsBefore) {
+  Shape S = makeShape({A(), C(), D()});
+  EXPECT_EQ(shapeIndexOf(S, A()), 0);
+  EXPECT_EQ(shapeIndexOf(S, C()), 1);
+  EXPECT_EQ(shapeIndexOf(S, B()), -1);
+  EXPECT_EQ(attrsBefore(S, B()), 1); // Only A precedes B.
+  EXPECT_EQ(attrsBefore(S, D()), 2);
+}
+
+TEST(Shape, ToStringRendersNames) {
+  EXPECT_EQ(shapeToString(makeShape({A(), B()})), "{ct_a, ct_b}");
+  EXPECT_EQ(shapeToString({}), "{}");
+}
+
+//===----------------------------------------------------------------------===//
+// Semiring axioms (Definition 4.5), randomized
+//===----------------------------------------------------------------------===//
+
+template <Semiring S>
+void checkAxioms(const std::vector<typename S::Value> &Samples) {
+  using V = typename S::Value;
+  for (V X : Samples) {
+    // Identities.
+    EXPECT_EQ(S::add(X, S::zero()), X);
+    EXPECT_EQ(S::add(S::zero(), X), X);
+    EXPECT_EQ(S::mul(X, S::one()), X);
+    EXPECT_EQ(S::mul(S::one(), X), X);
+    // Absorption.
+    EXPECT_TRUE(S::isZero(S::mul(X, S::zero())));
+    EXPECT_TRUE(S::isZero(S::mul(S::zero(), X)));
+    for (V Y : Samples) {
+      // Commutativity of addition.
+      EXPECT_EQ(S::add(X, Y), S::add(Y, X));
+      for (V Z : Samples) {
+        // Associativity (exact for these carriers' operations on the
+        // sample sets chosen below).
+        EXPECT_EQ(S::add(S::add(X, Y), Z), S::add(X, S::add(Y, Z)));
+        EXPECT_EQ(S::mul(S::mul(X, Y), Z), S::mul(X, S::mul(Y, Z)));
+      }
+    }
+  }
+}
+
+TEST(Semiring, I64Axioms) {
+  checkAxioms<I64Semiring>({0, 1, 2, -3, 7, 100});
+}
+
+TEST(Semiring, BoolAxioms) { checkAxioms<BoolSemiring>({false, true}); }
+
+TEST(Semiring, MinPlusAxioms) {
+  checkAxioms<MinPlusSemiring>(
+      {MinPlusSemiring::zero(), 0.0, 1.0, 2.5, 10.0});
+  // Distributivity: x + min(y, z) == min(x+y, x+z).
+  using MP = MinPlusSemiring;
+  EXPECT_EQ(MP::mul(3.0, MP::add(1.0, 5.0)), MP::add(MP::mul(3.0, 1.0),
+                                                     MP::mul(3.0, 5.0)));
+}
+
+TEST(Semiring, F64DistributesOnIntegers) {
+  using F = F64Semiring;
+  for (double X : {0.0, 1.0, 2.0, 5.0})
+    for (double Y : {0.0, 3.0, 4.0})
+      for (double Z : {1.0, 7.0})
+        EXPECT_EQ(F::mul(X, F::add(Y, Z)),
+                  F::add(F::mul(X, Y), F::mul(X, Z)));
+}
+
+//===----------------------------------------------------------------------===//
+// K-relations (the T algebra)
+//===----------------------------------------------------------------------===//
+
+using KR = KRelation<F64Semiring>;
+
+KR rel2(std::vector<std::tuple<Idx, Idx, double>> Es) {
+  KR R(Shape{A(), B()});
+  for (auto [I, J, V] : Es)
+    R.insert({I, J}, V);
+  return R;
+}
+
+TEST(KRelationT, InsertAccumulates) {
+  KR R(Shape{A()});
+  R.insert({3}, 2.0);
+  R.insert({3}, 4.0);
+  EXPECT_DOUBLE_EQ(R.at({3}), 6.0);
+  EXPECT_EQ(R.supportSize(), 1u);
+}
+
+TEST(KRelationT, AddIsPointwise) {
+  KR X = rel2({{0, 0, 1.0}, {1, 2, 3.0}});
+  KR Y = rel2({{1, 2, 4.0}, {2, 2, 5.0}});
+  KR Z = X.add(Y);
+  EXPECT_DOUBLE_EQ(Z.at({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(Z.at({1, 2}), 7.0);
+  EXPECT_DOUBLE_EQ(Z.at({2, 2}), 5.0);
+}
+
+TEST(KRelationT, AddPrunesCancellation) {
+  KR X = rel2({{0, 0, 1.0}});
+  KR Y = rel2({{0, 0, -1.0}});
+  EXPECT_EQ(X.add(Y).supportSize(), 0u);
+}
+
+TEST(KRelationT, MulIntersects) {
+  KR X = rel2({{0, 0, 2.0}, {1, 1, 3.0}});
+  KR Y = rel2({{1, 1, 5.0}, {2, 2, 7.0}});
+  KR Z = X.mul(Y);
+  EXPECT_EQ(Z.supportSize(), 1u);
+  EXPECT_DOUBLE_EQ(Z.at({1, 1}), 15.0);
+}
+
+TEST(KRelationT, MulWithDenseActsAsJoin) {
+  // f over {a}, expanded to {a,b}, times g over {a,b}: values multiply on
+  // g's support with f looked up on the shared attribute.
+  KR F(Shape{A()});
+  F.insert({1}, 10.0);
+  F.insert({2}, 20.0);
+  KR G = rel2({{1, 5, 1.0}, {2, 6, 2.0}, {3, 7, 3.0}});
+  KR Z = F.expand(B()).mul(G);
+  EXPECT_EQ(Z.supportSize(), 2u);
+  EXPECT_DOUBLE_EQ(Z.at({1, 5}), 10.0);
+  EXPECT_DOUBLE_EQ(Z.at({2, 6}), 40.0);
+}
+
+TEST(KRelationT, ContractSumsOut) {
+  KR X = rel2({{0, 1, 1.0}, {0, 2, 2.0}, {1, 1, 5.0}});
+  KR RowSums = X.contract(B());
+  EXPECT_EQ(RowSums.shape(), Shape{A()});
+  EXPECT_DOUBLE_EQ(RowSums.at({0}), 3.0);
+  EXPECT_DOUBLE_EQ(RowSums.at({1}), 5.0);
+  // Contraction commutes: Σ_a Σ_b == Σ_b Σ_a.
+  EXPECT_TRUE(X.contract(A()).contract(B()).approxEquals(
+      X.contract(B()).contract(A())));
+}
+
+TEST(KRelationT, ExpandFiniteMatchesDense) {
+  KR F(Shape{A()});
+  F.insert({1}, 3.0);
+  KR Dense = F.expand(B());
+  KR Finite = F.expandFinite(B(), {0, 1, 2});
+  // Both agree with a finite partner under multiplication.
+  KR G = rel2({{1, 0, 1.0}, {1, 2, 1.0}});
+  EXPECT_TRUE(Dense.mul(G).approxEquals(Finite.mul(G)));
+}
+
+TEST(KRelationT, RenamePermutesCoordinates) {
+  KR X = rel2({{1, 9, 4.0}});
+  // Swap is illegal for streams but fine denotationally: a -> d puts the
+  // old first coordinate last.
+  KR Y = X.rename({{A(), D()}});
+  EXPECT_EQ(Y.shape(), (Shape{B(), D()}));
+  EXPECT_DOUBLE_EQ(Y.at({9, 1}), 4.0);
+}
+
+TEST(KRelationT, ScalarRelation) {
+  auto S = KR::scalar(5.0);
+  EXPECT_DOUBLE_EQ(S.at({}), 5.0);
+  EXPECT_EQ(KR::scalar(0.0).supportSize(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Language L: typing (Figure 4b) and denotational evaluation (Figure 4c)
+//===----------------------------------------------------------------------===//
+
+TEST(ExprTyping, VariableAndArithmetic) {
+  TypeContext Ctx{{"x", {A(), B()}}, {"y", {A(), B()}}, {"z", {A()}}};
+  EXPECT_EQ(*inferShape(Expr::var("x"), Ctx), (Shape{A(), B()}));
+  EXPECT_EQ(*inferShape(Expr::var("x") + Expr::var("y"), Ctx),
+            (Shape{A(), B()}));
+  EXPECT_EQ(*inferShape(Expr::var("x") * Expr::var("y"), Ctx),
+            (Shape{A(), B()}));
+
+  std::string Err;
+  EXPECT_FALSE(inferShape(Expr::var("w"), Ctx, &Err));
+  EXPECT_NE(Err.find("unbound"), std::string::npos);
+  EXPECT_FALSE(inferShape(Expr::var("x") + Expr::var("z"), Ctx, &Err));
+  EXPECT_NE(Err.find("equal shapes"), std::string::npos);
+}
+
+TEST(ExprTyping, SumAndExpand) {
+  TypeContext Ctx{{"x", {A(), B()}}};
+  EXPECT_EQ(*inferShape(Expr::sum(B(), Expr::var("x")), Ctx), (Shape{A()}));
+  EXPECT_EQ(*inferShape(Expr::expand(C(), Expr::var("x")), Ctx),
+            (Shape{A(), B(), C()}));
+
+  std::string Err;
+  EXPECT_FALSE(inferShape(Expr::sum(C(), Expr::var("x")), Ctx, &Err));
+  EXPECT_FALSE(inferShape(Expr::expand(A(), Expr::var("x")), Ctx, &Err));
+}
+
+TEST(ExprTyping, RenameRules) {
+  TypeContext Ctx{{"x", {A(), B()}}};
+  EXPECT_EQ(*inferShape(Expr::rename({{B(), C()}}, Expr::var("x")), Ctx),
+            (Shape{A(), C()}));
+  std::string Err;
+  // Merging two attributes is rejected.
+  EXPECT_FALSE(
+      inferShape(Expr::rename({{B(), A()}}, Expr::var("x")), Ctx, &Err));
+}
+
+TEST(ExprTyping, MulExpandInfersExpansions) {
+  TypeContext Ctx{{"x", {A(), B()}}, {"y", {B(), C()}}};
+  std::string Err;
+  ExprPtr E = mulExpand(Expr::var("x"), Expr::var("y"), Ctx, &Err);
+  ASSERT_NE(E, nullptr) << Err;
+  EXPECT_EQ(*inferShape(E, Ctx), (Shape{A(), B(), C()}));
+}
+
+TEST(ExprTyping, SumAllContractsEverything) {
+  TypeContext Ctx{{"x", {A(), B(), C()}}};
+  ExprPtr E = sumAll(Expr::var("x"), Ctx);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(inferShape(E, Ctx)->size(), 0u);
+}
+
+TEST(ExprPrint, MatchesPaperNotation) {
+  ExprPtr E = Expr::sum(B(), Expr::expand(C(), Expr::var("x")) *
+                                 Expr::expand(A(), Expr::var("y")));
+  EXPECT_EQ(E->toString(), "sum_ct_b (up_ct_c x * up_ct_a y)");
+}
+
+TEST(ExprEval, MatrixMultiplyDenotation) {
+  // Example 4.1 / 5.9: Σ_b (↑c x · ↑a y) is matrix product.
+  ValueContext<F64Semiring> Ctx;
+  KR X(Shape{A(), B()});
+  X.insert({0, 0}, 2.0);
+  X.insert({0, 1}, 3.0);
+  X.insert({1, 1}, 4.0);
+  KR Y(Shape{B(), C()});
+  Y.insert({0, 0}, 5.0);
+  Y.insert({1, 0}, 6.0);
+  Y.insert({1, 1}, 7.0);
+  Ctx.emplace("x", X);
+  Ctx.emplace("y", Y);
+
+  ExprPtr E = Expr::sum(B(), Expr::expand(C(), Expr::var("x")) *
+                                 Expr::expand(A(), Expr::var("y")));
+  KR Z = evalT(E, Ctx);
+  EXPECT_EQ(Z.shape(), (Shape{A(), C()}));
+  EXPECT_DOUBLE_EQ(Z.at({0, 0}), 2.0 * 5.0 + 3.0 * 6.0);
+  EXPECT_DOUBLE_EQ(Z.at({0, 1}), 3.0 * 7.0);
+  EXPECT_DOUBLE_EQ(Z.at({1, 0}), 4.0 * 6.0);
+  EXPECT_DOUBLE_EQ(Z.at({1, 1}), 4.0 * 7.0);
+}
+
+TEST(ExprEval, RelationalSelectionViaBoolMul) {
+  // Figure 6: selection is multiplication by an indicator.
+  ValueContext<BoolSemiring> Ctx;
+  KRelation<BoolSemiring> T(Shape{A(), B()});
+  T.insert({0, 0}, true);
+  T.insert({0, 1}, true);
+  T.insert({1, 1}, true);
+  KRelation<BoolSemiring> P(Shape{A()});
+  P.insert({0}, true);
+  Ctx.emplace("t", T);
+  Ctx.emplace("p", P);
+
+  ExprPtr E = Expr::mul(Expr::var("t"),
+                        Expr::expand(B(), Expr::var("p")));
+  auto Z = evalT(E, Ctx);
+  EXPECT_EQ(Z.supportSize(), 2u);
+  EXPECT_TRUE(Z.at({0, 0}));
+  EXPECT_FALSE(Z.at({1, 1}));
+}
+
+TEST(ExprEval, TypesOfDerivesContext) {
+  ValueContext<F64Semiring> Ctx;
+  Ctx.emplace("x", rel2({{0, 0, 1.0}}));
+  TypeContext T = typesOf(Ctx);
+  EXPECT_EQ(T.at("x"), (Shape{A(), B()}));
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+//===- tests/formats_test.cpp - Level formats and builders ---------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit and property tests for the data-structure substrate: COO
+// canonicalisation, CSR/DCSR/CSF builders (including duplicate folding and
+// empty slices), format/stream round-trips against the K-relation oracle,
+// skip-policy equivalence, and the random generators' contracts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/random.h"
+#include "streams/eval.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+using namespace etch;
+
+namespace {
+
+Attr attrAt(size_t K) {
+  static const std::array<Attr, 3> As = {
+      Attr::named("ft_i"), Attr::named("ft_j"), Attr::named("ft_k")};
+  return As[K];
+}
+Attr AI() { return attrAt(0); }
+Attr AJ() { return attrAt(1); }
+Attr AK() { return attrAt(2); }
+
+TEST(Coo, CanonicalizeSortsSumsAndPrunes) {
+  std::vector<CooEntry<double>> Coo = {
+      {1, 1, 2.0}, {0, 0, 1.0}, {1, 1, 3.0}, {0, 1, 4.0}, {2, 2, -1.0},
+      {2, 2, 1.0}};
+  auto Out = canonicalizeCoo(std::move(Coo));
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Out[0].Row, 0);
+  EXPECT_EQ(Out[0].Col, 0);
+  EXPECT_EQ(Out[1].Col, 1);
+  EXPECT_DOUBLE_EQ(Out[2].Val, 5.0); // 2 + 3 summed; the (2,2) pair pruned.
+}
+
+TEST(Csr, BuilderHandlesEmptyRows) {
+  auto M = CsrMatrix<double>::fromCoo(4, 4, {{0, 1, 1.0}, {3, 0, 2.0}});
+  EXPECT_EQ(M.nnz(), 2u);
+  EXPECT_EQ(M.Pos[1], 1u);
+  EXPECT_EQ(M.Pos[2], 1u); // Rows 1 and 2 empty.
+  EXPECT_EQ(M.Pos[3], 1u);
+  EXPECT_EQ(M.Pos[4], 2u);
+}
+
+TEST(Csr, StreamRoundTripsThroughOracle) {
+  Rng R(5);
+  auto M = randomCsr(R, 8, 9, 20);
+  auto FromStream =
+      evalStream<F64Semiring>(M.stream(), {AI(), AJ()});
+  EXPECT_TRUE(FromStream.approxEquals(
+      M.toKRelation<F64Semiring>(AI(), AJ())));
+}
+
+TEST(Dcsr, SkipsEmptyRowsEntirely) {
+  auto M = DcsrMatrix<double>::fromCoo(
+      100, 100, {{5, 1, 1.0}, {90, 2, 2.0}});
+  EXPECT_EQ(M.RowCrd, (std::vector<Idx>{5, 90}));
+  // Outer iteration touches exactly the two nonempty rows.
+  int Rows = 0;
+  forEach(M.stream(), [&](Idx, auto) { ++Rows; });
+  EXPECT_EQ(Rows, 2);
+}
+
+TEST(Dcsr, StreamRoundTripsThroughOracle) {
+  Rng R(6);
+  auto M = randomDcsr(R, 30, 30, 40);
+  auto FromStream =
+      evalStream<F64Semiring>(M.stream(), {AI(), AJ()});
+  EXPECT_TRUE(FromStream.approxEquals(
+      M.toKRelation<F64Semiring>(AI(), AJ())));
+}
+
+TEST(Csf, BuilderGroupsFibers) {
+  auto T = CsfTensor3<double>::fromCoo(
+      3, 3, 3,
+      {{0, 0, 0, 1.0}, {0, 0, 2, 2.0}, {0, 1, 1, 3.0}, {2, 2, 2, 4.0}});
+  EXPECT_EQ(T.Crd0, (std::vector<Idx>{0, 2}));
+  EXPECT_EQ(T.Crd1, (std::vector<Idx>{0, 1, 2}));
+  EXPECT_EQ(T.Pos0[0], 0u);
+  EXPECT_EQ(T.Pos0[1], 2u); // i=0 has two j-fibers.
+  EXPECT_EQ(T.nnz(), 4u);
+}
+
+TEST(Csf, StreamRoundTripsThroughOracle) {
+  Rng R(7);
+  auto T = randomCsf3(R, 6, 7, 8, 30);
+  auto FromStream =
+      evalStream<F64Semiring>(T.stream(), {AI(), AJ(), AK()});
+  EXPECT_TRUE(FromStream.approxEquals(
+      T.toKRelation<F64Semiring>(AI(), AJ(), AK())));
+}
+
+TEST(SparseVectorFmt, PushEnforcesOrder) {
+  SparseVector<double> V(10);
+  V.push(3, 1.0);
+  EXPECT_DEATH(V.push(3, 2.0), "strictly increasing");
+  EXPECT_DEATH(V.push(1, 2.0), "strictly increasing");
+}
+
+class PolicySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolicySweep, AllPoliciesVisitTheSameStates) {
+  // Property: for random skip sequences, Linear / Binary / Gallop land on
+  // the same position — the policy is an implementation detail of `skip`.
+  Rng R(GetParam());
+  const Idx N = 500;
+  auto V = randomSparseVector(R, N, 60);
+  auto L = V.stream<SearchPolicy::Linear>();
+  auto B = V.stream<SearchPolicy::Binary>();
+  auto G = V.stream<SearchPolicy::Gallop>();
+  for (int Step = 0; Step < 40 && L.valid(); ++Step) {
+    Idx Target = static_cast<Idx>(R.nextBelow(static_cast<uint64_t>(N)));
+    bool Strict = R.nextBool(0.5);
+    L.skip(Target, Strict);
+    B.skip(Target, Strict);
+    G.skip(Target, Strict);
+    ASSERT_EQ(L.valid(), B.valid());
+    ASSERT_EQ(L.valid(), G.valid());
+    if (!L.valid())
+      break;
+    ASSERT_EQ(L.index(), B.index());
+    ASSERT_EQ(L.index(), G.index());
+    ASSERT_EQ(L.position(), B.position());
+    ASSERT_EQ(L.position(), G.position());
+  }
+}
+
+TEST_P(PolicySweep, GeneratorsHonourTheirContracts) {
+  Rng R(GetParam() + 50);
+  size_t Nnz = R.nextBelow(200) + 1;
+  auto V = randomSparseVector(R, 1000, Nnz);
+  EXPECT_EQ(V.nnz(), Nnz);
+  for (size_t I = 1; I < V.Crd.size(); ++I)
+    EXPECT_LT(V.Crd[I - 1], V.Crd[I]);
+  for (double X : V.Val) {
+    EXPECT_GE(X, 0.5);
+    EXPECT_LT(X, 1.5);
+  }
+
+  auto M = randomCsr(R, 40, 50, 300);
+  EXPECT_EQ(M.nnz(), 300u);
+  auto T = randomCsf3(R, 10, 10, 10, 123);
+  EXPECT_EQ(T.nnz(), 123u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicySweep,
+                         ::testing::Range<uint64_t>(0, 6));
+
+TEST(DenseVectorFmt, StreamVisitsEverySlot) {
+  DenseVector<double> V(5, 2.0);
+  V.Val[3] = 7.0;
+  int Count = 0;
+  double Sum = 0.0;
+  forEach(V.stream(), [&](Idx, double X) {
+    ++Count;
+    Sum += X;
+  });
+  EXPECT_EQ(Count, 5);
+  EXPECT_DOUBLE_EQ(Sum, 4 * 2.0 + 7.0);
+}
+
+} // namespace

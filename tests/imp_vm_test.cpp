@@ -1,0 +1,249 @@
+//===- tests/imp_vm_test.cpp - The target IR, ops, VM, and C emitter -----===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for the compiler's substrate: expression/statement
+// construction and printing (Figure 11), the user-extensible operation set
+// (Figure 12) including laziness/short-circuit semantics, the VM's memory
+// model and failure modes, and the C emitter's rendering.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/c_emit.h"
+#include "compiler/ops.h"
+#include "compiler/vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace etch;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+TEST(Imp, ConstantRendering) {
+  EXPECT_EQ(eConstI(42)->toString(), "42");
+  EXPECT_EQ(eConstI(-7)->toString(), "-7");
+  EXPECT_EQ(eConstF(1.5)->toString(), "1.5");
+  EXPECT_EQ(eConstF(2.0)->toString(), "2.0"); // Forced float literal.
+  EXPECT_EQ(eBool(true)->toString(), "1");
+  EXPECT_EQ(
+      eConstF(std::numeric_limits<double>::infinity())->toString(),
+      "INFINITY");
+}
+
+TEST(Imp, CallRenderingSubstitutesPlaceholders) {
+  ERef E = eAddI(eVarI("x"), eConstI(1));
+  EXPECT_EQ(E->toString(), "(x + 1)");
+  ERef M = eMaxI(eVarI("a"), eVarI("b"));
+  EXPECT_EQ(M->toString(), "((a > b) ? a : b)");
+  ERef Acc = EExpr::access("arr", ImpType::F64, eVarI("i"));
+  EXPECT_EQ(Acc->toString(), "arr[i]");
+}
+
+TEST(Imp, ExpressionTypes) {
+  EXPECT_EQ(eAddI(eVarI("x"), eConstI(1))->type(), ImpType::I64);
+  EXPECT_EQ(eLtI(eVarI("x"), eConstI(1))->type(), ImpType::Bool);
+  EXPECT_EQ(eSelect(eBool(true), eConstF(1.0), eConstF(2.0))->type(),
+            ImpType::F64);
+}
+
+TEST(Imp, SeqFlattensAndDropsNoops) {
+  PRef S = PStmt::seq({PStmt::noop(),
+                       PStmt::seq2(PStmt::storeVar("x", eConstI(1)),
+                                   PStmt::noop()),
+                       PStmt::storeVar("y", eConstI(2))});
+  ASSERT_EQ(S->kind(), PKind::Seq);
+  EXPECT_EQ(S->children().size(), 2u);
+}
+
+TEST(Imp, StatementPrinting) {
+  PRef P = PStmt::whileLoop(
+      eLtI(eVarI("i"), eConstI(3)),
+      PStmt::storeVar("i", eAddI(eVarI("i"), eConstI(1))));
+  EXPECT_EQ(P->toString(), "while ((i < 3)) {\n  i = (i + 1);\n}\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Operations
+//===----------------------------------------------------------------------===//
+
+TEST(Ops, InterpretersMatchCSemantics) {
+  auto Run = [](const OpDef *Op, std::vector<ImpValue> Args) {
+    return Op->Spec(Args);
+  };
+  EXPECT_EQ(std::get<int64_t>(Run(Ops::addI(), {int64_t{2}, int64_t{3}})),
+            5);
+  EXPECT_EQ(std::get<int64_t>(Run(Ops::divI(), {int64_t{7}, int64_t{2}})),
+            3);
+  EXPECT_EQ(std::get<int64_t>(Run(Ops::modI(), {int64_t{7}, int64_t{2}})),
+            1);
+  EXPECT_EQ(std::get<bool>(Run(Ops::leI(), {int64_t{2}, int64_t{2}})),
+            true);
+  EXPECT_EQ(std::get<double>(Run(Ops::minF(), {3.0, 1.0})), 1.0);
+  EXPECT_EQ(std::get<bool>(Run(Ops::notB(), {false})), true);
+}
+
+TEST(Ops, CustomOpIsUnprivileged) {
+  // The Figure 12 mechanism: a user-defined op with its own C helper.
+  auto Sq = makeCustomOp(
+      "square", ImpType::I64, {ImpType::I64},
+      [](std::span<const ImpValue> A) -> ImpValue {
+        int64_t X = std::get<int64_t>(A[0]);
+        return X * X;
+      },
+      "etch_square({0})",
+      "static int64_t etch_square(int64_t x) { return x * x; }");
+  ERef E = EExpr::call(Sq.get(), {eConstI(9)});
+  VmMemory M;
+  auto V = vmEval(E, M);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(std::get<int64_t>(*V), 81);
+  EXPECT_EQ(E->toString(), "etch_square(9)");
+}
+
+TEST(Ops, ScalarAlgebras) {
+  EXPECT_EQ(f64Algebra().Ty, ImpType::F64);
+  EXPECT_EQ(boolAlgebra().Ty, ImpType::Bool);
+  // min-plus: zero is +inf, add is min, mul is +.
+  const ScalarAlgebra &MP = minPlusAlgebra();
+  VmMemory M;
+  auto V = vmEval(MP.add(eConstF(3.0), eConstF(1.0)), M);
+  EXPECT_EQ(std::get<double>(*V), 1.0);
+  V = vmEval(MP.mul(eConstF(3.0), eConstF(1.0)), M);
+  EXPECT_EQ(std::get<double>(*V), 4.0);
+}
+
+//===----------------------------------------------------------------------===//
+// The VM
+//===----------------------------------------------------------------------===//
+
+TEST(Vm, LazyAndProtectsOutOfBounds) {
+  // (i < len) && (arr[i] < 5): with i == len the access must not run.
+  VmMemory M;
+  M.setArrayI64("arr", {1, 2, 3});
+  M.setScalar("i", int64_t{3});
+  ERef Guarded = eAnd(eLtI(eVarI("i"), eConstI(3)),
+                      eLtI(EExpr::access("arr", ImpType::I64, eVarI("i")),
+                           eConstI(5)));
+  auto V = vmEval(Guarded, M);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_FALSE(std::get<bool>(*V));
+
+  // Without the guard the VM reports the bounds violation.
+  std::string Err;
+  auto Bad =
+      vmEval(EExpr::access("arr", ImpType::I64, eVarI("i")), M, &Err);
+  EXPECT_FALSE(Bad.has_value());
+  EXPECT_NE(Err.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(Vm, LazySelectTakesOneBranch) {
+  VmMemory M;
+  M.setArrayF64("v", {1.5});
+  // select(false, v[9], 2.0) must not touch v[9].
+  ERef E = eSelect(eBool(false),
+                   EExpr::access("v", ImpType::F64, eConstI(9)),
+                   eConstF(2.0));
+  auto V = vmEval(E, M);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(std::get<double>(*V), 2.0);
+}
+
+TEST(Vm, UndefinedNamesAreErrors) {
+  VmMemory M;
+  std::string Err;
+  EXPECT_FALSE(vmEval(eVarI("nope"), M, &Err).has_value());
+  EXPECT_NE(Err.find("undefined variable"), std::string::npos);
+
+  auto Status = vmExecute(
+      PStmt::storeArr("ghost", eConstI(0), eConstI(1)), M);
+  ASSERT_TRUE(Status.has_value());
+  EXPECT_NE(Status->find("undefined array"), std::string::npos);
+}
+
+TEST(Vm, DeclArrZeroInitialises) {
+  VmMemory M;
+  auto Status = vmExecute(
+      PStmt::declArr("w", ImpType::F64, eConstI(4)), M);
+  EXPECT_FALSE(Status.has_value());
+  const auto *W = M.getArray("w");
+  ASSERT_NE(W, nullptr);
+  ASSERT_EQ(W->size(), 4u);
+  for (const auto &V : *W)
+    EXPECT_EQ(std::get<double>(V), 0.0);
+}
+
+TEST(Vm, StepBudgetCatchesNonTermination) {
+  VmMemory M;
+  PRef Loop = PStmt::seq2(
+      PStmt::declVar("i", ImpType::I64, eConstI(0)),
+      PStmt::whileLoop(eBool(true), PStmt::storeVar("i", eVarI("i"))));
+  auto Status = vmExecute(Loop, M, /*MaxSteps=*/1000);
+  ASSERT_TRUE(Status.has_value());
+  EXPECT_NE(Status->find("step budget"), std::string::npos);
+}
+
+TEST(Vm, BranchAndWhileSemantics) {
+  VmMemory M;
+  // sum = 0; i = 0; while (i < 10) { if (i % 2 == 0) sum += i; i++ }
+  PRef P = PStmt::seq(
+      {PStmt::declVar("sum", ImpType::I64, eConstI(0)),
+       PStmt::declVar("i", ImpType::I64, eConstI(0)),
+       PStmt::whileLoop(
+           eLtI(eVarI("i"), eConstI(10)),
+           PStmt::seq(
+               {PStmt::branch(
+                    eEqI(EExpr::call(Ops::modI(),
+                                     {eVarI("i"), eConstI(2)}),
+                         eConstI(0)),
+                    PStmt::storeVar("sum", eAddI(eVarI("sum"), eVarI("i"))),
+                    PStmt::noop()),
+                PStmt::storeVar("i", eAddI(eVarI("i"), eConstI(1)))}))});
+  ASSERT_FALSE(vmExecute(P, M).has_value());
+  EXPECT_EQ(std::get<int64_t>(*M.getScalar("sum")), 0 + 2 + 4 + 6 + 8);
+}
+
+//===----------------------------------------------------------------------===//
+// The C emitter
+//===----------------------------------------------------------------------===//
+
+TEST(CEmit, StatementsRenderAsC) {
+  PRef P = PStmt::seq(
+      {PStmt::declVar("x", ImpType::I64, eConstI(0)),
+       PStmt::declArr("buf", ImpType::F64, eConstI(8)),
+       PStmt::branch(eLtI(eVarI("x"), eConstI(1)),
+                     PStmt::storeArr("buf", eVarI("x"), eConstF(1.0)),
+                     PStmt::noop())});
+  std::string C = emitCStatements(P, 0);
+  EXPECT_NE(C.find("int64_t x = 0;"), std::string::npos);
+  EXPECT_NE(C.find("double *buf = calloc"), std::string::npos);
+  EXPECT_NE(C.find("if ((x < 1)) {"), std::string::npos);
+}
+
+TEST(CEmit, ProgramBakesInputsAndPreludes) {
+  auto Twice = makeCustomOp(
+      "twice", ImpType::I64, {ImpType::I64},
+      [](std::span<const ImpValue> A) -> ImpValue {
+        return std::get<int64_t>(A[0]) * 2;
+      },
+      "etch_twice({0})",
+      "static int64_t etch_twice(int64_t x) { return 2 * x; }");
+  VmMemory Inputs;
+  Inputs.setArrayI64("data", {10, 20});
+  PRef Body = PStmt::declVar(
+      "out", ImpType::I64,
+      EExpr::call(Twice.get(),
+                  {EExpr::access("data", ImpType::I64, eConstI(1))}));
+  std::string Src = emitCProgram(Body, Inputs, {{"out"}, {}});
+  EXPECT_NE(Src.find("static int64_t data[] = {10, 20};"),
+            std::string::npos);
+  EXPECT_NE(Src.find("static int64_t etch_twice"), std::string::npos);
+  EXPECT_NE(Src.find("printf(\"out=%.17g\\n\""), std::string::npos);
+}
+
+} // namespace

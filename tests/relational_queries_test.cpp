@@ -1,0 +1,116 @@
+//===- tests/relational_queries_test.cpp - Engine agreement tests --------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// All three execution engines (fused indexed streams, columnar hash join,
+// row-store index nested loop) must return identical answers on Q5, Q9 and
+// the triangle query; the nested-loop reference is the oracle. The tests
+// also pin basic properties of the TPC-H generator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "relational/queries.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace etch;
+
+namespace {
+
+void expectClose(const double *A, const double *B, size_t N,
+                 const char *Tag) {
+  for (size_t I = 0; I < N; ++I) {
+    double Scale = std::max({1.0, std::fabs(A[I]), std::fabs(B[I])});
+    EXPECT_NEAR(A[I], B[I], 1e-6 * Scale) << Tag << " cell " << I;
+  }
+}
+
+TEST(TpchGenerator, CardinalityRatios) {
+  TpchDb Db = generateTpch(0.01);
+  EXPECT_EQ(Db.RegionName.size(), 5u);
+  EXPECT_EQ(Db.NationRegion.size(), 25u);
+  EXPECT_EQ(Db.numSuppliers(), 100u);
+  EXPECT_EQ(Db.numCustomers(), 1500u);
+  EXPECT_EQ(Db.numParts(), 2000u);
+  EXPECT_EQ(Db.PsPart.size(), 8000u);
+  EXPECT_EQ(Db.numOrders(), 15000u);
+  // 1..7 lines per order, mean 4.
+  EXPECT_GT(Db.numLineitems(), Db.numOrders() * 3);
+  EXPECT_LT(Db.numLineitems(), Db.numOrders() * 5);
+}
+
+TEST(TpchGenerator, Deterministic) {
+  TpchDb A = generateTpch(0.002, 42);
+  TpchDb B = generateTpch(0.002, 42);
+  EXPECT_EQ(A.LiOrder, B.LiOrder);
+  EXPECT_EQ(A.LiExtendedPrice, B.LiExtendedPrice);
+  TpchDb C = generateTpch(0.002, 43);
+  EXPECT_NE(A.LiExtendedPrice, C.LiExtendedPrice);
+}
+
+TEST(Q5, AllEnginesAgree) {
+  TpchDb Db = generateTpch(0.01);
+  Q5Result Ref = q5Reference(Db);
+  Q5Result Fused = q5Fused(Db);
+  Q5Result Col = q5Columnar(Db);
+  Q5Result Row = q5RowStore(Db);
+  expectClose(Ref.data(), Fused.data(), Ref.size(), "fused");
+  expectClose(Ref.data(), Col.data(), Ref.size(), "columnar");
+  expectClose(Ref.data(), Row.data(), Ref.size(), "rowstore");
+  // The result must be non-trivial and confined to ASIA nations (10..14).
+  double Total = std::accumulate(Ref.begin(), Ref.end(), 0.0);
+  EXPECT_GT(Total, 0.0);
+  for (size_t N = 0; N < 25; ++N)
+    if (Db.NationRegion[N] != TpchDb::asiaRegion())
+      EXPECT_EQ(Ref[N], 0.0) << "nation " << N;
+}
+
+TEST(Q9, AllEnginesAgree) {
+  TpchDb Db = generateTpch(0.01);
+  Q9Result Ref = q9Reference(Db);
+  Q9Result Fused = q9Fused(Db);
+  Q9Result Col = q9Columnar(Db);
+  Q9Result Row = q9RowStore(Db);
+  expectClose(Ref.data(), Fused.data(), Ref.size(), "fused");
+  expectClose(Ref.data(), Col.data(), Ref.size(), "columnar");
+  expectClose(Ref.data(), Row.data(), Ref.size(), "rowstore");
+  double Total = std::accumulate(Ref.begin(), Ref.end(), 0.0,
+                                 [](double A, double B) {
+                                   return A + std::fabs(B);
+                                 });
+  EXPECT_GT(Total, 0.0);
+}
+
+TEST(Triangle, WorstCaseCountIsLinear) {
+  // On ({0} x [n]) ∪ ([n] x {0}) the triangle count is 3n - 2: triangles
+  // (0,0,c), (0,b,0) and (a,0,0) overlap at the all-zero triangle.
+  for (Idx N : {Idx(1), Idx(2), Idx(5), Idx(100)}) {
+    EdgeList G = triangleWorstCase(N);
+    int64_t Ref = triangleReference(G, G, G);
+    EXPECT_EQ(Ref, 3 * N - 2) << "n=" << N;
+    EXPECT_EQ(triangleFused(G, G, G), Ref) << "n=" << N;
+    EXPECT_EQ(triangleColumnar(G, G, G), Ref) << "n=" << N;
+    EXPECT_EQ(triangleRowStore(G, G, G), Ref) << "n=" << N;
+  }
+}
+
+TEST(Triangle, RandomGraphsAgree) {
+  Rng R(99);
+  for (int Case = 0; Case < 8; ++Case) {
+    Idx N = 20 + static_cast<Idx>(R.nextBelow(60));
+    size_t E = 1 + R.nextBelow(static_cast<uint64_t>(N) * 4);
+    EdgeList Ra = randomEdges(R, N, E);
+    EdgeList Sb = randomEdges(R, N, E);
+    EdgeList Tc = randomEdges(R, N, E);
+    int64_t Ref = triangleReference(Ra, Sb, Tc);
+    EXPECT_EQ(triangleFused(Ra, Sb, Tc), Ref) << "case " << Case;
+    EXPECT_EQ(triangleColumnar(Ra, Sb, Tc), Ref) << "case " << Case;
+    EXPECT_EQ(triangleRowStore(Ra, Sb, Tc), Ref) << "case " << Case;
+  }
+}
+
+} // namespace

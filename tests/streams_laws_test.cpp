@@ -1,0 +1,176 @@
+//===- tests/streams_laws_test.cpp - Lawfulness & monotonicity -----------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The proof obligations of Section 6, checked at runtime over primitives
+// and composites (the role the Lean proofs play for the paper, and the
+// checklist it gives implementers of new data structures):
+//
+//   - monotonicity: index never decreases along δ;
+//   - strict monotonicity (Section 6.2): ready states strictly advance —
+//     required for multiplication's eager emission to be sound;
+//   - lawfulness (Section 6.1): skip(q, (i, r)) cannot change evaluation
+//     at any j with (i, r) <= (j, 0);
+//   - finiteness: every stream reaches its terminal state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/matrices.h"
+#include "formats/random.h"
+#include "formats/vectors.h"
+#include "streams/combinators.h"
+#include "streams/laws.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+using namespace etch;
+
+namespace {
+
+Attr attrL() { return Attr::named("lw_i"); }
+
+std::vector<std::pair<Idx, bool>> probesFor(Rng &R, Idx N, int Count) {
+  std::vector<std::pair<Idx, bool>> Out;
+  for (int I = 0; I < Count; ++I)
+    Out.push_back({static_cast<Idx>(R.nextBelow(static_cast<uint64_t>(N))),
+                   R.nextBool(0.5)});
+  // Include the boundary probes.
+  Out.push_back({0, false});
+  Out.push_back({N - 1, true});
+  return Out;
+}
+
+class StreamLaws : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamLaws, SparsePrimitiveAllPolicies) {
+  Rng R(GetParam());
+  const Idx N = 80;
+  auto X = randomSparseVector(R, N, R.nextBelow(40) + 1);
+  auto Probes = probesFor(R, N, 16);
+
+  auto Check = [&](auto Q) {
+    EXPECT_TRUE(checkStrictMonotone(Q));
+    EXPECT_TRUE(checkSkipMonotone(Q, Probes));
+    for (auto [I, B] : Probes)
+      EXPECT_TRUE(checkSkipLawful<F64Semiring>(Q, Shape{attrL()}, I, B))
+          << "probe (" << I << ", " << B << ")";
+  };
+  Check(X.stream<SearchPolicy::Linear>());
+  Check(X.stream<SearchPolicy::Binary>());
+  Check(X.stream<SearchPolicy::Gallop>());
+}
+
+TEST_P(StreamLaws, DensePrimitive) {
+  Rng R(GetParam() + 100);
+  const Idx N = 30;
+  auto X = randomDenseVector(R, N);
+  auto Q = X.stream();
+  EXPECT_TRUE(checkStrictMonotone(Q));
+  for (auto [I, B] : probesFor(R, N, 8))
+    EXPECT_TRUE(checkSkipLawful<F64Semiring>(Q, Shape{attrL()}, I, B));
+}
+
+TEST_P(StreamLaws, RepeatPrimitive) {
+  Rng R(GetParam() + 200);
+  RepeatStream<double> Q(25, randomValue(R));
+  EXPECT_TRUE(checkStrictMonotone(Q));
+  for (auto [I, B] : probesFor(R, 25, 8))
+    EXPECT_TRUE(checkSkipLawful<F64Semiring>(Q, Shape{attrL()}, I, B));
+}
+
+TEST_P(StreamLaws, MulComposite) {
+  Rng R(GetParam() + 300);
+  const Idx N = 60;
+  auto X = randomSparseVector(R, N, R.nextBelow(30) + 1);
+  auto Y = randomSparseVector(R, N, R.nextBelow(30) + 1);
+  auto Q = mulStreams<F64Semiring>(X.stream(),
+                                   Y.stream<SearchPolicy::Gallop>());
+  EXPECT_TRUE(checkStrictMonotone(Q));
+  auto Probes = probesFor(R, N, 12);
+  EXPECT_TRUE(checkSkipMonotone(Q, Probes));
+  for (auto [I, B] : Probes)
+    EXPECT_TRUE(checkSkipLawful<F64Semiring>(Q, Shape{attrL()}, I, B));
+}
+
+TEST_P(StreamLaws, AddComposite) {
+  Rng R(GetParam() + 400);
+  const Idx N = 60;
+  auto X = randomSparseVector(R, N, R.nextBelow(30) + 1);
+  auto Y = randomSparseVector(R, N, R.nextBelow(30) + 1);
+  auto Q = addStreams<F64Semiring>(X.stream(), Y.stream());
+  EXPECT_TRUE(checkStrictMonotone(Q));
+  auto Probes = probesFor(R, N, 12);
+  EXPECT_TRUE(checkSkipMonotone(Q, Probes));
+  for (auto [I, B] : Probes)
+    EXPECT_TRUE(checkSkipLawful<F64Semiring>(Q, Shape{attrL()}, I, B));
+}
+
+TEST_P(StreamLaws, NestedCompositeOuterLevel) {
+  // The outer level of a matrix product must satisfy the same laws; inner
+  // evaluation is part of the evaluated relation.
+  Rng R(GetParam() + 500);
+  auto A = randomCsr(R, 10, 12, R.nextBelow(40) + 1);
+  auto B = randomDcsr(R, 10, 12, R.nextBelow(40) + 1);
+  auto Q = mulStreams<F64Semiring>(A.stream(), B.stream());
+  EXPECT_TRUE(checkStrictMonotone(Q));
+  Attr AJ = Attr::named("lw_j");
+  Rng RP(GetParam());
+  for (auto [I, Bit] : probesFor(RP, 10, 6))
+    EXPECT_TRUE(
+        (checkSkipLawful<F64Semiring>(Q, Shape{attrL(), AJ}, I, Bit)));
+}
+
+TEST_P(StreamLaws, MulOfAddComposite) {
+  Rng R(GetParam() + 600);
+  const Idx N = 50;
+  auto X = randomSparseVector(R, N, R.nextBelow(25) + 1);
+  auto Y = randomSparseVector(R, N, R.nextBelow(25) + 1);
+  auto Z = randomSparseVector(R, N, R.nextBelow(25) + 1);
+  auto Q = mulStreams<F64Semiring>(
+      X.stream(), addStreams<F64Semiring>(Y.stream(), Z.stream()));
+  EXPECT_TRUE(checkStrictMonotone(Q));
+  for (auto [I, B] : probesFor(R, N, 10))
+    EXPECT_TRUE(checkSkipLawful<F64Semiring>(Q, Shape{attrL()}, I, B));
+}
+
+TEST(StreamLawsEdge, TerminalStateIsFixed) {
+  SparseVector<double> X(10);
+  X.push(4, 1.0);
+  auto Q = X.stream();
+  advance(Q); // Past the single entry.
+  EXPECT_FALSE(Q.valid());
+  // Skipping a terminal stream keeps it terminal.
+  Q.skip(0, false);
+  EXPECT_FALSE(Q.valid());
+  Q.skip(9, true);
+  EXPECT_FALSE(Q.valid());
+}
+
+TEST(StreamLawsEdge, SkipIsIdempotentAtTarget) {
+  SparseVector<double> X(100);
+  for (Idx I = 0; I < 100; I += 7)
+    X.push(I, 1.0);
+  auto Q = X.stream<SearchPolicy::Binary>();
+  Q.skip(30, false);
+  Idx At = Q.index();
+  Q.skip(30, false);
+  EXPECT_EQ(Q.index(), At); // Non-strict re-skip to the same bound: no-op.
+}
+
+TEST(StreamLawsEdge, CountTransitionsMatchesSupport) {
+  // A bare sparse stream takes exactly nnz transitions to terminate.
+  SparseVector<double> X(100);
+  for (Idx I = 0; I < 100; I += 9)
+    X.push(I, 1.0);
+  EXPECT_EQ(countTransitions(X.stream()),
+            static_cast<int64_t>(X.nnz()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamLaws,
+                         ::testing::Range<uint64_t>(0, 10));
+
+} // namespace

@@ -1,0 +1,393 @@
+//===- tests/streams_property_test.cpp - Theorem 6.1 as property tests ---===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's correctness theorem (Theorem 6.1) states that stream
+// evaluation is a homomorphism from the stream algebra S to the K-relation
+// algebra T:
+//
+//   [[a * b]] = [[a]] * [[b]]     [[a + b]] = [[a]] + [[b]]
+//   [[Σ a]]   = Σ [[a]]           [[↑ v]]   = ↑ v
+//
+// The Lean development proves this once and for all; here it is checked as
+// randomized properties over the concrete combinators, across semirings,
+// skip policies, nesting depths, and degenerate inputs (empty streams,
+// disjoint and identical supports). Every case evaluates both sides into
+// KRelations through independent code paths and compares.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/eval.h"
+#include "formats/matrices.h"
+#include "formats/random.h"
+#include "formats/vectors.h"
+#include "streams/combinators.h"
+#include "streams/eval.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+using namespace etch;
+
+namespace {
+
+Attr attrAt(size_t K) {
+  static const std::array<Attr, 2> As = {Attr::named("sp_i"),
+                                         Attr::named("sp_j")};
+  return As[K];
+}
+Attr attrI() { return attrAt(0); }
+Attr attrJ() { return attrAt(1); }
+
+/// A random sparse vector whose support/density varies with the seed,
+/// including empty and singleton cases.
+SparseVector<double> randomVec(Rng &R, Idx N) {
+  size_t Nnz = static_cast<size_t>(R.nextBelow(static_cast<uint64_t>(N)));
+  if (R.nextBool(0.1))
+    Nnz = 0;
+  if (R.nextBool(0.1))
+    Nnz = 1;
+  return randomSparseVector(R, N, Nnz);
+}
+
+class StreamHom : public ::testing::TestWithParam<uint64_t> {};
+
+//===----------------------------------------------------------------------===//
+// Vector-level homomorphisms
+//===----------------------------------------------------------------------===//
+
+TEST_P(StreamHom, MulVectors) {
+  Rng R(GetParam());
+  const Idx N = 64;
+  auto X = randomVec(R, N);
+  auto Y = randomVec(R, N);
+  auto Lhs = evalStream<F64Semiring>(
+      mulStreams<F64Semiring>(X.stream(), Y.stream()), {attrI()});
+  auto Rhs = X.toKRelation<F64Semiring>(attrI())
+                 .mul(Y.toKRelation<F64Semiring>(attrI()));
+  EXPECT_TRUE(Lhs.approxEquals(Rhs)) << Lhs.toString() << Rhs.toString();
+}
+
+TEST_P(StreamHom, MulThreeWay) {
+  Rng R(GetParam() + 1000);
+  const Idx N = 48;
+  auto X = randomVec(R, N);
+  auto Y = randomVec(R, N);
+  auto Z = randomVec(R, N);
+  auto Lhs = evalStream<F64Semiring>(
+      mulStreams<F64Semiring>(
+          X.stream(),
+          mulStreams<F64Semiring>(Y.stream<SearchPolicy::Binary>(),
+                                  Z.stream<SearchPolicy::Gallop>())),
+      {attrI()});
+  auto Rhs = X.toKRelation<F64Semiring>(attrI())
+                 .mul(Y.toKRelation<F64Semiring>(attrI()))
+                 .mul(Z.toKRelation<F64Semiring>(attrI()));
+  EXPECT_TRUE(Lhs.approxEquals(Rhs));
+}
+
+TEST_P(StreamHom, AddVectors) {
+  Rng R(GetParam() + 2000);
+  const Idx N = 64;
+  auto X = randomVec(R, N);
+  auto Y = randomVec(R, N);
+  auto Lhs = evalStream<F64Semiring>(
+      addStreams<F64Semiring>(X.stream(), Y.stream()), {attrI()});
+  auto Rhs = X.toKRelation<F64Semiring>(attrI())
+                 .add(Y.toKRelation<F64Semiring>(attrI()));
+  EXPECT_TRUE(Lhs.approxEquals(Rhs));
+}
+
+TEST_P(StreamHom, AddThenMulDistributes) {
+  // eval(x * (y + z)) == eval(x*y) + eval(x*z): exercises add nested under
+  // mul plus the semiring distributive law.
+  Rng R(GetParam() + 3000);
+  const Idx N = 64;
+  auto X = randomVec(R, N);
+  auto Y = randomVec(R, N);
+  auto Z = randomVec(R, N);
+  auto Lhs = evalStream<F64Semiring>(
+      mulStreams<F64Semiring>(
+          X.stream(), addStreams<F64Semiring>(Y.stream(), Z.stream())),
+      {attrI()});
+  auto Rhs = evalStream<F64Semiring>(
+                 mulStreams<F64Semiring>(X.stream(), Y.stream()), {attrI()})
+                 .add(evalStream<F64Semiring>(
+                     mulStreams<F64Semiring>(X.stream(), Z.stream()),
+                     {attrI()}));
+  EXPECT_TRUE(Lhs.approxEquals(Rhs));
+}
+
+TEST_P(StreamHom, ContractVector) {
+  Rng R(GetParam() + 4000);
+  auto X = randomVec(R, 64);
+  auto Lhs = evalStream<F64Semiring>(contractStream(X.stream()), {});
+  auto Rhs = X.toKRelation<F64Semiring>(attrI()).contract(attrI());
+  EXPECT_TRUE(Lhs.approxEquals(Rhs));
+}
+
+TEST_P(StreamHom, ExpandTimesSparse) {
+  // eval(↑v * x) == v · x pointwise: expansion under multiplication.
+  Rng R(GetParam() + 5000);
+  const Idx N = 64;
+  auto X = randomVec(R, N);
+  double V = randomValue(R);
+  auto Lhs = evalStream<F64Semiring>(
+      mulStreams<F64Semiring>(RepeatStream<double>(N, V), X.stream()),
+      {attrI()});
+  auto Rhs = KRelation<F64Semiring>::scalar(V)
+                 .expand(attrI())
+                 .mul(X.toKRelation<F64Semiring>(attrI()));
+  EXPECT_TRUE(Lhs.approxEquals(Rhs));
+}
+
+//===----------------------------------------------------------------------===//
+// Matrix-level (nested) homomorphisms
+//===----------------------------------------------------------------------===//
+
+TEST_P(StreamHom, MulMatrices) {
+  Rng R(GetParam() + 6000);
+  auto A = randomCsr(R, 12, 16, R.nextBelow(100) + 1);
+  auto B = randomCsr(R, 12, 16, R.nextBelow(100) + 1);
+  auto Lhs = evalStream<F64Semiring>(
+      mulStreams<F64Semiring>(A.stream(), B.stream()),
+      {attrI(), attrJ()});
+  auto Rhs = A.toKRelation<F64Semiring>(attrI(), attrJ())
+                 .mul(B.toKRelation<F64Semiring>(attrI(), attrJ()));
+  EXPECT_TRUE(Lhs.approxEquals(Rhs));
+}
+
+TEST_P(StreamHom, MulDcsrMatrices) {
+  Rng R(GetParam() + 7000);
+  auto A = randomDcsr(R, 20, 20, R.nextBelow(80) + 1);
+  auto B = randomDcsr(R, 20, 20, R.nextBelow(80) + 1);
+  auto Lhs = evalStream<F64Semiring>(
+      mulStreams<F64Semiring>(A.stream(), B.stream<SearchPolicy::Gallop,
+                                                   SearchPolicy::Binary>()),
+      {attrI(), attrJ()});
+  auto Rhs = A.toKRelation<F64Semiring>(attrI(), attrJ())
+                 .mul(B.toKRelation<F64Semiring>(attrI(), attrJ()));
+  EXPECT_TRUE(Lhs.approxEquals(Rhs));
+}
+
+TEST_P(StreamHom, AddMatrices) {
+  Rng R(GetParam() + 8000);
+  auto A = randomCsr(R, 10, 14, R.nextBelow(60) + 1);
+  auto B = randomDcsr(R, 10, 14, R.nextBelow(60) + 1);
+  // Mixed formats: CSR + DCSR through the same combinator.
+  auto Lhs = evalStream<F64Semiring>(
+      addStreams<F64Semiring>(A.stream(), B.stream()), {attrI(), attrJ()});
+  auto Rhs = A.toKRelation<F64Semiring>(attrI(), attrJ())
+                 .add(B.toKRelation<F64Semiring>(attrI(), attrJ()));
+  EXPECT_TRUE(Lhs.approxEquals(Rhs));
+}
+
+TEST_P(StreamHom, ContractInnerMatrix) {
+  // eval(map Σ_j A) == Σ_j eval(A): row sums.
+  Rng R(GetParam() + 9000);
+  auto A = randomCsr(R, 10, 14, R.nextBelow(60) + 1);
+  auto Lhs = evalStream<F64Semiring>(contractInner(A.stream()), {attrI()});
+  auto Rhs = A.toKRelation<F64Semiring>(attrI(), attrJ()).contract(attrJ());
+  EXPECT_TRUE(Lhs.approxEquals(Rhs));
+}
+
+TEST_P(StreamHom, ContractOuterMatrix) {
+  // eval(Σ_i A) == Σ_i eval(A): column sums (a contracted outer level over
+  // a nested value).
+  Rng R(GetParam() + 10000);
+  auto A = randomDcsr(R, 10, 14, R.nextBelow(60) + 1);
+  // Σ_i with j kept requires adding the per-row streams; evaluate via the
+  // oracle on both sides instead: stream side sums rows with AddStream by
+  // folding forEach.
+  auto Rhs = A.toKRelation<F64Semiring>(attrI(), attrJ()).contract(attrI());
+  KRelation<F64Semiring> Lhs(Shape{attrJ()});
+  forEach(A.stream(), [&](Idx, auto Row) {
+    Lhs = Lhs.add(evalStream<F64Semiring>(std::move(Row), {attrJ()}));
+  });
+  Lhs.pruneZeros();
+  EXPECT_TRUE(Lhs.approxEquals(Rhs));
+}
+
+TEST_P(StreamHom, MatrixVectorProductFull) {
+  // Full SpMV as streams vs the denotational pipeline
+  // Σ_j (A · ↑_i x) — checks expansion, nested mul, and inner contraction
+  // together.
+  Rng R(GetParam() + 11000);
+  auto A = randomCsr(R, 9, 11, R.nextBelow(50) + 1);
+  auto X = randomVec(R, 11);
+  auto Lifted = repeatUnbounded(X.stream()); // [i*, j]
+  auto Prod = mulStreams<F64Semiring>(A.stream(), Lifted);
+  auto Lhs = evalStream<F64Semiring>(contractInner(std::move(Prod)),
+                                     {attrI()});
+  auto Rhs = A.toKRelation<F64Semiring>(attrI(), attrJ())
+                 .mul(X.toKRelation<F64Semiring>(attrJ()).expand(attrI()))
+                 .contract(attrJ());
+  EXPECT_TRUE(Lhs.approxEquals(Rhs));
+}
+
+//===----------------------------------------------------------------------===//
+// Other semirings
+//===----------------------------------------------------------------------===//
+
+TEST_P(StreamHom, BoolSemiringRelations) {
+  Rng R(GetParam() + 12000);
+  const Idx N = 40;
+  // Two "relations" (indicator vectors): intersection and union.
+  // (uint8_t storage: std::vector<bool> has no data() to stream over.)
+  auto MakeRel = [&](SparseVector<uint8_t> &V) {
+    for (Idx I = 0; I < N; ++I)
+      if (R.nextBool(0.3))
+        V.push(I, 1);
+  };
+  SparseVector<uint8_t> X(N), Y(N);
+  MakeRel(X);
+  MakeRel(Y);
+  auto Lhs = evalStream<BoolSemiring>(
+      mulStreams<BoolSemiring>(X.stream(), Y.stream()), {attrI()});
+  auto Rhs = X.toKRelation<BoolSemiring>(attrI())
+                 .mul(Y.toKRelation<BoolSemiring>(attrI()));
+  EXPECT_TRUE(Lhs.equals(Rhs));
+
+  auto LhsU = evalStream<BoolSemiring>(
+      addStreams<BoolSemiring>(X.stream(), Y.stream()), {attrI()});
+  auto RhsU = X.toKRelation<BoolSemiring>(attrI())
+                  .add(Y.toKRelation<BoolSemiring>(attrI()));
+  EXPECT_TRUE(LhsU.equals(RhsU));
+}
+
+TEST_P(StreamHom, MinPlusSemiring) {
+  Rng R(GetParam() + 13000);
+  const Idx N = 40;
+  auto MakeVec = [&](SparseVector<double> &V) {
+    for (Idx I = 0; I < N; ++I)
+      if (R.nextBool(0.4))
+        V.push(I, R.nextDouble() * 10.0);
+  };
+  SparseVector<double> X(N), Y(N);
+  MakeVec(X);
+  MakeVec(Y);
+  // (min, +): mul adds weights at shared indices.
+  auto Lhs = evalStream<MinPlusSemiring>(
+      mulStreams<MinPlusSemiring>(X.stream(), Y.stream()), {attrI()});
+  auto Rhs = X.toKRelation<MinPlusSemiring>(attrI())
+                 .mul(Y.toKRelation<MinPlusSemiring>(attrI()));
+  EXPECT_TRUE(Lhs.approxEquals(Rhs));
+}
+
+TEST_P(StreamHom, I64Counting) {
+  Rng R(GetParam() + 14000);
+  const Idx N = 50;
+  SparseVector<int64_t> X(N), Y(N);
+  for (Idx I = 0; I < N; ++I) {
+    if (R.nextBool(0.4))
+      X.push(I, static_cast<int64_t>(R.nextBelow(5)) + 1);
+    if (R.nextBool(0.4))
+      Y.push(I, static_cast<int64_t>(R.nextBelow(5)) + 1);
+  }
+  auto Lhs = evalStream<I64Semiring>(
+      mulStreams<I64Semiring>(X.stream(), Y.stream()), {attrI()});
+  auto Rhs = X.toKRelation<I64Semiring>(attrI())
+                 .mul(Y.toKRelation<I64Semiring>(attrI()));
+  EXPECT_TRUE(Lhs.equals(Rhs));
+}
+
+//===----------------------------------------------------------------------===//
+// Degenerate cases
+//===----------------------------------------------------------------------===//
+
+TEST(StreamHomEdge, EmptyTimesAnything) {
+  SparseVector<double> E(10), X(10);
+  X.push(3, 5.0);
+  auto R = evalStream<F64Semiring>(
+      mulStreams<F64Semiring>(E.stream(), X.stream()), {attrI()});
+  EXPECT_EQ(R.supportSize(), 0u);
+}
+
+TEST(StreamHomEdge, EmptyPlusX) {
+  SparseVector<double> E(10), X(10);
+  X.push(3, 5.0);
+  X.push(9, 2.0);
+  auto R = evalStream<F64Semiring>(
+      addStreams<F64Semiring>(E.stream(), X.stream()), {attrI()});
+  EXPECT_TRUE(R.approxEquals(X.toKRelation<F64Semiring>(attrI())));
+}
+
+TEST(StreamHomEdge, DisjointSupportsMulIsEmpty) {
+  SparseVector<double> X(10), Y(10);
+  X.push(1, 1.0);
+  X.push(3, 1.0);
+  Y.push(2, 1.0);
+  Y.push(4, 1.0);
+  EXPECT_DOUBLE_EQ(
+      sumAll<F64Semiring>(mulStreams<F64Semiring>(X.stream(), Y.stream())),
+      0.0);
+}
+
+TEST(StreamHomEdge, SelfMulSquares) {
+  SparseVector<double> X(10);
+  X.push(2, 3.0);
+  X.push(7, -2.0);
+  auto R = evalStream<F64Semiring>(
+      mulStreams<F64Semiring>(X.stream(), X.stream()), {attrI()});
+  EXPECT_DOUBLE_EQ(R.at({2}), 9.0);
+  EXPECT_DOUBLE_EQ(R.at({7}), 4.0);
+}
+
+TEST(StreamHomEdge, SingletonStreamEvaluates) {
+  SingletonStream<double> S(5, 2.5);
+  auto R = evalStream<F64Semiring>(S, {attrI()});
+  EXPECT_EQ(R.supportSize(), 1u);
+  EXPECT_DOUBLE_EQ(R.at({5}), 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamHom,
+                         ::testing::Range<uint64_t>(0, 12));
+
+//===----------------------------------------------------------------------===//
+// Regression: the addition tie case
+//===----------------------------------------------------------------------===//
+
+// When both sides of an addition sit at the same index but one is a
+// composite that is *not ready yet* (a product still aligning its
+// operands), the sum must not emit the ready side alone — the blocked side
+// may still produce a value at that index. This is the subtle case the
+// AddStream ready-condition handles; see streams/combinators.h.
+TEST(StreamHomEdge, AddWaitsAtTiedIndexForBlockedSide) {
+  SparseVector<double> X(10), Y(10), Z(10);
+  X.push(1, 2.0);
+  X.push(5, 1.0);
+  Y.push(2, 3.0);
+  Y.push(5, 4.0);
+  Z.push(2, 10.0);
+  // mul(X, Y) starts blocked at max(1, 2) = 2; Z is ready at 2.
+  auto Q = addStreams<F64Semiring>(
+      mulStreams<F64Semiring>(X.stream(), Y.stream()), Z.stream());
+  auto R = evalStream<F64Semiring>(Q, {attrI()});
+  EXPECT_DOUBLE_EQ(R.at({2}), 10.0); // Z's value survives.
+  EXPECT_DOUBLE_EQ(R.at({5}), 4.0);  // The product's value survives too.
+  EXPECT_EQ(R.supportSize(), 2u);
+}
+
+// The contracted-level analogue: adding two Σ streams where one side is a
+// blocked product must interleave correctly (all indices compare equal at
+// a contracted level).
+TEST(StreamHomEdge, AddOfContractedStreams) {
+  SparseVector<double> X(10), Y(10), Z(10);
+  X.push(1, 2.0);
+  X.push(5, 3.0);
+  Y.push(2, 1.0);
+  Y.push(5, 10.0);
+  Z.push(0, 7.0);
+  Z.push(9, 1.0);
+  auto Sum = addStreams<F64Semiring>(
+      contractStream(mulStreams<F64Semiring>(X.stream(), Y.stream())),
+      contractStream(Z.stream()));
+  auto R = evalStream<F64Semiring>(Sum, {});
+  // Σ(x*y) = 30 at index 5; Σz = 8.
+  EXPECT_DOUBLE_EQ(R.at({}), 38.0);
+}
+
+} // namespace

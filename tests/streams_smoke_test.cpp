@@ -1,0 +1,107 @@
+//===- tests/streams_smoke_test.cpp - Early end-to-end smoke checks ------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// A handful of small, fully hand-checked cases exercising the primitive
+// streams, the combinators, and evaluation. Deeper coverage lives in the
+// dedicated per-module test files; this file exists so a broken core fails
+// fast and obviously.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/eval.h"
+#include "formats/matrices.h"
+#include "formats/vectors.h"
+#include "streams/combinators.h"
+#include "streams/eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace etch;
+
+namespace {
+
+SparseVector<double> vec(Idx Size, std::vector<std::pair<Idx, double>> Es) {
+  SparseVector<double> V(Size);
+  for (auto [I, X] : Es)
+    V.push(I, X);
+  return V;
+}
+
+TEST(StreamsSmoke, SparseVectorEvaluates) {
+  auto X = vec(10, {{1, 2.0}, {4, 3.0}, {7, 5.0}});
+  Attr A = Attr::named("smoke_i");
+  auto R = evalStream<F64Semiring>(X.stream(), Shape{A});
+  EXPECT_EQ(R.supportSize(), 3u);
+  EXPECT_DOUBLE_EQ(R.at({4}), 3.0);
+  EXPECT_DOUBLE_EQ(R.at({5}), 0.0);
+}
+
+TEST(StreamsSmoke, TripleProductFuses) {
+  // The running example of Figure 2: a three-way sparse vector product.
+  auto X = vec(10, {{1, 2.0}, {4, 3.0}, {7, 5.0}});
+  auto Y = vec(10, {{0, 1.0}, {4, 2.0}, {7, 2.0}, {9, 9.0}});
+  auto Z = vec(10, {{4, 10.0}, {8, 1.0}});
+  auto P = mulStreams<F64Semiring>(
+      mulStreams<F64Semiring>(X.stream(), Y.stream()), Z.stream());
+  // Only index 4 is shared: 3 * 2 * 10 = 60.
+  EXPECT_DOUBLE_EQ(sumAll<F64Semiring>(P), 60.0);
+}
+
+TEST(StreamsSmoke, AdditionMerges) {
+  auto X = vec(10, {{1, 2.0}, {4, 3.0}});
+  auto Y = vec(10, {{4, 2.0}, {9, 9.0}});
+  Attr A = Attr::named("smoke_i");
+  auto R = evalStream<F64Semiring>(
+      addStreams<F64Semiring>(X.stream(), Y.stream()), Shape{A});
+  EXPECT_DOUBLE_EQ(R.at({1}), 2.0);
+  EXPECT_DOUBLE_EQ(R.at({4}), 5.0);
+  EXPECT_DOUBLE_EQ(R.at({9}), 9.0);
+  EXPECT_EQ(R.supportSize(), 3u);
+}
+
+TEST(StreamsSmoke, SpmvMatchesDenseLoop) {
+  // y[i] = sum_j A[i,j] * x[j] via streams vs. a plain loop.
+  CsrMatrix<double> A = CsrMatrix<double>::fromCoo(
+      3, 4, {{0, 1, 2.0}, {0, 3, 1.0}, {1, 0, 4.0}, {2, 2, 5.0}});
+  auto X = vec(4, {{0, 1.0}, {1, 3.0}, {2, 2.0}, {3, 7.0}});
+
+  std::vector<double> Want(3, 0.0);
+  Want[0] = 2.0 * 3.0 + 1.0 * 7.0;
+  Want[1] = 4.0 * 1.0;
+  Want[2] = 5.0 * 2.0;
+
+  std::vector<double> Got(3, 0.0);
+  auto Rows = A.stream();
+  forEach(Rows, [&](Idx I, auto Row) {
+    Got[static_cast<size_t>(I)] =
+        sumAll<F64Semiring>(mulStreams<F64Semiring>(Row, X.stream()));
+  });
+  EXPECT_EQ(Got, Want);
+}
+
+TEST(StreamsSmoke, ContractAndMapCompose) {
+  // Row sums of a CSR matrix: map Σ over the column level.
+  CsrMatrix<double> A = CsrMatrix<double>::fromCoo(
+      3, 4, {{0, 1, 2.0}, {0, 3, 1.0}, {2, 2, 5.0}});
+  Attr AI = Attr::named("smoke_i");
+  auto R = evalStream<F64Semiring>(contractInner(A.stream()), Shape{AI});
+  EXPECT_DOUBLE_EQ(R.at({0}), 3.0);
+  EXPECT_DOUBLE_EQ(R.at({1}), 0.0);
+  EXPECT_DOUBLE_EQ(R.at({2}), 5.0);
+}
+
+TEST(StreamsSmoke, OracleAgreesOnProduct) {
+  auto X = vec(10, {{1, 2.0}, {4, 3.0}, {7, 5.0}});
+  auto Y = vec(10, {{0, 1.0}, {4, 2.0}, {7, 2.0}});
+  Attr A = Attr::named("smoke_i");
+  auto RX = X.toKRelation<F64Semiring>(A);
+  auto RY = Y.toKRelation<F64Semiring>(A);
+  auto Streamed = evalStream<F64Semiring>(
+      mulStreams<F64Semiring>(X.stream(), Y.stream()), Shape{A});
+  EXPECT_TRUE(Streamed.approxEquals(RX.mul(RY)));
+}
+
+} // namespace

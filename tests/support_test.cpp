@@ -1,0 +1,147 @@
+//===- tests/support_test.cpp - PRNG, tables, timers ---------------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/rng.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace etch;
+
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng A(123), B(123), C(124);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  bool Differs = false;
+  Rng A2(123);
+  for (int I = 0; I < 100; ++I)
+    Differs |= A2.next() != C.next();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng R(1);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng R(2);
+  std::vector<int> Counts(10, 0);
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    ++Counts[R.nextBelow(10)];
+  for (int C : Counts) {
+    EXPECT_GT(C, N / 10 - N / 50);
+    EXPECT_LT(C, N / 10 + N / 50);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng R(3);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.nextInRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng R(4);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Rng, SampleDistinctSortedProperties) {
+  Rng R(5);
+  for (auto [Count, Universe] :
+       {std::pair<uint64_t, uint64_t>{0, 10},
+        {1, 1},
+        {10, 10},
+        {5, 1000},
+        {100, 120}}) {
+    auto S = R.sampleDistinctSorted(Count, Universe);
+    EXPECT_EQ(S.size(), Count);
+    EXPECT_TRUE(std::is_sorted(S.begin(), S.end()));
+    EXPECT_TRUE(std::adjacent_find(S.begin(), S.end()) == S.end());
+    for (uint64_t V : S)
+      EXPECT_LT(V, Universe);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng R(6);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(Table, AlignsColumns) {
+  ResultTable T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer", "22"});
+  std::string Out = T.toString();
+  EXPECT_NE(Out.find("name    value"), std::string::npos);
+  EXPECT_NE(Out.find("longer  22"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesNothingButDelimits) {
+  ResultTable T({"a", "b"});
+  T.addRow({"1", "2"});
+  EXPECT_EQ(T.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(ResultTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(ResultTable::num(int64_t{-42}), "-42");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  ResultTable T({"a", "b", "c"});
+  T.addRow({"1"});
+  EXPECT_NE(T.toString().find("1"), std::string::npos);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer T;
+  double First = T.seconds();
+  EXPECT_GE(First, 0.0);
+  // Monotone: later reads never go backwards (the clock may be coarse
+  // enough that a short busy loop reads as zero, so only order is checked).
+  volatile double X = 0;
+  for (int I = 0; I < 100000; ++I)
+    X += I;
+  (void)X;
+  EXPECT_GE(T.seconds(), First);
+  T.reset();
+  EXPECT_GE(T.seconds(), 0.0);
+}
+
+TEST(Timer, TimeBestTakesMinimum) {
+  int Calls = 0;
+  double Best = timeBest([&] { ++Calls; }, 5);
+  EXPECT_EQ(Calls, 5);
+  EXPECT_GE(Best, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+//===- tests/tpch_consistency_test.cpp - Prepared queries & scaling ------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Consistency checks on the prepared-query API (the split between index
+// building and timed execution used by bench_fig19_tpch) and on the TPC-H
+// generator's scaling behaviour: reusing a prepared structure across runs
+// must be idempotent, one-shot and prepared paths must agree, and results
+// must grow roughly linearly with the scale factor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "relational/prepared.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace etch;
+
+namespace {
+
+double total(const Q5Result &R) {
+  return std::accumulate(R.begin(), R.end(), 0.0);
+}
+
+double totalAbs(const Q9Result &R) {
+  return std::accumulate(R.begin(), R.end(), 0.0,
+                         [](double A, double B) { return A + std::fabs(B); });
+}
+
+TEST(PreparedQueries, ReuseIsIdempotent) {
+  TpchDb Db = generateTpch(0.005);
+  auto P5 = q5Prepare(Db);
+  Q5Result First = q5Fused(Db, *P5);
+  Q5Result Second = q5Fused(Db, *P5);
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(q5RowStore(Db, *P5), q5RowStore(Db, *P5));
+
+  auto P9 = q9Prepare(Db);
+  EXPECT_EQ(q9Fused(Db, *P9), q9Fused(Db, *P9));
+  EXPECT_EQ(q9RowStore(Db, *P9), q9RowStore(Db, *P9));
+}
+
+TEST(PreparedQueries, OneShotMatchesPrepared) {
+  TpchDb Db = generateTpch(0.005);
+  auto P5 = q5Prepare(Db);
+  EXPECT_EQ(q5Fused(Db), q5Fused(Db, *P5));
+  auto P9 = q9Prepare(Db);
+  EXPECT_EQ(q9Fused(Db), q9Fused(Db, *P9));
+}
+
+TEST(PreparedQueries, TrianglePreparedMatchesOneShot) {
+  EdgeList G = triangleWorstCase(300);
+  auto P = trianglePrepare(G, G, G);
+  EXPECT_EQ(triangleFused(*P), triangleFused(G, G, G));
+  EXPECT_EQ(triangleRowStore(G, G, G, *P), triangleRowStore(G, G, G));
+}
+
+TEST(TpchScaling, ResultsGrowWithScaleFactor) {
+  TpchDb Small = generateTpch(0.005);
+  TpchDb Large = generateTpch(0.02);
+  // Revenue/profit totals scale with the data (roughly 4x here; allow a
+  // broad band since the join selectivities shift slightly with size).
+  double R5S = total(q5Reference(Small)), R5L = total(q5Reference(Large));
+  EXPECT_GT(R5L, R5S * 1.5);
+  double R9S = totalAbs(q9Reference(Small)),
+         R9L = totalAbs(q9Reference(Large));
+  EXPECT_GT(R9L, R9S * 1.5);
+}
+
+TEST(TpchScaling, Q9YearsSpanTheDateRange) {
+  TpchDb Db = generateTpch(0.01);
+  Q9Result R = q9Reference(Db);
+  // Orders are uniform over 1992..1998; every year column should be
+  // populated for at least one nation.
+  for (int Y = 0; Y < 7; ++Y) {
+    double Col = 0.0;
+    for (int N = 0; N < 25; ++N)
+      Col += std::fabs(R[static_cast<size_t>(N * 7 + Y)]);
+    EXPECT_GT(Col, 0.0) << "year " << (1992 + Y);
+  }
+}
+
+TEST(TpchScaling, GreenSelectivityNearOfficial) {
+  TpchDb Db = generateTpch(0.1);
+  size_t Green = 0;
+  for (uint8_t G : Db.PartGreen)
+    Green += G;
+  double Frac = static_cast<double>(Green) /
+                static_cast<double>(Db.numParts());
+  EXPECT_GT(Frac, 0.035);
+  EXPECT_LT(Frac, 0.075); // Official p_name LIKE '%green%' is ~5.4%.
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+//===- tests/trie_engines_test.cpp - Tries and baseline engine primitives ===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit and property tests for the relational substrate: trie construction
+// (all supported ranks, duplicate merging, stream round-trips against a
+// sorted reference) and the baseline engines' building blocks (HashIndex,
+// hashJoin with/without selection vectors, gather, SortedIndex).
+//
+//===----------------------------------------------------------------------===//
+
+#include "relational/engines.h"
+#include "relational/trie.h"
+#include "streams/eval.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+using namespace etch;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Tries
+//===----------------------------------------------------------------------===//
+
+TEST(Trie, Rank1FromKeysDedups) {
+  auto T = Trie<1, double>::fromKeys({{3}, {1}, {3}, {7}}, 1.0);
+  EXPECT_EQ(T.Crd[0], (std::vector<Idx>{1, 3, 7}));
+  EXPECT_EQ(T.numLeaves(), 3u);
+}
+
+TEST(Trie, Rank2GroupsChildren) {
+  auto T = Trie<2, double>::fromRows(
+      {{{1, 5}, 1.0}, {{0, 2}, 2.0}, {{1, 3}, 3.0}, {{1, 5}, 4.0}},
+      [](double &A, double B) { A += B; });
+  EXPECT_EQ(T.Crd[0], (std::vector<Idx>{0, 1}));
+  EXPECT_EQ(T.Crd[1], (std::vector<Idx>{2, 3, 5}));
+  EXPECT_EQ(T.Pos[0], (std::vector<size_t>{0, 1, 3}));
+  EXPECT_DOUBLE_EQ(T.Val[2], 5.0); // (1,5) merged: 1 + 4.
+}
+
+TEST(Trie, CountingMerge) {
+  auto T = Trie<2, int64_t>::fromKeysCounting(
+      {{0, 0}, {0, 0}, {0, 1}, {2, 0}, {0, 0}});
+  EXPECT_EQ(T.Val[0], 3); // (0,0) three times.
+  EXPECT_EQ(T.Val[1], 1);
+  EXPECT_EQ(T.Val[2], 1);
+}
+
+template <int R> void randomTrieRoundTrip(uint64_t Seed) {
+  Rng Rand(Seed);
+  std::map<std::array<Idx, R>, double> Ref;
+  std::vector<std::pair<std::array<Idx, R>, double>> Rows;
+  size_t N = Rand.nextBelow(200) + 1;
+  for (size_t I = 0; I < N; ++I) {
+    std::array<Idx, R> Key;
+    for (int L = 0; L < R; ++L)
+      Key[static_cast<size_t>(L)] =
+          static_cast<Idx>(Rand.nextBelow(8));
+    double V = 0.5 + Rand.nextDouble();
+    Ref[Key] += V;
+    Rows.push_back({Key, V});
+  }
+  auto T = Trie<R, double>::fromRows(std::move(Rows),
+                                     [](double &A, double B) { A += B; });
+  // Walk the trie via its stream and compare against the reference map.
+  std::map<std::array<Idx, R>, double> Seen;
+  std::array<Idx, R> Cur{};
+  auto Walk = [&](auto &&Self, auto Stream, int Level) -> void {
+    forEach(std::move(Stream), [&](Idx I, auto V) {
+      Cur[static_cast<size_t>(Level)] = I;
+      if constexpr (IsStreamV<decltype(V)>)
+        Self(Self, std::move(V), Level + 1);
+      else
+        Seen[Cur] = V;
+    });
+  };
+  Walk(Walk, T.stream(), 0);
+  ASSERT_EQ(Seen.size(), Ref.size());
+  for (const auto &[K, V] : Ref)
+    EXPECT_NEAR(Seen.at(K), V, 1e-9);
+}
+
+TEST(Trie, Rank2RandomRoundTrip) {
+  for (uint64_t S = 0; S < 6; ++S)
+    randomTrieRoundTrip<2>(S);
+}
+
+TEST(Trie, Rank3RandomRoundTrip) {
+  for (uint64_t S = 0; S < 6; ++S)
+    randomTrieRoundTrip<3>(S + 10);
+}
+
+TEST(Trie, Rank4RandomRoundTrip) {
+  for (uint64_t S = 0; S < 4; ++S)
+    randomTrieRoundTrip<4>(S + 20);
+}
+
+TEST(Trie, EmptyTrieHasNoStates) {
+  Trie<2, double> T = Trie<2, double>::fromKeys({}, 1.0);
+  int Visits = 0;
+  forEach(T.stream(), [&](Idx, auto) { ++Visits; });
+  EXPECT_EQ(Visits, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine primitives
+//===----------------------------------------------------------------------===//
+
+TEST(HashIndex, ProbeFindsAllDuplicates) {
+  std::vector<Idx> Keys = {5, 3, 5, 9, 5, 3};
+  HashIndex H(Keys);
+  std::vector<RowId> Out;
+  H.probe(5, Out);
+  std::sort(Out.begin(), Out.end());
+  EXPECT_EQ(Out, (std::vector<RowId>{0, 2, 4}));
+  Out.clear();
+  H.probe(42, Out);
+  EXPECT_TRUE(Out.empty());
+  EXPECT_EQ(H.probeOne(9), 3);
+  EXPECT_EQ(H.probeOne(1), -1);
+}
+
+TEST(HashJoin, MatchesNestedLoopReference) {
+  Rng R(11);
+  for (int Case = 0; Case < 6; ++Case) {
+    std::vector<Idx> Build, Probe;
+    size_t NB = R.nextBelow(50) + 1, NP = R.nextBelow(50) + 1;
+    for (size_t I = 0; I < NB; ++I)
+      Build.push_back(static_cast<Idx>(R.nextBelow(10)));
+    for (size_t I = 0; I < NP; ++I)
+      Probe.push_back(static_cast<Idx>(R.nextBelow(10)));
+
+    JoinPairs Got = hashJoin(Build, Probe);
+    size_t Want = 0;
+    for (Idx B : Build)
+      for (Idx P : Probe)
+        Want += B == P;
+    EXPECT_EQ(Got.size(), Want);
+    for (size_t I = 0; I < Got.size(); ++I)
+      EXPECT_EQ(Build[Got.Left[I]], Probe[Got.Right[I]]);
+  }
+}
+
+TEST(HashJoin, SelectionVectorRestrictsProbes) {
+  std::vector<Idx> Build = {1, 2, 3};
+  std::vector<Idx> Probe = {1, 2, 3, 1};
+  std::vector<RowId> Sel = {0, 3}; // Only the two 1s.
+  JoinPairs Got = hashJoin(Build, Probe, Sel);
+  EXPECT_EQ(Got.size(), 2u);
+  for (size_t I = 0; I < Got.size(); ++I) {
+    EXPECT_EQ(Build[Got.Left[I]], 1);
+    // Right holds actual row ids, not positions in Sel.
+    EXPECT_TRUE(Got.Right[I] == 0 || Got.Right[I] == 3);
+  }
+}
+
+TEST(Gather, MaterialisesSelectedRows) {
+  std::vector<Idx> Col = {10, 20, 30, 40};
+  std::vector<RowId> Sel = {3, 0, 3};
+  EXPECT_EQ(gather(Col, Sel), (std::vector<Idx>{40, 10, 40}));
+  std::vector<double> ColF = {0.5, 1.5};
+  std::vector<RowId> SelF = {1, 1};
+  EXPECT_EQ(gather(ColF, SelF), (std::vector<double>{1.5, 1.5}));
+}
+
+TEST(FilterRows, ReturnsMatchingRowIds) {
+  std::vector<Idx> Col = {5, 10, 15, 20};
+  auto Sel = filterRows(Col, [](Idx V) { return V >= 10 && V < 20; });
+  EXPECT_EQ(Sel, (std::vector<RowId>{1, 2}));
+}
+
+TEST(SortedIndexT, ScanEqualVisitsAllMatches) {
+  std::vector<Idx> Keys = {7, 3, 7, 1, 7};
+  SortedIndex Idx_(Keys);
+  std::vector<RowId> Rows;
+  Idx_.scanEqual(7, [&](RowId R) { Rows.push_back(R); });
+  std::sort(Rows.begin(), Rows.end());
+  EXPECT_EQ(Rows, (std::vector<RowId>{0, 2, 4}));
+  int Missing = 0;
+  Idx_.scanEqual(100, [&](RowId) { ++Missing; });
+  EXPECT_EQ(Missing, 0);
+  EXPECT_EQ(Idx_.size(), 5u);
+}
+
+} // namespace
