@@ -58,8 +58,9 @@ int main() {
   std::printf("stream model result: %g\n", Fused);
 
   // 3. The Etch compiler pipeline (Section 7): lower to the imperative IR
-  //    P and execute on the VM.
+  //    P, optimize it through the pass pipeline, and execute on the VM.
   LowerCtx Ctx;
+  Ctx.CollectStats = true; // Record per-pass IR statistics.
   Ctx.setDim(I, 10);
   Ctx.bind(sparseVecBinding("x", I));
   Ctx.bind(sparseVecBinding("y", I));
@@ -70,12 +71,34 @@ int main() {
   bindSparseVector(M, "x", X);
   bindSparseVector(M, "y", Y);
   bindSparseVector(M, "z", Z);
-  if (auto Err = vmExecute(Prog, M)) {
-    std::printf("vm error: %s\n", Err->c_str());
+  VmRunResult Run = vmRun(Prog, M);
+  if (Run.Error) {
+    std::printf("vm error: %s\n", Run.Error->c_str());
     return 1;
   }
   std::printf("compiled (VM) result: %g\n\n",
               std::get<double>(*M.getScalar("out")));
+
+  // The pass pipeline at work: per-pass IR node counts, and the VM step
+  // count against the unoptimized program.
+  std::printf("---- pass statistics (O%d) ----\n%s",
+              Ctx.OptLevel, Ctx.LastPipeline.toString().c_str());
+  {
+    LowerCtx Raw;
+    Raw.OptLevel = 0;
+    Raw.setDim(I, 10);
+    Raw.bind(sparseVecBinding("x", I));
+    Raw.bind(sparseVecBinding("y", I));
+    Raw.bind(sparseVecBinding("z", I));
+    VmMemory M0;
+    bindSparseVector(M0, "x", X);
+    bindSparseVector(M0, "y", Y);
+    bindSparseVector(M0, "z", Z);
+    VmRunResult Run0 = vmRun(compileFullContraction(Raw, E, "out"), M0);
+    std::printf("VM steps: %lld unoptimized -> %lld optimized\n\n",
+                static_cast<long long>(Run0.Steps),
+                static_cast<long long>(Run.Steps));
+  }
 
   // 4. The generated C program (compare with Figure 2).
   std::printf("---- generated C ----\n%s",

@@ -14,6 +14,7 @@ Dest etch::scalarDest(const ScalarAlgebra &Alg, std::string VarName) {
     return PStmt::storeVar(
         VarName, Alg.add(EExpr::var(VarName, Alg.Ty), std::move(V)));
   };
+  D.Live = {VarName};
   return D;
 }
 
@@ -47,7 +48,9 @@ Dest denseDestAt(const ScalarAlgebra &Alg, std::string ArrName, ERef Offset,
 Dest etch::denseDest(const ScalarAlgebra &Alg, std::string ArrName,
                      std::vector<ERef> Strides) {
   ETCH_ASSERT(!Strides.empty(), "dense destination needs at least one level");
-  return denseDestAt(Alg, std::move(ArrName), eConstI(0), std::move(Strides));
+  Dest D = denseDestAt(Alg, ArrName, eConstI(0), std::move(Strides));
+  D.Live = {std::move(ArrName)};
+  return D;
 }
 
 Dest etch::sparseVecDest(const ScalarAlgebra &Alg, std::string CrdArr,
@@ -71,6 +74,7 @@ Dest etch::sparseVecDest(const ScalarAlgebra &Alg, std::string CrdArr,
     };
     return {std::move(Prep), std::move(Leaf), PStmt::noop()};
   };
+  D.Live = {CrdArr, ValArr, CntVar};
   return D;
 }
 

@@ -33,6 +33,12 @@ namespace etch {
 struct Dest {
   std::function<PRef(ERef Value)> Accum;
   std::function<std::tuple<PRef, Dest, PRef>(ERef Index)> Locate;
+
+  /// Names the caller reads back after execution (the destination's output
+  /// scalar/arrays, including any position counter). The optimization
+  /// pipeline's dead-store elimination must not remove stores to these;
+  /// frontend.cpp forwards them as PipelineOptions::LiveOut.
+  std::vector<std::string> Live;
 };
 
 /// Accumulates into a scalar variable: `out = out + v` under \p Alg.

@@ -129,8 +129,26 @@ SynValue etch::lowerExpr(LowerCtx &Ctx, const ExprPtr &E) {
   return lowerRec(Ctx, E, S);
 }
 
+namespace {
+
+/// Runs the raw program through the optimization pipeline at the context's
+/// opt level, keeping \p Live names alive for dead-store elimination.
+PRef runPipeline(LowerCtx &Ctx, PRef Raw,
+                 const std::vector<std::string> &Live) {
+  PipelineOptions Opts;
+  Opts.OptLevel = Ctx.OptLevel;
+  Opts.LiveOut.insert(Live.begin(), Live.end());
+  PipelineResult R = optimizeProgram(std::move(Raw), Opts);
+  PRef Program = R.Program;
+  if (Ctx.CollectStats)
+    Ctx.LastPipeline = std::move(R);
+  return Program;
+}
+
+} // namespace
+
 PRef etch::compileExpr(LowerCtx &Ctx, const ExprPtr &E, const Dest &D) {
-  return compileValue(D, lowerExpr(Ctx, E));
+  return runPipeline(Ctx, compileValue(D, lowerExpr(Ctx, E)), D.Live);
 }
 
 PRef etch::compileFullContraction(LowerCtx &Ctx, const ExprPtr &E,
@@ -139,8 +157,12 @@ PRef etch::compileFullContraction(LowerCtx &Ctx, const ExprPtr &E,
   ExprPtr Full = sumAll(E, Ctx.types(), &Err);
   ETCH_ASSERT(Full, "expression does not type-check");
   PRef Decl = PStmt::declVar(OutVar, Ctx.Alg->Ty, Ctx.Alg->Zero);
-  PRef Body = compileExpr(Ctx, Full, scalarDest(*Ctx.Alg, OutVar));
-  return PStmt::seq2(std::move(Decl), std::move(Body));
+  // Build the raw body directly (not through compileExpr) so the whole
+  // program — declaration included — is optimized in one pipeline run with
+  // OutVar as the only live-out.
+  PRef Body = compileValue(scalarDest(*Ctx.Alg, OutVar), lowerExpr(Ctx, Full));
+  return runPipeline(Ctx, PStmt::seq2(std::move(Decl), std::move(Body)),
+                     {OutVar});
 }
 
 //===----------------------------------------------------------------------===//

@@ -24,6 +24,7 @@
 #define ETCH_COMPILER_FRONTEND_H
 
 #include "compiler/codegen.h"
+#include "compiler/passes.h"
 #include "compiler/vm.h"
 #include "core/expr.h"
 #include "formats/csf.h"
@@ -57,6 +58,20 @@ struct LowerCtx {
   const ScalarAlgebra *Alg = &f64Algebra();
   std::map<std::string, TensorBinding> Bindings;
   std::map<uint32_t, int64_t> Dims; ///< Attr id -> index-set size.
+
+  /// Optimization level for the pass pipeline compiled programs flow
+  /// through (see compiler/passes.h): 0 disables it, 1 (default) runs the
+  /// standard suite, 2 adds implied-condition elimination and
+  /// loop-invariant hoisting.
+  int OptLevel = 1;
+
+  /// When set, the statistics of the most recent pipeline run are stored
+  /// in LastPipeline (one PassStats row per pass).
+  bool CollectStats = false;
+
+  /// Statistics of the most recent compileExpr/compileFullContraction
+  /// pipeline run (populated when CollectStats is set).
+  PipelineResult LastPipeline;
 
   void bind(TensorBinding B) { Bindings[B.Name] = std::move(B); }
   void setDim(Attr A, int64_t N) { Dims[A.id()] = N; }

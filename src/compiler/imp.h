@@ -71,6 +71,12 @@ struct OpDef {
   /// preamble of any program using this op.
   std::string CPrelude;
 
+  /// When set, constant folding calls this first and folds through Spec
+  /// only if it returns true. Ops whose Spec is partial (e.g. division and
+  /// modulo, undefined on a zero divisor) use this to keep the trap at
+  /// runtime instead of tripping it at compile time.
+  std::function<bool(std::span<const ImpValue>)> FoldSafe;
+
   /// Lazy ops (select / logical and / or) evaluate only the arguments the
   /// semantics demands; the VM special-cases them so that guarded
   /// expressions can protect out-of-bounds accesses, matching C's

@@ -46,12 +46,34 @@ ETCH_DEFINE_OP(subI, "subI", IT::I64, {IT::I64, IT::I64},
 ETCH_DEFINE_OP(mulI, "mulI", IT::I64, {IT::I64, IT::I64},
                [](VS A) -> ImpValue { return asI(A[0]) * asI(A[1]); },
                "({0} * {1})")
-ETCH_DEFINE_OP(divI, "divI", IT::I64, {IT::I64, IT::I64},
-               [](VS A) -> ImpValue { return asI(A[0]) / asI(A[1]); },
-               "({0} / {1})")
-ETCH_DEFINE_OP(modI, "modI", IT::I64, {IT::I64, IT::I64},
-               [](VS A) -> ImpValue { return asI(A[0]) % asI(A[1]); },
-               "({0} % {1})")
+// Division and modulo are partial (undefined on a zero divisor, and on
+// INT64_MIN / -1), so they carry a FoldSafe guard: the constant folder
+// leaves unsafe applications in place and the trap stays at runtime.
+static bool divFoldSafe(VS A) {
+  return asI(A[1]) != 0 && !(asI(A[0]) == std::numeric_limits<int64_t>::min() &&
+                             asI(A[1]) == -1);
+}
+
+const OpDef *Ops::divI() {
+  static OpDef O = [] {
+    OpDef D = makeOp("divI", IT::I64, {IT::I64, IT::I64},
+                     [](VS A) -> ImpValue { return asI(A[0]) / asI(A[1]); },
+                     "({0} / {1})");
+    D.FoldSafe = divFoldSafe;
+    return D;
+  }();
+  return &O;
+}
+const OpDef *Ops::modI() {
+  static OpDef O = [] {
+    OpDef D = makeOp("modI", IT::I64, {IT::I64, IT::I64},
+                     [](VS A) -> ImpValue { return asI(A[0]) % asI(A[1]); },
+                     "({0} % {1})");
+    D.FoldSafe = divFoldSafe;
+    return D;
+  }();
+  return &O;
+}
 ETCH_DEFINE_OP(minI, "minI", IT::I64, {IT::I64, IT::I64},
                [](VS A) -> ImpValue {
                  return asI(A[0]) < asI(A[1]) ? asI(A[0]) : asI(A[1]);

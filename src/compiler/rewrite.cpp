@@ -1,0 +1,249 @@
+//===- compiler/rewrite.cpp - Generic traversal over E and P -------------===//
+
+#include "compiler/rewrite.h"
+
+#include "compiler/ops.h"
+
+using namespace etch;
+
+ERef etch::rewriteExpr(const ERef &E, const ExprRewriter &Fn) {
+  if (!E)
+    return E;
+  ERef Cur = E;
+  if (!E->args().empty()) {
+    std::vector<ERef> NewArgs;
+    NewArgs.reserve(E->args().size());
+    bool Changed = false;
+    for (const ERef &A : E->args()) {
+      ERef NA = rewriteExpr(A, Fn);
+      Changed |= NA != A;
+      NewArgs.push_back(std::move(NA));
+    }
+    if (Changed) {
+      switch (E->kind()) {
+      case EKind::Access:
+        Cur = EExpr::access(E->name(), E->type(), std::move(NewArgs[0]));
+        break;
+      case EKind::Call:
+        Cur = EExpr::call(E->op(), std::move(NewArgs));
+        break;
+      case EKind::Var:
+      case EKind::Const:
+        ETCH_UNREACHABLE("leaf expression with arguments");
+      }
+    }
+  }
+  if (Fn)
+    if (ERef R = Fn(Cur))
+      Cur = std::move(R);
+  return Cur;
+}
+
+PRef etch::rewriteProgram(const PRef &P, const StmtRewriter &SFn,
+                          const ExprRewriter &EFn) {
+  if (!P)
+    return P;
+
+  auto RE = [&](const ERef &E) { return EFn ? rewriteExpr(E, EFn) : E; };
+
+  PRef Cur = P;
+  switch (P->kind()) {
+  case PKind::Seq: {
+    std::vector<PRef> NewCh;
+    NewCh.reserve(P->children().size());
+    bool Changed = false;
+    for (const PRef &C : P->children()) {
+      PRef NC = rewriteProgram(C, SFn, EFn);
+      Changed |= NC != C;
+      NewCh.push_back(std::move(NC));
+    }
+    if (Changed)
+      Cur = PStmt::seq(std::move(NewCh));
+    break;
+  }
+  case PKind::While: {
+    ERef NC = RE(P->cond());
+    PRef NB = rewriteProgram(P->children()[0], SFn, EFn);
+    if (NC != P->cond() || NB != P->children()[0])
+      Cur = PStmt::whileLoop(std::move(NC), std::move(NB));
+    break;
+  }
+  case PKind::Branch: {
+    ERef NC = RE(P->cond());
+    PRef NT = rewriteProgram(P->children()[0], SFn, EFn);
+    PRef NE = rewriteProgram(P->children()[1], SFn, EFn);
+    if (NC != P->cond() || NT != P->children()[0] || NE != P->children()[1])
+      Cur = PStmt::branch(std::move(NC), std::move(NT), std::move(NE));
+    break;
+  }
+  case PKind::Noop:
+  case PKind::Comment:
+    break;
+  case PKind::StoreVar: {
+    ERef NV = RE(P->valueExpr());
+    if (NV != P->valueExpr())
+      Cur = PStmt::storeVar(P->name(), std::move(NV));
+    break;
+  }
+  case PKind::StoreArr: {
+    ERef NI = RE(P->indexExpr());
+    ERef NV = RE(P->valueExpr());
+    if (NI != P->indexExpr() || NV != P->valueExpr())
+      Cur = PStmt::storeArr(P->name(), std::move(NI), std::move(NV));
+    break;
+  }
+  case PKind::DeclVar: {
+    ERef NV = RE(P->valueExpr());
+    if (NV != P->valueExpr())
+      Cur = PStmt::declVar(P->name(), P->type(), std::move(NV));
+    break;
+  }
+  case PKind::DeclArr: {
+    ERef NV = RE(P->valueExpr());
+    if (NV != P->valueExpr())
+      Cur = PStmt::declArr(P->name(), P->type(), std::move(NV));
+    break;
+  }
+  }
+  if (SFn)
+    if (PRef R = SFn(Cur))
+      Cur = std::move(R);
+  return Cur;
+}
+
+void etch::forEachExprNode(const ERef &E,
+                           const std::function<void(const EExpr &)> &Fn) {
+  if (!E)
+    return;
+  Fn(*E);
+  for (const ERef &A : E->args())
+    forEachExprNode(A, Fn);
+}
+
+void etch::forEachStmtNode(const PRef &P,
+                           const std::function<void(const PStmt &)> &Fn) {
+  if (!P)
+    return;
+  Fn(*P);
+  for (const PRef &C : P->children())
+    forEachStmtNode(C, Fn);
+}
+
+void etch::forEachProgramExpr(const PRef &P,
+                              const std::function<void(const ERef &)> &Fn) {
+  forEachStmtNode(P, [&](const PStmt &S) {
+    if (S.cond())
+      Fn(S.cond());
+    if (S.indexExpr())
+      Fn(S.indexExpr());
+    if (S.valueExpr())
+      Fn(S.valueExpr());
+  });
+}
+
+size_t etch::countStmtNodes(const PRef &P) {
+  size_t N = 0;
+  forEachStmtNode(P, [&](const PStmt &) { ++N; });
+  return N;
+}
+
+size_t etch::countExprNodes(const PRef &P) {
+  size_t N = 0;
+  forEachProgramExpr(P, [&](const ERef &E) {
+    forEachExprNode(E, [&](const EExpr &) { ++N; });
+  });
+  return N;
+}
+
+bool etch::exprEquals(const ERef &A, const ERef &B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->kind() != B->kind() || A->type() != B->type())
+    return false;
+  switch (A->kind()) {
+  case EKind::Var:
+    return A->name() == B->name();
+  case EKind::Const:
+    return A->constant() == B->constant();
+  case EKind::Access:
+    if (A->name() != B->name())
+      return false;
+    break;
+  case EKind::Call:
+    if (A->op() != B->op())
+      return false;
+    break;
+  }
+  if (A->args().size() != B->args().size())
+    return false;
+  for (size_t I = 0; I < A->args().size(); ++I)
+    if (!exprEquals(A->args()[I], B->args()[I]))
+      return false;
+  return true;
+}
+
+void etch::collectExprReads(const ERef &E, ReadSet &RS) {
+  forEachExprNode(E, [&](const EExpr &N) {
+    if (N.kind() == EKind::Var)
+      RS.Scalars.insert(N.name());
+    else if (N.kind() == EKind::Access)
+      RS.Arrays.insert(N.name());
+  });
+}
+
+void etch::collectStmtWrites(const PRef &P, WriteSet &WS) {
+  forEachStmtNode(P, [&](const PStmt &S) {
+    switch (S.kind()) {
+    case PKind::StoreVar:
+    case PKind::DeclVar:
+      WS.Scalars.insert(S.name());
+      break;
+    case PKind::StoreArr:
+    case PKind::DeclArr:
+      WS.Arrays.insert(S.name());
+      break;
+    default:
+      break;
+    }
+  });
+}
+
+bool etch::exprInvariantUnder(const ERef &E, const WriteSet &WS) {
+  bool Invariant = true;
+  forEachExprNode(E, [&](const EExpr &N) {
+    if (N.kind() == EKind::Var && WS.touchesScalar(N.name()))
+      Invariant = false;
+    else if (N.kind() == EKind::Access && WS.touchesArray(N.name()))
+      Invariant = false;
+  });
+  return Invariant;
+}
+
+ERef etch::substituteVar(const ERef &E, const std::string &Var,
+                         const ERef &Replacement) {
+  return rewriteExpr(E, [&](const ERef &N) -> ERef {
+    if (N->kind() == EKind::Var && N->name() == Var)
+      return Replacement;
+    return nullptr;
+  });
+}
+
+void etch::flattenConjuncts(const ERef &E, std::vector<ERef> &Out) {
+  if (E->kind() == EKind::Call && E->op() == Ops::andB()) {
+    flattenConjuncts(E->args()[0], Out);
+    flattenConjuncts(E->args()[1], Out);
+    return;
+  }
+  Out.push_back(E);
+}
+
+ERef etch::buildConjunction(const std::vector<ERef> &Conjuncts) {
+  if (Conjuncts.empty())
+    return eBool(true);
+  ERef Acc = Conjuncts[0];
+  for (size_t I = 1; I < Conjuncts.size(); ++I)
+    Acc = eAnd(Acc, Conjuncts[I]);
+  return Acc;
+}

@@ -1,0 +1,110 @@
+//===- compiler/rewrite.h - Generic traversal over E and P -----*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic traversal, rewriting, and analysis helpers for the target IRs
+/// `E` (expressions) and `P` (statements). Every consumer of the IR used to
+/// hand-roll its own recursion (c_emit, vm, codegen); the pass pipeline in
+/// compiler/passes.h is built entirely on this layer instead.
+///
+/// Rewrites are bottom-up and sharing-preserving: a callback sees each node
+/// after its children have been rewritten and returns either a replacement
+/// or null ("keep"). Unchanged subtrees are returned by reference, so a
+/// no-op rewrite allocates nothing and pointer equality detects change.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_COMPILER_REWRITE_H
+#define ETCH_COMPILER_REWRITE_H
+
+#include "compiler/imp.h"
+
+#include <set>
+
+namespace etch {
+
+/// Bottom-up expression rewriter: called on each node after its children
+/// were rewritten; returns the replacement, or null to keep the node.
+using ExprRewriter = std::function<ERef(const ERef &)>;
+
+/// Bottom-up statement rewriter: called on each statement after its
+/// children (and, if an ExprRewriter was supplied, its expressions) were
+/// rewritten; returns the replacement, or null to keep the node.
+using StmtRewriter = std::function<PRef(const PRef &)>;
+
+/// Rewrites \p E bottom-up with \p Fn. Returns \p E itself when nothing
+/// changed.
+ERef rewriteExpr(const ERef &E, const ExprRewriter &Fn);
+
+/// Rewrites the statement tree \p P bottom-up. If \p EFn is non-null it is
+/// applied (via rewriteExpr) to every expression of every statement first;
+/// then \p SFn (if non-null) may replace the statement. Sequences are
+/// re-normalised through the PStmt::seq factory, so no-ops introduced by a
+/// rewrite disappear and nested sequences stay flat.
+PRef rewriteProgram(const PRef &P, const StmtRewriter &SFn,
+                    const ExprRewriter &EFn = nullptr);
+
+/// Pre-order visit of every node of \p E (including \p E itself).
+void forEachExprNode(const ERef &E, const std::function<void(const EExpr &)> &Fn);
+
+/// Pre-order visit of every statement node of \p P.
+void forEachStmtNode(const PRef &P, const std::function<void(const PStmt &)> &Fn);
+
+/// Visits every expression tree attached to any statement of \p P (loop and
+/// branch conditions, store indices and values, declaration initialisers).
+/// The callback receives the root of each expression; use forEachExprNode
+/// to descend.
+void forEachProgramExpr(const PRef &P, const std::function<void(const ERef &)> &Fn);
+
+/// Number of statement nodes in \p P.
+size_t countStmtNodes(const PRef &P);
+
+/// Number of expression nodes reachable from statements of \p P.
+size_t countExprNodes(const PRef &P);
+
+/// Structural equality of expressions (same kinds, names, constants, ops,
+/// and arguments). Constants compare by type and value.
+bool exprEquals(const ERef &A, const ERef &B);
+
+/// Scalar variables and arrays an expression reads.
+struct ReadSet {
+  std::set<std::string> Scalars;
+  std::set<std::string> Arrays;
+};
+
+/// Accumulates the names \p E reads into \p RS.
+void collectExprReads(const ERef &E, ReadSet &RS);
+
+/// Scalar variables and arrays a program writes (stores and declarations).
+struct WriteSet {
+  std::set<std::string> Scalars;
+  std::set<std::string> Arrays;
+
+  bool touchesScalar(const std::string &N) const { return Scalars.count(N); }
+  bool touchesArray(const std::string &N) const { return Arrays.count(N); }
+};
+
+/// Accumulates the names \p P writes into \p WS.
+void collectStmtWrites(const PRef &P, WriteSet &WS);
+
+/// True when nothing \p E reads is written by \p WS (the expression is
+/// invariant under executing code with that write set).
+bool exprInvariantUnder(const ERef &E, const WriteSet &WS);
+
+/// Substitutes \p Replacement for every read of scalar variable \p Var
+/// inside \p E.
+ERef substituteVar(const ERef &E, const std::string &Var, const ERef &Replacement);
+
+/// Flattens a tree of short-circuit conjunctions (`andB`) into its
+/// conjunct list; a non-conjunction expression yields itself.
+void flattenConjuncts(const ERef &E, std::vector<ERef> &Out);
+
+/// Rebuilds a conjunction from \p Conjuncts (empty => constant true).
+ERef buildConjunction(const std::vector<ERef> &Conjuncts);
+
+} // namespace etch
+
+#endif // ETCH_COMPILER_REWRITE_H

@@ -203,6 +203,10 @@ private:
     return int64_t{0};
   }
 
+public:
+  int64_t stepsLeft() const { return StepsLeft; }
+
+private:
   VmMemory &M;
   int64_t StepsLeft;
   std::string Error;
@@ -210,15 +214,22 @@ private:
 
 } // namespace
 
-std::optional<std::string> etch::vmExecute(const PRef &Program,
-                                           VmMemory &Memory,
-                                           int64_t MaxSteps) {
+VmRunResult etch::vmRun(const PRef &Program, VmMemory &Memory,
+                        int64_t MaxSteps) {
   ETCH_ASSERT(Program, "null program");
   Interp I(Memory, MaxSteps);
   I.exec(*Program);
+  VmRunResult R;
+  R.Steps = MaxSteps - I.stepsLeft();
   if (!I.ok())
-    return I.error();
-  return std::nullopt;
+    R.Error = I.error();
+  return R;
+}
+
+std::optional<std::string> etch::vmExecute(const PRef &Program,
+                                           VmMemory &Memory,
+                                           int64_t MaxSteps) {
+  return vmRun(Program, Memory, MaxSteps).Error;
 }
 
 std::optional<ImpValue> etch::vmEval(const ERef &E, const VmMemory &Memory,

@@ -70,6 +70,24 @@ private:
   std::unordered_map<std::string, std::vector<ImpValue>> Arrays;
 };
 
+/// The outcome of a VM run: the error (nullopt on success) and the number
+/// of steps consumed. A step is charged per statement execution and per
+/// while-loop iteration, so the count is a deterministic cost model for the
+/// generated code — the optimization pipeline's step reductions are
+/// asserted against it.
+struct VmRunResult {
+  std::optional<std::string> Error;
+  int64_t Steps = 0;
+
+  bool ok() const { return !Error; }
+};
+
+/// Executes \p Program against \p Memory, counting steps. \p MaxSteps
+/// bounds execution (unbound name, out-of-bounds access, type error, and
+/// budget exhaustion all report through VmRunResult::Error).
+VmRunResult vmRun(const PRef &Program, VmMemory &Memory,
+                  int64_t MaxSteps = int64_t(1) << 28);
+
 /// Executes \p Program against \p Memory. Returns nullopt on success or a
 /// diagnostic on failure (unbound name, out-of-bounds access, type error,
 /// or exceeding \p MaxSteps statement executions).

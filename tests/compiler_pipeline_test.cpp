@@ -23,6 +23,7 @@
 
 #include <array>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -213,6 +214,76 @@ TEST(CompilerPipeline, MatmulLinearCombination) {
     for (Idx K = 0; K < 13; ++K)
       EXPECT_NEAR(std::get<double>((*C)[static_cast<size_t>(I * 13 + K)]),
                   Want.at({I, K}), 1e-9);
+}
+
+TEST(CompilerPipeline, RandomizedDifferentialAcrossOptLevels) {
+  // Random small contraction expressions — sums of products of sparse and
+  // dense vectors over one attribute — compiled at every opt level. All
+  // levels must produce bit-identical VM results, and those must agree
+  // with the core denotational evaluator.
+  Rng R(0xe7c4);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    Idx N = 5 + static_cast<Idx>(R.nextBelow(36));
+    auto A = randomSparseVector(R, N, R.nextBelow(static_cast<uint64_t>(N)));
+    auto B = randomSparseVector(R, N, R.nextBelow(static_cast<uint64_t>(N)));
+    auto C = randomSparseVector(R, N, R.nextBelow(static_cast<uint64_t>(N)));
+    auto D = randomDenseVector(R, N);
+
+    const std::array<std::string, 4> Names = {"a", "b", "c", "d"};
+    size_t NumTerms = 1 + R.nextBelow(3);
+    ExprPtr E;
+    for (size_t T = 0; T < NumTerms; ++T) {
+      size_t NumFactors = 1 + R.nextBelow(3);
+      ExprPtr Term;
+      for (size_t F = 0; F < NumFactors; ++F) {
+        ExprPtr V = Expr::var(Names[R.nextBelow(4)]);
+        Term = Term ? Expr::mul(Term, V) : V;
+      }
+      E = E ? Expr::add(E, Term) : Term;
+    }
+
+    // Oracle: the denotational semantics of Σ_i E.
+    ValueContext<F64Semiring> VC;
+    VC.emplace("a", A.toKRelation<F64Semiring>(attrI()));
+    VC.emplace("b", B.toKRelation<F64Semiring>(attrI()));
+    VC.emplace("c", C.toKRelation<F64Semiring>(attrI()));
+    KRelation<F64Semiring> DK(Shape{attrI()});
+    for (Idx I = 0; I < N; ++I)
+      DK.insert({I}, D.Val[static_cast<size_t>(I)]);
+    VC.emplace("d", DK);
+    std::string Err;
+    ExprPtr Full = sumAll(E, typesOf(VC), &Err);
+    ASSERT_NE(Full, nullptr) << Err;
+    double Want = evalT(Full, VC).at({});
+
+    std::array<double, 3> Got{};
+    for (int Opt = 0; Opt <= 2; ++Opt) {
+      LowerCtx Ctx;
+      Ctx.OptLevel = Opt;
+      Ctx.setDim(attrI(), N);
+      Ctx.bind(sparseVecBinding("a", attrI()));
+      Ctx.bind(sparseVecBinding("b", attrI(),
+                                Trial % 2 ? SearchPolicy::Binary
+                                          : SearchPolicy::Linear));
+      Ctx.bind(sparseVecBinding("c", attrI()));
+      Ctx.bind(denseVecBinding("d", attrI()));
+      VmMemory M;
+      bindSparseVector(M, "a", A);
+      bindSparseVector(M, "b", B);
+      bindSparseVector(M, "c", C);
+      bindDenseVector(M, "d", D);
+      PRef Prog = compileFullContraction(Ctx, E, "out");
+      auto VmErr = vmExecute(Prog, M);
+      ASSERT_FALSE(VmErr.has_value())
+          << "trial " << Trial << " O" << Opt << ": " << *VmErr;
+      Got[static_cast<size_t>(Opt)] = std::get<double>(*M.getScalar("out"));
+    }
+    // Bit-identical across opt levels; near the oracle.
+    EXPECT_EQ(Got[0], Got[1]) << "trial " << Trial;
+    EXPECT_EQ(Got[0], Got[2]) << "trial " << Trial;
+    EXPECT_NEAR(Got[0], Want, 1e-9 * (1.0 + std::abs(Want)))
+        << "trial " << Trial;
+  }
 }
 
 TEST(CompilerPipeline, EmittedCMatchesVm) {
