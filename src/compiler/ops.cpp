@@ -37,6 +37,10 @@ OpDef makeOp(std::string Name, ImpType R, std::vector<ImpType> Args,
 using VS = std::span<const ImpValue>;
 using IT = ImpType;
 
+// Signed i64 overflow is undefined in the IR semantics (the Specs compute
+// with C++ int64_t, where it is likewise UB): programs whose arithmetic
+// wraps have no defined meaning, and passes may rewrite under the
+// assumption that it does not happen (e.g. max(x, x+1) = x+1).
 ETCH_DEFINE_OP(addI, "addI", IT::I64, {IT::I64, IT::I64},
                [](VS A) -> ImpValue { return asI(A[0]) + asI(A[1]); },
                "({0} + {1})")

@@ -72,7 +72,7 @@ private:
     const auto &Seen = IsArray ? SeenArrayDecls : SeenScalarDecls;
     if (Declared.count(Name) && !Seen.count(Name))
       fail(std::string(Use) + " of '" + Name +
-           "' before its declaration in program order");
+           "' before a dominating declaration");
   }
 
   void checkExpr(const EExpr &E) {
@@ -132,6 +132,14 @@ private:
     ETCH_UNREACHABLE("unknown EKind");
   }
 
+  static std::set<std::string> intersect(const std::set<std::string> &A,
+                                         const std::set<std::string> &B) {
+    std::set<std::string> Out;
+    std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                          std::inserter(Out, Out.begin()));
+    return Out;
+  }
+
   void checkStmt(const PStmt &P) {
     if (!Error.empty())
       return;
@@ -140,17 +148,42 @@ private:
       for (const PRef &C : P.children())
         checkStmt(*C);
       return;
-    case PKind::While:
-    case PKind::Branch:
+    case PKind::While: {
       if (P.cond()->type() != ImpType::Bool) {
-        fail(P.kind() == PKind::While ? "while condition is not boolean"
-                                      : "branch condition is not boolean");
+        fail("while condition is not boolean");
         return;
       }
       checkExpr(*P.cond());
+      // Declarations inside the body dominate uses later in the body, but
+      // the loop may run zero times, so they dominate nothing after it.
+      std::set<std::string> SavedS = SeenScalarDecls;
+      std::set<std::string> SavedA = SeenArrayDecls;
       for (const PRef &C : P.children())
         checkStmt(*C);
+      SeenScalarDecls = std::move(SavedS);
+      SeenArrayDecls = std::move(SavedA);
       return;
+    }
+    case PKind::Branch: {
+      if (P.cond()->type() != ImpType::Bool) {
+        fail("branch condition is not boolean");
+        return;
+      }
+      checkExpr(*P.cond());
+      // Each arm sees only declarations dominating the branch; after it,
+      // only declarations made on BOTH paths dominate the continuation.
+      std::set<std::string> SavedS = SeenScalarDecls;
+      std::set<std::string> SavedA = SeenArrayDecls;
+      checkStmt(*P.children()[0]);
+      std::set<std::string> ThenS = std::move(SeenScalarDecls);
+      std::set<std::string> ThenA = std::move(SeenArrayDecls);
+      SeenScalarDecls = std::move(SavedS);
+      SeenArrayDecls = std::move(SavedA);
+      checkStmt(*P.children()[1]);
+      SeenScalarDecls = intersect(ThenS, SeenScalarDecls);
+      SeenArrayDecls = intersect(ThenA, SeenArrayDecls);
+      return;
+    }
     case PKind::Noop:
     case PKind::Comment:
       return;
@@ -360,8 +393,12 @@ ERef simplifyOnce(const ERef &E) {
       return A[0];
   }
 
-  // max(x, x + c) = x + c and min(x, x + c) = x for constant c >= 0: the
-  // shape the dense-level skip takes after forward substitution.
+  // max(x, x + c) = x + c and min(x, x + c) = x for small constant c >= 0:
+  // the shape the dense-level skip takes after forward substitution (c is 0
+  // or 1 there). The rewrite assumes x + c does not wrap; i64 overflow is
+  // undefined in the IR (see the addI Spec in ops.cpp), but we still cap c
+  // so near-extreme constants from hand-built or randomized programs keep
+  // their unsimplified, VM-evaluated form.
   auto PlusConst = [](const ERef &X, const ERef &Sum) -> const ImpValue * {
     if (Sum->kind() != EKind::Call || Sum->op() != Ops::addI())
       return nullptr;
@@ -374,7 +411,8 @@ ERef simplifyOnce(const ERef &E) {
       const ERef &X = A[static_cast<size_t>(Flip)];
       const ERef &S = A[static_cast<size_t>(1 - Flip)];
       if (const ImpValue *C = PlusConst(X, S)) {
-        if (std::get<int64_t>(*C) >= 0)
+        int64_t CV = std::get<int64_t>(*C);
+        if (CV >= 0 && CV <= 4096)
           return Op == Ops::maxI() ? S : X;
       }
     }
@@ -515,7 +553,8 @@ size_t countStmtVarReads(const PRef &S, const std::string &Name) {
   return N;
 }
 
-PRef forwardSubstituteOnce(const PRef &P, bool &Changed) {
+PRef forwardSubstituteOnce(const PRef &P, const PipelineOptions &Opts,
+                           bool &Changed) {
   // Global usage counts: a temporary is substitutable only when its single
   // read in the whole program sits in the store immediately following its
   // declaration.
@@ -548,8 +587,8 @@ PRef forwardSubstituteOnce(const PRef &P, bool &Changed) {
         bool NextIsStore = Next->kind() == PKind::StoreVar ||
                            Next->kind() == PKind::StoreArr ||
                            Next->kind() == PKind::DeclVar;
-        if (NextIsStore && Next->name() != T && DeclCount[T] == 1 &&
-            StoreCount[T] == 0 && ReadCount[T] == 1 &&
+        if (NextIsStore && Next->name() != T && !Opts.LiveOut.count(T) &&
+            DeclCount[T] == 1 && StoreCount[T] == 0 && ReadCount[T] == 1 &&
             countStmtVarReads(Next, T) == 1 &&
             countVarReads(D->valueExpr(), T) == 0) {
           // The consuming statement evaluates its expressions entirely in
@@ -587,11 +626,11 @@ PRef forwardSubstituteOnce(const PRef &P, bool &Changed) {
 
 } // namespace
 
-PRef etch::forwardSubstitutePass(const PRef &P) {
+PRef etch::forwardSubstitutePass(const PRef &P, const PipelineOptions &Opts) {
   PRef Cur = P;
   for (int Round = 0; Round < 8; ++Round) {
     bool Changed = false;
-    Cur = forwardSubstituteOnce(Cur, Changed);
+    Cur = forwardSubstituteOnce(Cur, Opts, Changed);
     if (!Changed)
       break;
   }
@@ -766,10 +805,15 @@ bool isTotalExpr(const ERef &E, const std::set<std::string> &DefinedBefore,
 }
 
 /// Collects maximal hoistable subtrees of \p E into \p Out (deduplicated
-/// structurally). \p FromCond permits array accesses and any op: the loop
-/// condition is evaluated at least once, immediately after the hoist
-/// point, so the hoisted evaluation replaces the first in-loop one
-/// exactly.
+/// structurally). \p FromCond permits array accesses and any op, but only
+/// on the unconditionally-evaluated spine of the loop condition: that
+/// spine is evaluated at least once, immediately after the hoist point, so
+/// the hoisted evaluation replaces the first in-loop one exactly. The
+/// lazily-guarded positions of a condition (the second argument of
+/// andB/orB, either arm of select) may never run — `A[j] == v` in
+/// `while (i < n && A[j] == v)` must not be evaluated when `i >= n`
+/// initially — so recursion into them drops FromCond and falls back to the
+/// cannot-fail isTotalExpr rule.
 void collectCandidates(const ERef &E, const WriteSet &BodyW, bool FromCond,
                        const std::set<std::string> &DefinedBefore,
                        const std::set<std::string> &DeclaredAnywhere,
@@ -784,19 +828,45 @@ void collectCandidates(const ERef &E, const WriteSet &BodyW, bool FromCond,
     Out.push_back(E);
     return;
   }
-  for (const ERef &A : E->args())
-    collectCandidates(A, BodyW, FromCond, DefinedBefore, DeclaredAnywhere, Out);
+  bool IsLazy = E->kind() == EKind::Call &&
+                E->op()->Lazy != OpDef::Laziness::Eager;
+  const auto &Args = E->args();
+  for (size_t I = 0; I < Args.size(); ++I) {
+    bool ArgFromCond = FromCond && !(IsLazy && I > 0);
+    collectCandidates(Args[I], BodyW, ArgFromCond, DefinedBefore,
+                      DeclaredAnywhere, Out);
+  }
 }
 
+/// State threaded through one hoisting run: every name the program
+/// mentions anywhere (declarations, stores, reads, array accesses —
+/// including caller-bound externals, which a fresh declaration must never
+/// shadow), plus a per-run counter so emitted names are deterministic
+/// across compilations.
+struct HoistNames {
+  std::set<std::string> Used;
+  int Counter = 0;
+
+  std::string fresh() {
+    std::string Name;
+    do {
+      Name = "liv" + std::to_string(Counter++);
+    } while (Used.count(Name));
+    Used.insert(Name);
+    return Name;
+  }
+};
+
 PRef hoistRec(const PRef &P, std::set<std::string> &Defined,
-              const std::set<std::string> &DeclaredAnywhere) {
+              const std::set<std::string> &DeclaredAnywhere,
+              HoistNames &Names) {
   switch (P->kind()) {
   case PKind::Seq: {
     std::vector<PRef> NewCh;
     NewCh.reserve(P->children().size());
     bool Changed = false;
     for (const PRef &C : P->children()) {
-      PRef NC = hoistRec(C, Defined, DeclaredAnywhere);
+      PRef NC = hoistRec(C, Defined, DeclaredAnywhere, Names);
       Changed |= NC != C;
       // Only unconditional definitions extend the defined set.
       if (C->kind() == PKind::DeclVar || C->kind() == PKind::StoreVar)
@@ -808,15 +878,15 @@ PRef hoistRec(const PRef &P, std::set<std::string> &Defined,
   case PKind::Branch: {
     // Definitions inside an arm are conditional: recurse with copies.
     std::set<std::string> DT = Defined, DE = Defined;
-    PRef NT = hoistRec(P->children()[0], DT, DeclaredAnywhere);
-    PRef NE = hoistRec(P->children()[1], DE, DeclaredAnywhere);
+    PRef NT = hoistRec(P->children()[0], DT, DeclaredAnywhere, Names);
+    PRef NE = hoistRec(P->children()[1], DE, DeclaredAnywhere, Names);
     if (NT == P->children()[0] && NE == P->children()[1])
       return P;
     return PStmt::branch(P->cond(), std::move(NT), std::move(NE));
   }
   case PKind::While: {
     std::set<std::string> DB = Defined;
-    PRef Body = hoistRec(P->children()[0], DB, DeclaredAnywhere);
+    PRef Body = hoistRec(P->children()[0], DB, DeclaredAnywhere, Names);
     WriteSet BodyW;
     collectStmtWrites(Body, BodyW);
 
@@ -831,14 +901,10 @@ PRef hoistRec(const PRef &P, std::set<std::string> &Defined,
       return Body == P->children()[0] ? P
                                       : PStmt::whileLoop(P->cond(), Body);
 
-    static int HoistCounter = 0;
     std::vector<PRef> Out;
     ERef Cond = P->cond();
     for (const ERef &Cand : Cands) {
-      std::string Name;
-      do {
-        Name = "liv" + std::to_string(HoistCounter++);
-      } while (DeclaredAnywhere.count(Name));
+      std::string Name = Names.fresh();
       Out.push_back(PStmt::declVar(Name, Cand->type(), Cand));
       ERef Temp = EExpr::var(Name, Cand->type());
       auto ReplaceNode = [&](const ERef &N) -> ERef {
@@ -861,12 +927,22 @@ PRef hoistRec(const PRef &P, std::set<std::string> &Defined,
 
 PRef etch::hoistLoopInvariantsPass(const PRef &P) {
   std::set<std::string> DeclaredAnywhere;
+  HoistNames Names;
   forEachStmtNode(P, [&](const PStmt &S) {
     if (S.kind() == PKind::DeclVar || S.kind() == PKind::DeclArr)
       DeclaredAnywhere.insert(S.name());
+    if (S.kind() == PKind::DeclVar || S.kind() == PKind::DeclArr ||
+        S.kind() == PKind::StoreVar || S.kind() == PKind::StoreArr)
+      Names.Used.insert(S.name());
+  });
+  forEachProgramExpr(P, [&](const ERef &E) {
+    forEachExprNode(E, [&](const EExpr &N) {
+      if (N.kind() == EKind::Var || N.kind() == EKind::Access)
+        Names.Used.insert(N.name());
+    });
   });
   std::set<std::string> Defined;
-  return hoistRec(P, Defined, DeclaredAnywhere);
+  return hoistRec(P, Defined, DeclaredAnywhere, Names);
 }
 
 //===----------------------------------------------------------------------===//
@@ -901,7 +977,7 @@ PassManager PassManager::standard(int OptLevel) {
   PM.addPass("fold-constants", Simple(foldConstantsPass));
   PM.addPass("simplify-algebra", Simple(simplifyAlgebraPass));
   PM.addPass("clean-cfg", Simple(cleanControlFlowPass));
-  PM.addPass("forward-subst", Simple(forwardSubstitutePass));
+  PM.addPass("forward-subst", forwardSubstitutePass);
   // Substitution exposes max(i, i + 1)-style patterns and fresh constant
   // operands; run the expression passes once more.
   PM.addPass("simplify-algebra#2", Simple(simplifyAlgebraPass));

@@ -48,10 +48,13 @@ namespace etch {
 ///     have type I64;
 ///   - every name is used consistently (never both scalar and array, one
 ///     type per name across declarations, stores, and reads);
-///   - a name declared by the program is not stored or read before its
-///     declaration in program order. Names the program never declares are
-///     treated as externals bound by the caller (input tensors, caller-
-///     declared outputs).
+///   - a name declared by the program is not stored or read before a
+///     dominating declaration: declarations inside one branch arm do not
+///     license uses in the other arm or after the branch (unless both arms
+///     declare), and declarations inside a loop body do not license uses
+///     after the loop (it may run zero times). Names the program never
+///     declares are treated as externals bound by the caller (input
+///     tensors, caller-declared outputs).
 ///
 /// Returns nullopt on success, a diagnostic otherwise. The PassManager runs
 /// this between every pass when PipelineOptions::Verify is set.
@@ -160,9 +163,11 @@ PRef eliminateDeadStoresPass(const PRef &P, const PipelineOptions &Opts);
 /// Inlines `t = e; x = f(t)` into `x = f(e)` when t is a single-use
 /// temporary: declared once, never re-stored, read only by the immediately
 /// following store, whose evaluation happens entirely in the declaration's
-/// state. This is what turns the dense-level `skip(i, true)` latch into
-/// the paper's `i = i + 1` fast path.
-PRef forwardSubstitutePass(const PRef &P);
+/// state, and not listed in \p Opts.LiveOut (a live-out temporary's
+/// declaration must survive for the caller to read). This is what turns
+/// the dense-level `skip(i, true)` latch into the paper's `i = i + 1` fast
+/// path.
+PRef forwardSubstitutePass(const PRef &P, const PipelineOptions &Opts = {});
 
 /// Drops conjuncts of branch/loop conditions that are implied by dominating
 /// conditions still valid at the evaluation point (tracking write sets to
@@ -173,11 +178,14 @@ PRef forwardSubstitutePass(const PRef &P);
 PRef eliminateImpliedConditionsPass(const PRef &P);
 
 /// Hoists loop-invariant subexpressions out of `while` statements into
-/// fresh temporaries: any invariant non-trivial subexpression of the loop
-/// condition (always evaluated at least once, so hoisting is safe), and
-/// total invariant subexpressions of the body (no array accesses, no
-/// trapping or lazy ops, variables defined before the loop — evaluation
-/// cannot fail, so executing it when the body would not have run is safe).
+/// fresh temporaries: any invariant non-trivial subexpression on the
+/// unconditionally-evaluated spine of the loop condition (that spine runs
+/// at least once, so hoisting is safe — but subexpressions under a lazy
+/// guard, like the right operand of `&&`, may never run and are held to
+/// the stricter body rule), and total invariant subexpressions of the body
+/// (no array accesses, no trapping or lazy ops, variables defined before
+/// the loop — evaluation cannot fail, so executing it when the body would
+/// not have run is safe).
 PRef hoistLoopInvariantsPass(const PRef &P);
 
 } // namespace etch

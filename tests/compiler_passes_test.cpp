@@ -139,6 +139,10 @@ TEST(Passes, AlgebraicSimplification) {
   EXPECT_EQ(Simp1(EExpr::call(Ops::mulF(), {eVarF("v"), eConstF(1.0)}))
                 ->toString(),
             eVarF("v")->toString());
+  // A huge addend could wrap x + c below x; the max(x, x+c) rewrite is
+  // capped to small constants and must leave this alone.
+  ERef Big = eMaxI(eVarI("i"), eAddI(eVarI("i"), eConstI(5000)));
+  EXPECT_EQ(Simp1(Big)->toString(), Big->toString());
 }
 
 TEST(Passes, ControlFlowCleanup) {
@@ -178,6 +182,19 @@ TEST(Passes, ForwardSubstitution) {
   ASSERT_EQ(R->kind(), PKind::StoreVar);
   EXPECT_EQ(R->valueExpr()->toString(),
             eMaxI(eVarI("i"), eAddI(eVarI("i"), eConstI(1)))->toString());
+}
+
+TEST(Passes, ForwardSubstitutionRespectsLiveOut) {
+  PRef P = PStmt::seq(
+      {PStmt::declVar("t", ImpType::I64, eAddI(eVarI("i"), eConstI(1))),
+       PStmt::storeVar("out", eVarI("t"))});
+  // By default t is a pure temporary and is inlined away.
+  EXPECT_EQ(forwardSubstitutePass(P)->kind(), PKind::StoreVar);
+  // A live-out temporary's declaration must survive for the caller's
+  // post-run read.
+  PipelineOptions Opts;
+  Opts.LiveOut = {"t"};
+  EXPECT_EQ(forwardSubstitutePass(P, Opts), P);
 }
 
 TEST(Passes, ImpliedConditionElimination) {
@@ -226,6 +243,46 @@ TEST(Passes, LoopInvariantHoisting) {
             std::string::npos);
 }
 
+TEST(Passes, HoistingSkipsLazilyGuardedConditionSubtrees) {
+  // while (p < pos[1] && A[j] == v) { p = p + 1 }: pos[1] sits on the
+  // unconditionally-evaluated spine of the condition and hoists, but
+  // A[j] == v is guarded by the short-circuit — when p >= pos[1] initially
+  // the original program never evaluates A[j] (which may be out of
+  // bounds), so it must stay inside the guard.
+  ERef Spine =
+      eLtI(eVarI("p"), EExpr::access("pos", ImpType::I64, eConstI(1)));
+  ERef Guarded =
+      eEqI(EExpr::access("A", ImpType::I64, eVarI("j")), eVarI("v"));
+  PRef Loop = PStmt::whileLoop(
+      eAnd(Spine, Guarded),
+      PStmt::storeVar("p", eAddI(eVarI("p"), eConstI(1))));
+  PRef R = hoistLoopInvariantsPass(Loop);
+  ASSERT_EQ(R->kind(), PKind::Seq);
+  // Exactly one hoisted declaration: the pos[1] read.
+  ASSERT_EQ(R->children().size(), 2u);
+  ASSERT_EQ(R->children()[0]->kind(), PKind::DeclVar);
+  EXPECT_NE(R->children()[0]->valueExpr()->toString().find("pos"),
+            std::string::npos);
+  // The guarded access is still evaluated (lazily) inside the condition.
+  EXPECT_NE(R->children()[1]->cond()->toString().find("A"),
+            std::string::npos);
+}
+
+TEST(Passes, HoistingAvoidsExternalNamesAndIsDeterministic) {
+  // The body reads a caller-bound scalar that happens to carry the
+  // hoister's preferred fresh name; the new declaration must not shadow
+  // it, and two runs over the same program must emit identical names.
+  ERef End = EExpr::access("pos", ImpType::I64, eConstI(1));
+  PRef Loop = PStmt::whileLoop(
+      eLtI(eVarI("p"), End),
+      PStmt::storeVar("p", eAddI(eVarI("p"), eVarI("liv0"))));
+  PRef R1 = hoistLoopInvariantsPass(Loop);
+  ASSERT_EQ(R1->kind(), PKind::Seq);
+  ASSERT_EQ(R1->children()[0]->kind(), PKind::DeclVar);
+  EXPECT_NE(R1->children()[0]->name(), "liv0");
+  EXPECT_EQ(hoistLoopInvariantsPass(Loop)->toString(), R1->toString());
+}
+
 //===----------------------------------------------------------------------===//
 // Verifier
 //===----------------------------------------------------------------------===//
@@ -268,6 +325,35 @@ TEST(Verifier, RejectsStoreBeforeDecl) {
   auto Err = verifyProgram(P);
   ASSERT_TRUE(Err.has_value());
   EXPECT_NE(Err->find("before"), std::string::npos);
+}
+
+TEST(Verifier, DeclMustDominateUse) {
+  // Declared only in the then-arm: a read after the branch is undefined
+  // on the else path.
+  PRef OneArm = PStmt::seq2(
+      PStmt::branch(eVarB("c"),
+                    PStmt::declVar("v", ImpType::I64, eConstI(1)),
+                    PStmt::noop()),
+      PStmt::storeVar("out", eVarI("v")));
+  auto Err = verifyProgram(OneArm);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("'v'"), std::string::npos);
+
+  // Declared in both arms: the declaration dominates the continuation.
+  PRef BothArms = PStmt::seq2(
+      PStmt::branch(eVarB("c"),
+                    PStmt::declVar("v", ImpType::I64, eConstI(1)),
+                    PStmt::declVar("v", ImpType::I64, eConstI(2))),
+      PStmt::storeVar("out", eVarI("v")));
+  EXPECT_FALSE(verifyProgram(BothArms).has_value());
+
+  // Declared inside a loop body: the loop may run zero times, so the
+  // declaration does not dominate uses after it.
+  PRef InLoop = PStmt::seq2(
+      PStmt::whileLoop(eVarB("c"),
+                       PStmt::declVar("v", ImpType::I64, eConstI(1))),
+      PStmt::storeVar("out", eVarI("v")));
+  EXPECT_TRUE(verifyProgram(InLoop).has_value());
 }
 
 //===----------------------------------------------------------------------===//
