@@ -19,6 +19,7 @@
 #include "baselines/etch_kernels.h"
 #include "baselines/taco_kernels.h"
 #include "formats/random.h"
+#include "support/benchjson.h"
 #include "support/table.h"
 #include "support/timer.h"
 
@@ -146,9 +147,94 @@ void benchMttkrp(ResultTable &T, double D) {
             ResultTable::num(TacoT / EtchT, 2)});
 }
 
+/// Thread sweep of the data-parallel kernel variants (streams/parallel.h)
+/// at one representative density each; the threads=1 row is the serial
+/// kernel, so speedup_vs_serial isolates the partition + pool overhead.
+void benchParallelSweep(ResultTable &T, BenchJson &J,
+                        const BenchOptions &Opts) {
+  {
+    Rng R(2);
+    const double D = 0.01;
+    size_t Nnz = static_cast<size_t>(D * static_cast<double>(MatDim) *
+                                     static_cast<double>(MatDim));
+    auto A = randomCsr(R, MatDim, MatDim, Nnz);
+    auto X = randomDenseVector(R, MatDim);
+    DenseVector<double> Y(MatDim);
+    double Serial = timeBest([&] { kernels::spmv(A, X, Y); });
+    J.add("spmv", "density=0.01;serial", 1, Serial);
+    for (int Threads : Opts.Threads) {
+      ThreadPool Pool(static_cast<unsigned>(Threads));
+      double Par =
+          timeBest([&] { kernels::spmvParallel(Pool, A, X, Y); });
+      J.add("spmv", "density=0.01", Threads, Par);
+      T.addRow({"spmv", ResultTable::num(densityPercent(D), 3),
+                ResultTable::num(int64_t{Threads}),
+                ResultTable::num(Par * 1e3),
+                ResultTable::num(Serial / Par, 2)});
+    }
+  }
+  {
+    Rng R(3);
+    const Idx N = 4000;
+    const double D = 0.03;
+    auto A = randomDcsr(R, N, N, 8000);
+    auto B = randomDcsr(R, N, N,
+                        static_cast<size_t>(D * static_cast<double>(N) *
+                                            static_cast<double>(N)));
+    volatile double Sink = 0.0;
+    double Serial = timeBest([&] {
+      auto C = kernels::smul<SearchPolicy::Gallop>(A, B);
+      Sink = static_cast<double>(C.nnz());
+    });
+    J.add("smul", "density=0.03;serial", 1, Serial);
+    for (int Threads : Opts.Threads) {
+      ThreadPool Pool(static_cast<unsigned>(Threads));
+      double Par = timeBest([&] {
+        auto C = kernels::smulParallel<SearchPolicy::Gallop>(Pool, A, B);
+        Sink = static_cast<double>(C.nnz());
+      });
+      J.add("smul", "density=0.03", Threads, Par);
+      T.addRow({"smul", ResultTable::num(densityPercent(D), 3),
+                ResultTable::num(int64_t{Threads}),
+                ResultTable::num(Par * 1e3),
+                ResultTable::num(Serial / Par, 2)});
+    }
+    (void)Sink;
+  }
+  {
+    Rng R(4);
+    const Idx NI = 300, NJ = 300, NK = 300;
+    const int64_t Rank = 16;
+    const double D = 0.003;
+    auto B = randomCsf3(R, NI, NJ, NK,
+                        static_cast<size_t>(D * static_cast<double>(NI) *
+                                            NJ * NK));
+    std::vector<double> C(static_cast<size_t>(NJ * Rank)),
+        Dm(static_cast<size_t>(NK * Rank));
+    for (auto &V : C)
+      V = randomValue(R);
+    for (auto &V : Dm)
+      V = randomValue(R);
+    std::vector<double> Out;
+    double Serial = timeBest([&] { kernels::mttkrp(B, C, Dm, Rank, Out); });
+    J.add("mttkrp", "density=0.003;serial", 1, Serial);
+    for (int Threads : Opts.Threads) {
+      ThreadPool Pool(static_cast<unsigned>(Threads));
+      double Par = timeBest(
+          [&] { kernels::mttkrpParallel(Pool, B, C, Dm, Rank, Out); });
+      J.add("mttkrp", "density=0.003", Threads, Par);
+      T.addRow({"mttkrp", ResultTable::num(densityPercent(D), 3),
+                ResultTable::num(int64_t{Threads}),
+                ResultTable::num(Par * 1e3),
+                ResultTable::num(Serial / Par, 2)});
+    }
+  }
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchArgs(Argc, Argv);
   std::puts("=== Figure 17: sparse tensor algebra, Etch vs TACO ===");
   std::puts("(speedup = taco_ms / etch_ms; paper: 0.75-1.2x overall,");
   std::puts(" add 2-3x slower, smul faster via binary-search skip)\n");
@@ -163,5 +249,15 @@ int main() {
   for (double D : {0.0003, 0.001, 0.003})
     benchMttkrp(T, D);
   T.print();
+
+  std::puts("\n=== Parallel kernel thread sweep (streams/parallel.h) ===");
+  ResultTable TP(
+      {"expr", "density_%", "threads", "etch_ms", "speedup_vs_serial"});
+  BenchJson J;
+  benchParallelSweep(TP, J, Opts);
+  TP.print();
+
+  if (!Opts.JsonPath.empty() && !J.writeFile(Opts.JsonPath))
+    return 1;
   return 0;
 }

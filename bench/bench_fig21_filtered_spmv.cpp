@@ -14,6 +14,7 @@
 
 #include "baselines/etch_kernels.h"
 #include "formats/random.h"
+#include "support/benchjson.h"
 #include "support/table.h"
 #include "support/timer.h"
 
@@ -21,7 +22,8 @@
 
 using namespace etch;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchArgs(Argc, Argv);
   std::puts("=== Figure 21: filtered SpMV (fused tensor + relational) ===");
   std::puts("(paper: fused time -> 0 as selectivity -> 100%)\n");
 
@@ -50,5 +52,39 @@ int main() {
               ResultTable::num(Unfused / Fused, 1)});
   }
   T.print();
+
+  // Thread sweep of the chunk-parallel fused kernel at two selectivities:
+  // 0% (all rows pass — the most work to split) and 90% (sparse pass set —
+  // partitioning follows the filter, not the matrix).
+  std::puts("\n=== Parallel fused filtered-SpMV thread sweep ===");
+  ResultTable TP(
+      {"selectivity_%", "threads", "fused_ms", "speedup_vs_serial"});
+  BenchJson J;
+  for (double Sel : {0.0, 0.9}) {
+    size_t Pass = static_cast<size_t>((1.0 - Sel) * static_cast<double>(N));
+    Rng RP(23);
+    auto PassRows = randomSparseVector(RP, N, Pass);
+    std::string Cfg = "selectivity=" + ResultTable::num(Sel * 100.0, 0);
+    double Serial = timeBest(
+        [&] { kernels::filteredSpmvFused(A, X, PassRows, Y); }, 3);
+    J.add("filteredSpmvFused", Cfg + ";serial", 1, Serial);
+    for (int Threads : Opts.Threads) {
+      ThreadPool Pool(static_cast<unsigned>(Threads));
+      double Par = timeBest(
+          [&] {
+            kernels::filteredSpmvFusedParallel(Pool, A, X, PassRows, Y);
+          },
+          3);
+      J.add("filteredSpmvFused", Cfg, Threads, Par);
+      TP.addRow({ResultTable::num(Sel * 100.0, 0),
+                 ResultTable::num(int64_t{Threads}),
+                 ResultTable::num(Par * 1e3),
+                 ResultTable::num(Serial / Par, 2)});
+    }
+  }
+  TP.print();
+
+  if (!Opts.JsonPath.empty() && !J.writeFile(Opts.JsonPath))
+    return 1;
   return 0;
 }

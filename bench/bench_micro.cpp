@@ -74,6 +74,45 @@ void BM_SpmvTaco(benchmark::State &State) {
                           static_cast<int64_t>(A.nnz()));
 }
 
+// Args are {nnz, threads}: the chunk-parallel kernels of
+// streams/parallel.h, swept across thread counts. The threads=1 pool runs
+// fully inline, so the gap to BM_SpmvEtch is the partitioning overhead.
+void BM_SpmvParallel(benchmark::State &State) {
+  Rng R(2);
+  const Idx N = 4000;
+  auto A = randomCsr(R, N, N, static_cast<size_t>(State.range(0)));
+  auto X = randomDenseVector(R, N);
+  DenseVector<double> Y(N);
+  ThreadPool Pool(static_cast<unsigned>(State.range(1)));
+  for (auto _ : State) {
+    kernels::spmvParallel(Pool, A, X, Y);
+    benchmark::DoNotOptimize(Y.Val.data());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(A.nnz()));
+}
+
+void BM_MttkrpParallel(benchmark::State &State) {
+  Rng R(4);
+  const Idx NI = 300, NJ = 300, NK = 300;
+  const int64_t Rank = 16;
+  auto B = randomCsf3(R, NI, NJ, NK, static_cast<size_t>(State.range(0)));
+  std::vector<double> C(static_cast<size_t>(NJ * Rank)),
+      D(static_cast<size_t>(NK * Rank));
+  for (auto &V : C)
+    V = randomValue(R);
+  for (auto &V : D)
+    V = randomValue(R);
+  std::vector<double> Out;
+  ThreadPool Pool(static_cast<unsigned>(State.range(1)));
+  for (auto _ : State) {
+    kernels::mttkrpParallel(Pool, B, C, D, Rank, Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(State.range(0)));
+}
+
 void BM_InnerEtch(benchmark::State &State) {
   Rng R(3);
   const Idx N = 4000;
@@ -96,6 +135,16 @@ BENCHMARK(BM_TripleDotEtch)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
 BENCHMARK(BM_TripleDotTaco)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
 BENCHMARK(BM_SpmvEtch)->Arg(40'000)->Arg(400'000);
 BENCHMARK(BM_SpmvTaco)->Arg(40'000)->Arg(400'000);
+BENCHMARK(BM_SpmvParallel)
+    ->Args({400'000, 1})
+    ->Args({400'000, 2})
+    ->Args({400'000, 4})
+    ->Args({400'000, 8});
+BENCHMARK(BM_MttkrpParallel)
+    ->Args({80'000, 1})
+    ->Args({80'000, 2})
+    ->Args({80'000, 4})
+    ->Args({80'000, 8});
 BENCHMARK(BM_InnerEtch)->Arg(40'000)->Arg(400'000);
 BENCHMARK(BM_InnerTaco)->Arg(40'000)->Arg(400'000);
 

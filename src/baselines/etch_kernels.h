@@ -23,6 +23,7 @@
 #include "formats/vectors.h"
 #include "streams/combinators.h"
 #include "streams/eval.h"
+#include "streams/parallel.h"
 
 #include <algorithm>
 
@@ -198,6 +199,131 @@ inline void filteredSpmvFused(const CsrMatrix<double> &A,
     Y.Val[static_cast<size_t>(I)] =
         sumAll<S>(mulDenseLocate<S>(std::move(Row), XP));
   });
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel variants (streams/parallel.h): the same fused stream loops, run
+// per chunk of the outermost level. Each kernel's per-row work is entirely
+// inside one chunk, so results are bit-identical to the serial kernel for
+// any chunk list and any thread count.
+//===----------------------------------------------------------------------===//
+
+/// Row-parallel SpMV. Rows are partitioned by cumulative nnz (balanced even
+/// on skewed matrices); each chunk writes its own rows of Y.
+inline void spmvParallel(ThreadPool &Pool, const CsrMatrix<double> &A,
+                         const DenseVector<double> &X,
+                         DenseVector<double> &Y, size_t Chunks = 0) {
+  if (Chunks == 0)
+    Chunks = Pool.threadCount() * 4;
+  const double *XP = X.Val.data();
+  parallelForEach(Pool, A.stream(),
+                  partitionByPos(A.Pos.data(), A.NumRows, Chunks),
+                  [&Y, XP](Idx I, auto Row) {
+                    Y.Val[static_cast<size_t>(I)] =
+                        sumAll<S>(mulDenseLocate<S>(std::move(Row), XP));
+                  });
+}
+
+/// Row-parallel elementwise DCSR multiply: each chunk of A's row range
+/// produces a private DCSR fragment; fragments concatenate in chunk order,
+/// reproducing the serial output exactly.
+template <SearchPolicy P = SearchPolicy::Linear>
+DcsrMatrix<double> smulParallel(ThreadPool &Pool,
+                                const DcsrMatrix<double> &A,
+                                const DcsrMatrix<double> &B,
+                                size_t Chunks = 0) {
+  if (Chunks == 0)
+    Chunks = Pool.threadCount() * 4;
+  auto Ranges = partitionSparse(A.stream<P, P>(), Chunks);
+
+  struct Fragment {
+    std::vector<Idx> RowCrd, Crd;
+    std::vector<double> Val;
+    std::vector<size_t> RowLen; // nnz per nonempty row, aligned with RowCrd
+  };
+  std::vector<Fragment> Frags(Ranges.size());
+  Pool.parallelFor(Ranges.size(), [&](size_t C) {
+    Fragment &F = Frags[C];
+    auto Prod = mulStreams<S>(A.stream<P, P>(), B.stream<P, P>());
+    forEach(BoundedStream<decltype(Prod)>(std::move(Prod), Ranges[C].Lo,
+                                          Ranges[C].Hi),
+            [&F](Idx I, auto Row) {
+              size_t Before = F.Crd.size();
+              forEach(std::move(Row), [&F](Idx J, double V) {
+                F.Crd.push_back(J);
+                F.Val.push_back(V);
+              });
+              if (F.Crd.size() != Before) {
+                F.RowCrd.push_back(I);
+                F.RowLen.push_back(F.Crd.size() - Before);
+              }
+            });
+  });
+
+  DcsrMatrix<double> Out;
+  Out.NumRows = A.NumRows;
+  Out.NumCols = A.NumCols;
+  Out.Pos.push_back(0);
+  for (const Fragment &F : Frags) {
+    Out.RowCrd.insert(Out.RowCrd.end(), F.RowCrd.begin(), F.RowCrd.end());
+    Out.Crd.insert(Out.Crd.end(), F.Crd.begin(), F.Crd.end());
+    Out.Val.insert(Out.Val.end(), F.Val.begin(), F.Val.end());
+    for (size_t Len : F.RowLen)
+      Out.Pos.push_back(Out.Pos.back() + Len);
+  }
+  return Out;
+}
+
+/// Fiber-parallel MTTKRP: the outer compressed i-level is partitioned by
+/// position, so each chunk owns a disjoint set of output rows of A.
+inline void mttkrpParallel(ThreadPool &Pool, const CsfTensor3<double> &B,
+                           const std::vector<double> &C,
+                           const std::vector<double> &D, int64_t R,
+                           std::vector<double> &A, size_t Chunks = 0) {
+  if (Chunks == 0)
+    Chunks = Pool.threadCount() * 4;
+  A.assign(static_cast<size_t>(B.DimI * R), 0.0);
+  double *AP = A.data();
+  const double *CP = C.data();
+  const double *DP = D.data();
+  parallelForEach(
+      Pool, B.stream(), partitionSparse(B.stream(), Chunks),
+      [AP, CP, DP, R](Idx I, auto Fiber) {
+        double *ARow = AP + static_cast<size_t>(I * R);
+        forEach(std::move(Fiber), [&](Idx K, auto Row) {
+          const double *CRow = CP + static_cast<size_t>(K * R);
+          forEach(std::move(Row), [&](Idx L, double V) {
+            const double *DRow = DP + static_cast<size_t>(L * R);
+            auto JProd = mulDenseLocate<S>(
+                mulDenseLocate<S>(RepeatStream<double>(R, V), CRow), DRow);
+            forEach(std::move(JProd),
+                    [&](Idx J, double CD) { ARow[J] += CD; });
+          });
+        });
+      });
+}
+
+/// Row-parallel fused filtered SpMV: the passing-rows vector (the selective
+/// side of the intersection) is partitioned by position, so chunks hold
+/// near-equal numbers of surviving rows; each writes its own rows of Y.
+inline void filteredSpmvFusedParallel(ThreadPool &Pool,
+                                      const CsrMatrix<double> &A,
+                                      const DenseVector<double> &X,
+                                      const SparseVector<double> &PassRows,
+                                      DenseVector<double> &Y,
+                                      size_t Chunks = 0) {
+  if (Chunks == 0)
+    Chunks = Pool.threadCount() * 4;
+  const double *XP = X.Val.data();
+  auto Rows = joinStreams(KeepLeft{}, A.stream(),
+                          PassRows.stream<SearchPolicy::Gallop>());
+  parallelForEach(
+      Pool, Rows,
+      partitionSparse(PassRows.stream<SearchPolicy::Gallop>(), Chunks),
+      [&Y, XP](Idx I, auto Row) {
+        Y.Val[static_cast<size_t>(I)] =
+            sumAll<S>(mulDenseLocate<S>(std::move(Row), XP));
+      });
 }
 
 /// The unfused baseline: materialise the full SpMV, then apply the filter.

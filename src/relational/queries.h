@@ -33,6 +33,7 @@
 #define ETCH_RELATIONAL_QUERIES_H
 
 #include "relational/tpch.h"
+#include "support/threadpool.h"
 
 #include <array>
 #include <memory>
@@ -91,6 +92,13 @@ std::unique_ptr<TrianglePrepared> trianglePrepare(const EdgeList &Rab,
                                                   const EdgeList &Sbc,
                                                   const EdgeList &Tca);
 int64_t triangleFused(const TrianglePrepared &P);
+
+/// The fused triangle query with its outermost (a) level partitioned across
+/// \p Pool (streams/parallel.h); per-chunk counts reduce in chunk order.
+/// Chunks == 0 picks 4x the pool's thread count. Bit-identical to
+/// triangleFused for any chunk/thread configuration (integer semiring).
+int64_t triangleFusedParallel(ThreadPool &Pool, const TrianglePrepared &P,
+                              size_t Chunks = 0);
 int64_t triangleRowStore(const EdgeList &Rab, const EdgeList &Sbc,
                          const EdgeList &Tca, const TrianglePrepared &P);
 

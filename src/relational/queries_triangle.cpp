@@ -16,6 +16,7 @@
 #include "relational/prepared.h"
 #include "streams/combinators.h"
 #include "streams/eval.h"
+#include "streams/parallel.h"
 
 #include <unordered_set>
 
@@ -94,6 +95,30 @@ int64_t etch::triangleFused(const TrianglePrepared &P) {
 
   using K = I64Semiring;
   return sumAll<K>(mulStreams<K>(R3, mulStreams<K>(S3, T3)));
+}
+
+int64_t etch::triangleFusedParallel(ThreadPool &Pool,
+                                    const TrianglePrepared &P,
+                                    size_t Chunks) {
+  if (Chunks == 0)
+    Chunks = Pool.threadCount() * 4;
+  // Same plan as triangleFused; only the outermost a level (R's top trie
+  // level, a compressed level) is partitioned, and only R3 needs bounding —
+  // the three-way product intersects S3/T3 down to each chunk's a range.
+  auto R3 = mapStream(P.R.stream(), [](auto BLev) {
+    return mapStream(std::move(BLev),
+                     [](int64_t V) { return repeatUnbounded(V); });
+  });
+  auto S3 = repeatUnbounded(P.S.stream());
+  auto T3 = mapStream(P.T.stream(), [](auto CLev) {
+    return repeatUnbounded(std::move(CLev));
+  });
+
+  using K = I64Semiring;
+  auto Q = mulStreams<K>(std::move(R3), mulStreams<K>(std::move(S3),
+                                                      std::move(T3)));
+  return parallelSumAll<K>(Pool, Q,
+                           partitionSparse(P.R.stream(), Chunks));
 }
 
 int64_t etch::triangleFused(const EdgeList &Rab, const EdgeList &Sbc,

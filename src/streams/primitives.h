@@ -32,6 +32,7 @@
 #include "support/assert.h"
 
 #include <cstddef>
+#include <limits>
 
 namespace etch {
 
@@ -115,8 +116,16 @@ public:
   /// the immediate successor is simply the next position.
   void next() { ++Pos; }
 
-  /// The storage position of the cursor (used by destination passing).
+  /// The storage position of the cursor (used by destination passing and
+  /// the position-range partitioner in streams/parallel.h).
   size_t position() const { return Pos; }
+
+  /// One past the last storage position this cursor will visit.
+  size_t positionEnd() const { return End; }
+
+  /// The coordinate stored at position \p P (Pos <= P < End); lets the
+  /// partitioner translate position boundaries into coordinate bounds.
+  Idx coordAt(size_t P) const { return Crd[P]; }
 
 private:
   const Idx *Crd;
@@ -142,7 +151,12 @@ public:
   ValueType value() const { return MakeValue(Pos); }
 
   void skip(Idx I, bool Strict) {
-    Idx Target = I + (Strict ? 1 : 0);
+    // Saturate the strict successor: with repeatUnbounded-sized extents an
+    // adversarial I near the Idx maximum would make I + 1 wrap (signed
+    // overflow). A saturated target still lands past any finite Size.
+    Idx Target = I;
+    if (Strict && Target != std::numeric_limits<Idx>::max())
+      ++Target;
     if (Target > Pos)
       Pos = Target;
   }
@@ -172,7 +186,10 @@ public:
   ValueType value() const { return Val; }
 
   void skip(Idx I, bool Strict) {
-    Idx Target = I + (Strict ? 1 : 0);
+    // Saturating strict successor; see DenseStream::skip.
+    Idx Target = I;
+    if (Strict && Target != std::numeric_limits<Idx>::max())
+      ++Target;
     if (Target > Pos)
       Pos = Target;
   }

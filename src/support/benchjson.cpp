@@ -1,0 +1,115 @@
+//===- support/benchjson.cpp - Machine-readable bench telemetry -----------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/benchjson.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace etch {
+
+namespace {
+
+/// Escapes a string for inclusion in a JSON string literal. Bench/config
+/// names are plain ASCII identifiers; this still handles quotes,
+/// backslashes, and control characters for safety.
+std::string escapeJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+void BenchJson::add(const std::string &Bench, const std::string &Config,
+                    int Threads, double BestSeconds) {
+  Rows.push_back({Bench, Config, Threads, BestSeconds});
+}
+
+std::string BenchJson::toJson() const {
+  std::string Out = "[\n";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.9g", R.BestSeconds);
+    Out += "  {\"bench\": \"" + escapeJson(R.Bench) + "\", \"config\": \"" +
+           escapeJson(R.Config) +
+           "\", \"threads\": " + std::to_string(R.Threads) +
+           ", \"best_seconds\": " + Buf + "}";
+    Out += I + 1 < Rows.size() ? ",\n" : "\n";
+  }
+  Out += "]\n";
+  return Out;
+}
+
+bool BenchJson::writeFile(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "benchjson: cannot open %s for writing\n",
+                 Path.c_str());
+    return false;
+  }
+  std::string S = toJson();
+  std::fwrite(S.data(), 1, S.size(), F);
+  std::fclose(F);
+  return true;
+}
+
+BenchOptions parseBenchArgs(int Argc, char **Argv) {
+  BenchOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
+      Opts.JsonPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
+      Opts.Threads.clear();
+      for (const char *P = Argv[++I]; *P;) {
+        char *End = nullptr;
+        long T = std::strtol(P, &End, 10);
+        if (End == P || T <= 0)
+          break;
+        Opts.Threads.push_back(static_cast<int>(T));
+        P = *End == ',' ? End + 1 : End;
+      }
+      if (Opts.Threads.empty()) {
+        std::fprintf(stderr, "%s: bad --threads list\n", Argv[0]);
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json <path>] [--threads <t1,t2,...>]\n",
+                   Argv[0]);
+      std::exit(2);
+    }
+  }
+  return Opts;
+}
+
+} // namespace etch

@@ -1,0 +1,63 @@
+//===- support/benchjson.h - Machine-readable bench telemetry --*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny JSON emitter for the figure-sweep benchmark drivers (no external
+/// dependencies). Each driver collects `{bench, config, threads,
+/// best_seconds}` rows and, when run with `--json <path>`, writes them as a
+/// JSON array so the performance trajectory is machine-trackable across
+/// PRs; the checked-in `bench/results/BENCH_*.json` files are produced this
+/// way. Also hosts the shared `--json` / `--threads` argv parsing used by
+/// those drivers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_SUPPORT_BENCHJSON_H
+#define ETCH_SUPPORT_BENCHJSON_H
+
+#include <string>
+#include <vector>
+
+namespace etch {
+
+/// Accumulates benchmark result rows and renders them as a JSON array.
+class BenchJson {
+public:
+  /// Appends one row.
+  void add(const std::string &Bench, const std::string &Config, int Threads,
+           double BestSeconds);
+
+  size_t size() const { return Rows.size(); }
+
+  /// Renders all rows as a pretty-printed JSON array.
+  std::string toJson() const;
+
+  /// Writes toJson() to \p Path; returns false (with a message on stderr)
+  /// if the file cannot be opened.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  struct Row {
+    std::string Bench, Config;
+    int Threads;
+    double BestSeconds;
+  };
+  std::vector<Row> Rows;
+};
+
+/// Options common to the figure-sweep drivers.
+struct BenchOptions {
+  std::string JsonPath;             ///< Empty: no JSON output.
+  std::vector<int> Threads = {1, 2, 4, 8}; ///< Thread counts to sweep.
+};
+
+/// Parses `--json <path>` and `--threads <comma-list>` from argv; unknown
+/// arguments abort with a usage message.
+BenchOptions parseBenchArgs(int Argc, char **Argv);
+
+} // namespace etch
+
+#endif // ETCH_SUPPORT_BENCHJSON_H

@@ -1,0 +1,137 @@
+//===- support/threadpool.cpp - Work-queue thread pool --------------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/threadpool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace etch {
+
+namespace {
+
+/// True while the current thread is executing inside parallelFor (either a
+/// worker running a lane, or the caller's own lane). Nested parallelFor
+/// calls detect this and run inline instead of enqueueing, which would
+/// deadlock a single-worker pool waiting on itself.
+thread_local bool InParallelRegion = false;
+
+/// The shared state of one parallelFor call. Lanes pull chunk indices from
+/// Next; Done counts *completed* chunks, so the caller's wait on
+/// Done == N cannot return while any claimed chunk is still running —
+/// which is what keeps Body (a caller-owned reference) alive for exactly
+/// as long as any lane can dereference it. Straggler lanes that wake after
+/// completion see Next >= N and exit without touching Body; they only
+/// touch this struct, which they keep alive via shared_ptr.
+struct ForState {
+  explicit ForState(size_t N, const std::function<void(size_t)> &Body)
+      : N(N), Body(&Body) {}
+
+  const size_t N;
+  const std::function<void(size_t)> *const Body;
+  std::atomic<size_t> Next{0};
+  std::atomic<size_t> Done{0};
+  std::mutex Mu;
+  std::condition_variable AllDone;
+};
+
+/// One lane: claim chunks until none remain, then report completions.
+void runLane(ForState &St) {
+  bool Prev = InParallelRegion;
+  InParallelRegion = true;
+  size_t Completed = 0;
+  for (;;) {
+    size_t I = St.Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= St.N)
+      break;
+    (*St.Body)(I);
+    ++Completed;
+  }
+  InParallelRegion = Prev;
+  if (Completed == 0)
+    return;
+  // Release ordering publishes the bodies' side effects to the caller's
+  // acquire load in the wait predicate.
+  size_t Done = St.Done.fetch_add(Completed, std::memory_order_acq_rel) +
+                Completed;
+  if (Done == St.N) {
+    std::lock_guard<std::mutex> Lock(St.Mu);
+    St.AllDone.notify_all();
+  }
+}
+
+} // namespace
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned Concurrency) {
+  if (Concurrency == 0)
+    Concurrency = hardwareThreads();
+  Workers.reserve(Concurrency - 1);
+  for (unsigned I = 1; I < Concurrency; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+  }
+  HasWork.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      HasWork.wait(Lock, [this] { return Stop || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stop requested and nothing left to drain.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  // Serial pool, tiny trip count, or re-entrant call: run inline.
+  if (Workers.empty() || N == 1 || InParallelRegion) {
+    bool Prev = InParallelRegion;
+    InParallelRegion = true;
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    InParallelRegion = Prev;
+    return;
+  }
+
+  auto St = std::make_shared<ForState>(N, Body);
+  size_t Lanes = std::min<size_t>(threadCount(), N);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (size_t I = 1; I < Lanes; ++I)
+      Queue.emplace_back([St] { runLane(*St); });
+  }
+  HasWork.notify_all();
+
+  runLane(*St); // The caller is a lane too.
+
+  std::unique_lock<std::mutex> Lock(St->Mu);
+  St->AllDone.wait(Lock, [&St] {
+    return St->Done.load(std::memory_order_acquire) == St->N;
+  });
+}
+
+} // namespace etch

@@ -1,0 +1,79 @@
+//===- support/threadpool.h - Work-queue thread pool -----------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fork-join thread pool shared by the data-parallel evaluation
+/// layer (`streams/parallel.h`), the parallel baseline kernels, and the
+/// benchmark drivers. The only primitive is `parallelFor(N, Body)`: run
+/// `Body(0) .. Body(N-1)`, distributing chunks over the workers *and* the
+/// calling thread, and return when all have completed.
+///
+/// Design notes:
+///   - The pool is sized in units of total concurrency: `ThreadPool(K)`
+///     spawns K-1 workers and counts the caller as the K-th lane, so
+///     `ThreadPool(1)` is a zero-thread pool that runs everything inline —
+///     the serial drivers and the 1-thread benchmark configuration go
+///     through exactly the same code path.
+///   - Chunk indices are handed out through an atomic counter (work
+///     stealing at chunk granularity), so imbalanced chunks do not idle
+///     lanes; determinism is the *caller's* concern and is obtained by
+///     reducing per-chunk results in chunk order (see parallelSumAll).
+///   - Nested parallelFor calls from inside a worker run inline on that
+///     worker; the pool never deadlocks on re-entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_SUPPORT_THREADPOOL_H
+#define ETCH_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace etch {
+
+/// A fixed-size work-queue thread pool; see the file comment.
+class ThreadPool {
+public:
+  /// Creates a pool with \p Concurrency total lanes (workers plus the
+  /// calling thread). 0 means hardwareThreads().
+  explicit ThreadPool(unsigned Concurrency = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total lanes: worker threads + 1 for the caller of parallelFor.
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs Body(0) .. Body(N-1) across the pool and the calling thread;
+  /// returns once every call has completed. Bodies for distinct indices may
+  /// run concurrently; the caller is responsible for making their effects
+  /// disjoint (or for reducing per-index results afterwards).
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+  /// The machine's hardware concurrency (at least 1).
+  static unsigned hardwareThreads();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::mutex Mu;
+  std::condition_variable HasWork;
+  std::deque<std::function<void()>> Queue;
+  bool Stop = false;
+};
+
+} // namespace etch
+
+#endif // ETCH_SUPPORT_THREADPOOL_H

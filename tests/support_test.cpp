@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/benchjson.h"
 #include "support/rng.h"
 #include "support/table.h"
 #include "support/timer.h"
@@ -11,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 
 using namespace etch;
 
@@ -120,6 +122,42 @@ TEST(Table, ShortRowsArePadded) {
   ResultTable T({"a", "b", "c"});
   T.addRow({"1"});
   EXPECT_NE(T.toString().find("1"), std::string::npos);
+}
+
+TEST(BenchJson, EmitsOneObjectPerRow) {
+  BenchJson J;
+  J.add("spmv", "density=0.01", 4, 0.00125);
+  J.add("mttkrp", "serial", 1, 2.5);
+  std::string Out = J.toJson();
+  EXPECT_EQ(J.size(), 2u);
+  EXPECT_NE(Out.find("{\"bench\": \"spmv\", \"config\": \"density=0.01\", "
+                     "\"threads\": 4, \"best_seconds\": 0.00125}"),
+            std::string::npos);
+  EXPECT_NE(Out.find("\"bench\": \"mttkrp\""), std::string::npos);
+  EXPECT_EQ(Out.front(), '[');
+  EXPECT_EQ(Out[Out.size() - 2], ']');
+}
+
+TEST(BenchJson, EscapesQuotesAndControlChars) {
+  BenchJson J;
+  J.add("a\"b", "c\\d\ne", 1, 0.0);
+  std::string Out = J.toJson();
+  EXPECT_NE(Out.find("a\\\"b"), std::string::npos);
+  EXPECT_NE(Out.find("c\\\\d\\ne"), std::string::npos);
+}
+
+TEST(BenchJson, WritesFile) {
+  BenchJson J;
+  J.add("bench", "cfg", 2, 0.5);
+  std::string Path = ::testing::TempDir() + "benchjson_test.json";
+  ASSERT_TRUE(J.writeFile(Path));
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buf[512] = {0};
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  std::remove(Path.c_str());
+  EXPECT_EQ(std::string(Buf, N), J.toJson());
 }
 
 TEST(Timer, MeasuresElapsedTime) {
