@@ -1,0 +1,377 @@
+//===- fuzz/corpus.cpp - Text serialization of fuzz cases -----------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/corpus.h"
+
+#include "support/assert.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace etch;
+
+namespace {
+
+std::string fmtDouble(double V) {
+  if (std::isinf(V))
+    return V > 0 ? "inf" : "-inf";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+void writeExpr(std::ostream &Os, const ExprPtr &E) {
+  switch (E->kind()) {
+  case ExprKind::Var:
+    Os << "(var " << E->varName() << ")";
+    return;
+  case ExprKind::Add:
+  case ExprKind::Mul:
+    Os << "(" << (E->kind() == ExprKind::Add ? "+" : "*") << " ";
+    writeExpr(Os, E->lhs());
+    Os << " ";
+    writeExpr(Os, E->rhs());
+    Os << ")";
+    return;
+  case ExprKind::Sum:
+  case ExprKind::Expand:
+    Os << "(" << (E->kind() == ExprKind::Sum ? "sum" : "exp") << " "
+       << E->attr().name() << " ";
+    writeExpr(Os, E->lhs());
+    Os << ")";
+    return;
+  case ExprKind::Rename: {
+    Os << "(ren ";
+    if (E->mapping().empty())
+      Os << "-"; // identity mapping
+    bool First = true;
+    for (const auto &[From, To] : E->mapping()) {
+      if (!First)
+        Os << ",";
+      Os << From.name() << ">" << To.name();
+      First = false;
+    }
+    Os << " ";
+    writeExpr(Os, E->lhs());
+    Os << ")";
+    return;
+  }
+  }
+  ETCH_UNREACHABLE("unknown expression kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+struct Parser {
+  std::string Error;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return false;
+  }
+
+  /// Looks up a fuzz-universe attribute; never interns new names, so a
+  /// corpus file cannot perturb the global attribute order.
+  std::optional<Attr> attrByName(const std::string &Name) {
+    for (Attr A : fuzzAttrUniverse())
+      if (A.name() == Name)
+        return A;
+    return std::nullopt;
+  }
+
+  bool parseIdx(const std::string &Tok, Idx &Out) {
+    char *End = nullptr;
+    errno = 0;
+    long long V = std::strtoll(Tok.c_str(), &End, 10);
+    if (End == Tok.c_str() || *End != '\0' || errno == ERANGE)
+      return fail("bad integer '" + Tok + "'");
+    Out = static_cast<Idx>(V);
+    return true;
+  }
+
+  bool parseVal(const std::string &Tok, double &Out) {
+    char *End = nullptr;
+    Out = std::strtod(Tok.c_str(), &End);
+    if (End == Tok.c_str() || *End != '\0')
+      return fail("bad value '" + Tok + "'");
+    return true;
+  }
+
+  // S-expression scanner over one `expr` line.
+  std::string Src;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < Src.size() && std::isspace(static_cast<unsigned char>(Src[Pos])))
+      ++Pos;
+  }
+
+  std::optional<std::string> token() {
+    skipWs();
+    if (Pos >= Src.size())
+      return std::nullopt;
+    char C = Src[Pos];
+    if (C == '(' || C == ')') {
+      ++Pos;
+      return std::string(1, C);
+    }
+    size_t Start = Pos;
+    while (Pos < Src.size() && !std::isspace(static_cast<unsigned char>(Src[Pos])) &&
+           Src[Pos] != '(' && Src[Pos] != ')')
+      ++Pos;
+    return Src.substr(Start, Pos - Start);
+  }
+
+  ExprPtr parseExpr() {
+    auto T = token();
+    if (!T)
+      return fail("unexpected end of expression"), nullptr;
+    if (*T != "(")
+      return fail("expected '(' in expression"), nullptr;
+    auto Head = token();
+    if (!Head)
+      return fail("missing operator after '('"), nullptr;
+    ExprPtr Out;
+    if (*Head == "var") {
+      auto Name = token();
+      if (!Name || *Name == "(" || *Name == ")")
+        return fail("var needs a tensor name"), nullptr;
+      Out = Expr::var(*Name);
+    } else if (*Head == "+" || *Head == "*") {
+      ExprPtr A = parseExpr();
+      ExprPtr B = A ? parseExpr() : nullptr;
+      if (!B)
+        return nullptr;
+      Out = *Head == "+" ? Expr::add(A, B) : Expr::mul(A, B);
+    } else if (*Head == "sum" || *Head == "exp") {
+      auto Name = token();
+      if (!Name)
+        return fail(*Head + " needs an attribute"), nullptr;
+      auto A = attrByName(*Name);
+      if (!A)
+        return fail("unknown attribute '" + *Name + "'"), nullptr;
+      ExprPtr Body = parseExpr();
+      if (!Body)
+        return nullptr;
+      Out = *Head == "sum" ? Expr::sum(*A, Body) : Expr::expand(*A, Body);
+    } else if (*Head == "ren") {
+      auto MapTok = token();
+      if (!MapTok || *MapTok == "(" || *MapTok == ")")
+        return fail("ren needs a from>to,... mapping"), nullptr;
+      std::vector<std::pair<Attr, Attr>> Map;
+      if (*MapTok != "-") { // `-` spells the identity (empty) mapping
+        std::stringstream Ss(*MapTok);
+        std::string Pair;
+        while (std::getline(Ss, Pair, ',')) {
+          size_t Gt = Pair.find('>');
+          if (Gt == std::string::npos)
+            return fail("bad rename pair '" + Pair + "'"), nullptr;
+          auto From = attrByName(Pair.substr(0, Gt));
+          auto To = attrByName(Pair.substr(Gt + 1));
+          if (!From || !To)
+            return fail("unknown attribute in rename '" + Pair + "'"),
+                   nullptr;
+          Map.emplace_back(*From, *To);
+        }
+        if (Map.empty())
+          return fail("empty rename mapping"), nullptr;
+      }
+      ExprPtr Body = parseExpr();
+      if (!Body)
+        return nullptr;
+      Out = Expr::rename(std::move(Map), Body);
+    } else {
+      return fail("unknown operator '" + *Head + "'"), nullptr;
+    }
+    auto Close = token();
+    if (!Close || *Close != ")")
+      return fail("expected ')'"), nullptr;
+    return Out;
+  }
+};
+
+} // namespace
+
+std::string etch::serializeCase(const FuzzCase &C, const std::string &Comment) {
+  std::ostringstream Os;
+  Os << "etch-fuzz-case v1\n";
+  if (!Comment.empty()) {
+    std::stringstream Ss(Comment);
+    std::string Line;
+    while (std::getline(Ss, Line))
+      Os << "# " << Line << "\n";
+  }
+  Os << "semiring " << C.SemiringName << "\n";
+  for (const auto &[A, N] : C.Dims)
+    Os << "attr " << A.name() << " " << N << "\n";
+  for (const FuzzTensor &T : C.Tensors) {
+    Os << "tensor " << T.Name << " " << fuzzFormatName(T.Fmt);
+    for (Attr A : T.Shp)
+      Os << " " << A.name();
+    Os << "\n";
+    for (const FuzzEntry &E : T.Entries) {
+      Os << "entry";
+      for (Idx I : E.Coords)
+        Os << " " << I;
+      Os << " " << fmtDouble(E.Val) << "\n";
+    }
+  }
+  Os << "expr ";
+  ETCH_ASSERT(C.E, "cannot serialize a case without an expression");
+  writeExpr(Os, C.E);
+  Os << "\n";
+  return Os.str();
+}
+
+std::optional<FuzzCase> etch::parseCase(const std::string &Text,
+                                        std::string *Err) {
+  Parser P;
+  auto Fail = [&](const std::string &Msg) -> std::optional<FuzzCase> {
+    if (Err)
+      *Err = P.Error.empty() ? Msg : P.Error;
+    return std::nullopt;
+  };
+
+  FuzzCase C;
+  C.SemiringName.clear();
+  bool SawHeader = false;
+  std::istringstream In(Text);
+  std::string Line;
+  int LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    // Tokenize the line.
+    std::istringstream Ls(Line);
+    std::string Kw;
+    if (!(Ls >> Kw) || Kw[0] == '#')
+      continue;
+    std::string Where = " (line " + std::to_string(LineNo) + ")";
+    if (!SawHeader) {
+      std::string Ver;
+      if (Kw != "etch-fuzz-case" || !(Ls >> Ver) || Ver != "v1")
+        return Fail("missing 'etch-fuzz-case v1' header" + Where);
+      SawHeader = true;
+      continue;
+    }
+    if (Kw == "semiring") {
+      if (!C.SemiringName.empty())
+        return Fail("duplicate semiring line" + Where);
+      if (!(Ls >> C.SemiringName))
+        return Fail("semiring needs a name" + Where);
+    } else if (Kw == "attr") {
+      std::string Name;
+      std::string NumTok;
+      if (!(Ls >> Name >> NumTok))
+        return Fail("attr needs a name and an extent" + Where);
+      auto A = P.attrByName(Name);
+      if (!A)
+        return Fail("unknown attribute '" + Name + "'" + Where);
+      Idx N = 0;
+      if (!P.parseIdx(NumTok, N))
+        return Fail(P.Error + Where);
+      for (const auto &[B, _] : C.Dims)
+        if (B == *A)
+          return Fail("duplicate attr line for '" + Name + "'" + Where);
+      C.Dims.emplace_back(*A, N);
+    } else if (Kw == "tensor") {
+      std::string Name, FmtName;
+      if (!(Ls >> Name >> FmtName))
+        return Fail("tensor needs a name and a format" + Where);
+      auto Fmt = fuzzFormatByName(FmtName);
+      if (!Fmt)
+        return Fail("unknown format '" + FmtName + "'" + Where);
+      FuzzTensor T;
+      T.Name = Name;
+      T.Fmt = *Fmt;
+      std::string AttrName;
+      while (Ls >> AttrName) {
+        auto A = P.attrByName(AttrName);
+        if (!A)
+          return Fail("unknown attribute '" + AttrName + "'" + Where);
+        T.Shp.push_back(*A);
+      }
+      if (static_cast<int>(T.Shp.size()) != fuzzFormatArity(*Fmt))
+        return Fail("format " + FmtName + " needs " +
+                    std::to_string(fuzzFormatArity(*Fmt)) + " attributes" +
+                    Where);
+      C.Tensors.push_back(std::move(T));
+    } else if (Kw == "entry") {
+      if (C.Tensors.empty())
+        return Fail("entry before any tensor" + Where);
+      FuzzTensor &T = C.Tensors.back();
+      size_t Arity = T.Shp.size();
+      std::vector<std::string> Toks;
+      std::string Tok;
+      while (Ls >> Tok)
+        Toks.push_back(Tok);
+      if (Toks.size() != Arity + 1)
+        return Fail("entry needs " + std::to_string(Arity) +
+                    " coordinates and a value" + Where);
+      FuzzEntry E;
+      for (size_t I = 0; I < Arity; ++I) {
+        Idx X = 0;
+        if (!P.parseIdx(Toks[I], X))
+          return Fail(P.Error + Where);
+        E.Coords.push_back(X);
+      }
+      if (!P.parseVal(Toks.back(), E.Val))
+        return Fail(P.Error + Where);
+      T.Entries.push_back(std::move(E));
+    } else if (Kw == "expr") {
+      if (C.E)
+        return Fail("duplicate expr line" + Where);
+      std::string Rest;
+      std::getline(Ls, Rest);
+      P.Src = Rest;
+      P.Pos = 0;
+      C.E = P.parseExpr();
+      if (!C.E)
+        return Fail(P.Error + Where);
+      P.skipWs();
+      if (P.Pos < P.Src.size())
+        return Fail("trailing garbage after expression" + Where);
+    } else {
+      return Fail("unknown directive '" + Kw + "'" + Where);
+    }
+  }
+  if (!SawHeader)
+    return Fail("missing 'etch-fuzz-case v1' header");
+  if (C.SemiringName.empty())
+    return Fail("missing semiring line");
+  if (!C.E)
+    return Fail("missing expr line");
+  return C;
+}
+
+bool etch::writeCaseFile(const std::string &Path, const FuzzCase &C,
+                         const std::string &Comment) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << serializeCase(C, Comment);
+  return static_cast<bool>(Out);
+}
+
+std::optional<FuzzCase> etch::readCaseFile(const std::string &Path,
+                                           std::string *Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    if (Err)
+      *Err = "cannot open '" + Path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return parseCase(Buf.str(), Err);
+}

@@ -1,0 +1,64 @@
+//===- fuzz/corpus.h - Text serialization of fuzz cases --------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The regression-corpus text format (tests/corpus/*.txt): a shrunken
+/// failing case per file, human-readable and hand-editable. Example:
+///
+///   etch-fuzz-case v1
+///   # the one-line bug note goes here
+///   semiring minplus
+///   attr fza 6
+///   attr fzb 4
+///   tensor t0 sparsevec fza
+///   entry 2 1.5
+///   entry 4 inf
+///   tensor t1 csr fza fzb
+///   entry 0 3 1
+///   expr (sum fza (* (var t0) (exp fzb (var t0))))
+///
+/// `attr` lines register extents; attribute names must come from the fuzz
+/// universe (fza..fzd) so parsing never perturbs the global interning
+/// order. `entry` lines attach to the preceding `tensor` (coordinates then
+/// a value; `inf` spells the (min,+) zero). The expression grammar is
+///   (var t) | (+ e e) | (* e e) | (sum a e) | (exp a e) | (ren a>b,... e)
+/// where a bare `-` in place of the rename mapping spells the identity
+/// (empty) mapping — the generator emits identity renames to exercise the
+/// Rename node itself.
+/// The parser checks structure only; semantic checks (sortedness, ranges,
+/// typability) stay in fuzzValidate, which the executor runs first — a
+/// corrupted corpus file reports as invalid instead of crashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_FUZZ_CORPUS_H
+#define ETCH_FUZZ_CORPUS_H
+
+#include "fuzz/fuzzcase.h"
+
+#include <optional>
+#include <string>
+
+namespace etch {
+
+/// Renders \p C in the corpus text format. \p Comment, if nonempty, is
+/// emitted as `# ...` lines under the header (embedded newlines split it).
+std::string serializeCase(const FuzzCase &C, const std::string &Comment = "");
+
+/// Parses the corpus text format. Returns nullopt on malformed input and
+/// stores a diagnostic in \p Err if non-null.
+std::optional<FuzzCase> parseCase(const std::string &Text,
+                                  std::string *Err = nullptr);
+
+/// File convenience wrappers.
+bool writeCaseFile(const std::string &Path, const FuzzCase &C,
+                   const std::string &Comment = "");
+std::optional<FuzzCase> readCaseFile(const std::string &Path,
+                                     std::string *Err = nullptr);
+
+} // namespace etch
+
+#endif // ETCH_FUZZ_CORPUS_H

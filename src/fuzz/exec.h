@@ -1,0 +1,68 @@
+//===- fuzz/exec.h - The differential executor matrix ----------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one fuzz case through every semantics the repo implements and
+/// reports divergences against the denotational oracle (`evalT`):
+///
+///   - oracle: `evalT` over KRelations, dense attributes materialized over
+///     their full extent (the reference for both the relation-valued and
+///     the fully contracted scalar result);
+///   - runtime streams, per SearchPolicy (Linear/Binary/Gallop): the
+///     mask-aware evaluation loop, the real `evalStream` when no level is
+///     contracted, the real `sumAll`, and the parallel drivers
+///     (`parallelSumAll` / chunked evaluation / `parallelEvalStream`) at
+///     several chunk counts whenever the outermost level is indexed;
+///   - the compiler: `compileFullContraction` at O0/O1/O2 (policy rotated
+///     per level), executed on the VM, compared against the oracle total.
+///
+/// A case that fails `fuzzValidate` is reported as invalid, never a
+/// divergence — the executor refuses to run it rather than trip lowering
+/// asserts, so hand-edited corpus files degrade gracefully.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_FUZZ_EXEC_H
+#define ETCH_FUZZ_EXEC_H
+
+#include "fuzz/fuzzcase.h"
+#include "support/threadpool.h"
+
+#include <string>
+#include <vector>
+
+namespace etch {
+
+/// One semantics leg disagreeing with the oracle.
+struct FuzzDivergence {
+  std::string Leg;    ///< e.g. "stream/gallop/psum3", "vm/O2"
+  std::string Detail; ///< expected vs got, capped human-readable dump
+};
+
+/// The outcome of running one case through the executor matrix.
+struct FuzzReport {
+  bool Invalid = false;        ///< case failed fuzzValidate (not a bug)
+  std::string ValidationError; ///< why, when Invalid
+  std::vector<FuzzDivergence> Divs;
+
+  /// True when the case ran and every leg agreed.
+  bool ok() const { return !Invalid && Divs.empty(); }
+  /// True when at least one leg diverged (invalid cases are not failures).
+  bool failing() const { return !Divs.empty(); }
+
+  std::string toString() const;
+};
+
+/// Runs the full executor matrix on \p C, using \p Pool for the parallel
+/// legs.
+FuzzReport runFuzzCase(const FuzzCase &C, ThreadPool &Pool);
+
+/// Convenience overload using a lazily constructed shared pool.
+FuzzReport runFuzzCase(const FuzzCase &C);
+
+} // namespace etch
+
+#endif // ETCH_FUZZ_EXEC_H

@@ -1,0 +1,364 @@
+//===- fuzz/fuzzcase.cpp - Case validation and level signatures ----------===//
+
+#include "fuzz/fuzzcase.h"
+
+#include "support/assert.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace etch;
+
+const char *etch::fuzzFormatName(FuzzFormat F) {
+  switch (F) {
+  case FuzzFormat::SparseVec:
+    return "sparsevec";
+  case FuzzFormat::DenseVec:
+    return "densevec";
+  case FuzzFormat::Csr:
+    return "csr";
+  case FuzzFormat::Dcsr:
+    return "dcsr";
+  case FuzzFormat::Csf3:
+    return "csf3";
+  }
+  ETCH_UNREACHABLE("unknown format");
+}
+
+std::optional<FuzzFormat> etch::fuzzFormatByName(const std::string &Name) {
+  for (FuzzFormat F :
+       {FuzzFormat::SparseVec, FuzzFormat::DenseVec, FuzzFormat::Csr,
+        FuzzFormat::Dcsr, FuzzFormat::Csf3})
+    if (Name == fuzzFormatName(F))
+      return F;
+  return std::nullopt;
+}
+
+int etch::fuzzFormatArity(FuzzFormat F) {
+  switch (F) {
+  case FuzzFormat::SparseVec:
+  case FuzzFormat::DenseVec:
+    return 1;
+  case FuzzFormat::Csr:
+  case FuzzFormat::Dcsr:
+    return 2;
+  case FuzzFormat::Csf3:
+    return 3;
+  }
+  ETCH_UNREACHABLE("unknown format");
+}
+
+bool etch::fuzzFormatHasDenseValues(FuzzFormat F) {
+  return F == FuzzFormat::DenseVec;
+}
+
+Idx FuzzCase::dimOf(Attr A) const {
+  for (const auto &[B, N] : Dims)
+    if (B == A)
+      return N;
+  ETCH_UNREACHABLE("no extent registered for attribute");
+}
+
+const FuzzTensor *FuzzCase::tensor(const std::string &Name) const {
+  for (const FuzzTensor &T : Tensors)
+    if (T.Name == Name)
+      return &T;
+  return nullptr;
+}
+
+TypeContext FuzzCase::types() const {
+  TypeContext Out;
+  for (const FuzzTensor &T : Tensors)
+    Out.emplace(T.Name, T.Shp);
+  return Out;
+}
+
+std::string FuzzCase::summary() const {
+  std::string Out = SemiringName + " | " + (E ? E->toString() : "<null>");
+  for (const FuzzTensor &T : Tensors)
+    Out += " | " + T.Name + ":" + fuzzFormatName(T.Fmt) + "#" +
+           std::to_string(T.Entries.size());
+  return Out;
+}
+
+const std::vector<Attr> &etch::fuzzAttrUniverse() {
+  // Interned here in hierarchy order; lexicographic names keep the global
+  // order stable no matter who interns first.
+  static const std::vector<Attr> Universe = {
+      Attr::named("fza"), Attr::named("fzb"), Attr::named("fzc"),
+      Attr::named("fzd")};
+  return Universe;
+}
+
+uint32_t etch::fuzzMaskOf(const FuzzSig &Sig) {
+  uint32_t M = 0;
+  for (size_t K = 0; K < Sig.size(); ++K)
+    if (Sig[K].Contracted)
+      M |= 1u << K;
+  return M;
+}
+
+Shape etch::fuzzIndexedShape(const FuzzSig &Sig) {
+  Shape Out;
+  for (const FuzzLevel &L : Sig)
+    if (!L.Contracted)
+      Out.push_back(L.A);
+  return Out;
+}
+
+bool etch::fuzzSigContract(FuzzSig &Sig, Attr A) {
+  for (FuzzLevel &L : Sig) {
+    if (!L.Contracted && L.A == A) {
+      L.Contracted = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void etch::fuzzSigExpandInsert(FuzzSig &Sig, Attr A) {
+  int Depth = attrsBefore(fuzzIndexedShape(Sig), A);
+  size_t K = 0;
+  for (int Seen = 0; K < Sig.size() && Seen < Depth; ++K)
+    if (!Sig[K].Contracted)
+      ++Seen;
+  Sig.insert(Sig.begin() + K, FuzzLevel{A, false});
+}
+
+namespace {
+
+/// Recursive typing against the implementable fragment. Mirrors the
+/// constraints asserted by streams/lower and compiler/frontend.
+std::optional<FuzzTyping> typeRec(const FuzzCase &C, const ExprPtr &E,
+                                  std::string &Err) {
+  if (!E) {
+    Err = "null expression";
+    return std::nullopt;
+  }
+  auto Fail = [&Err](std::string Msg) -> std::optional<FuzzTyping> {
+    Err = std::move(Msg);
+    return std::nullopt;
+  };
+
+  switch (E->kind()) {
+  case ExprKind::Var: {
+    const FuzzTensor *T = C.tensor(E->varName());
+    if (!T)
+      return Fail("unbound variable " + E->varName());
+    FuzzTyping Out;
+    for (Attr A : T->Shp)
+      Out.Sig.push_back({A, false});
+    return Out;
+  }
+
+  case ExprKind::Mul: {
+    auto L = typeRec(C, E->lhs(), Err);
+    if (!L)
+      return std::nullopt;
+    auto R = typeRec(C, E->rhs(), Err);
+    if (!R)
+      return std::nullopt;
+    if (L->Sig.size() != R->Sig.size() || L->Sig.empty())
+      return Fail("mul operands must have equal nonzero depth");
+    for (size_t K = 0; K < L->Sig.size(); ++K) {
+      if (L->Sig[K].Contracted || R->Sig[K].Contracted)
+        return Fail("mul over a contracted level; hoist sums first");
+      if (L->Sig[K].A != R->Sig[K].A)
+        return Fail("mul operands must have equal shapes");
+    }
+    FuzzTyping Out;
+    Out.Sig = L->Sig;
+    Out.Dense = shapeIntersect(L->Dense, R->Dense);
+    return Out;
+  }
+
+  case ExprKind::Add: {
+    auto L = typeRec(C, E->lhs(), Err);
+    if (!L)
+      return std::nullopt;
+    auto R = typeRec(C, E->rhs(), Err);
+    if (!R)
+      return std::nullopt;
+    if (L->Sig.size() != R->Sig.size() || L->Sig.empty())
+      return Fail("add operands must have equal nonzero depth");
+    for (size_t K = 0; K < L->Sig.size(); ++K) {
+      if (L->Sig[K].Contracted != R->Sig[K].Contracted)
+        return Fail("add operands must agree on contracted levels");
+      if (!L->Sig[K].Contracted && L->Sig[K].A != R->Sig[K].A)
+        return Fail("add operands must have equal shapes");
+    }
+    if (L->Dense != R->Dense)
+      return Fail("add operands must agree on expanded attributes");
+    return L; // left signature; contracted-level attrs are bookkeeping only
+  }
+
+  case ExprKind::Sum: {
+    auto Cc = typeRec(C, E->lhs(), Err);
+    if (!Cc)
+      return std::nullopt;
+    if (shapeContains(Cc->Dense, E->attr()))
+      return Fail("cannot contract an expanded attribute");
+    if (!fuzzSigContract(Cc->Sig, E->attr()))
+      return Fail("sum over absent attribute " + E->attr().name());
+    return Cc;
+  }
+
+  case ExprKind::Expand: {
+    auto Cc = typeRec(C, E->lhs(), Err);
+    if (!Cc)
+      return std::nullopt;
+    Attr A = E->attr();
+    Shape Indexed = fuzzIndexedShape(Cc->Sig);
+    if (shapeContains(Indexed, A))
+      return Fail("expansion over existing attribute " + A.name());
+    if (static_cast<int>(Cc->Sig.size()) >= FuzzMaxLevels)
+      return Fail("expansion exceeds the supported level depth");
+    // The lowering inserts the new level at the shallowest position after
+    // `attrsBefore` indexed levels (Σ levels are passed only while the
+    // count is still short) — fuzzSigExpandInsert mirrors that exactly.
+    fuzzSigExpandInsert(Cc->Sig, A);
+    Cc->Dense = shapeUnion(Cc->Dense, {A});
+    return Cc;
+  }
+
+  case ExprKind::Rename: {
+    auto Cc = typeRec(C, E->lhs(), Err);
+    if (!Cc)
+      return std::nullopt;
+    auto Renamed = [&E](Attr A) {
+      for (const auto &[From, To] : E->mapping())
+        if (From == A)
+          return To;
+      return A;
+    };
+    auto FindDim = [&C](Attr A) -> std::optional<Idx> {
+      for (const auto &[B, N] : C.Dims)
+        if (B == A)
+          return N;
+      return std::nullopt;
+    };
+    std::set<uint32_t> Seen;
+    for (const auto &[From, To] : E->mapping()) {
+      if (!Seen.insert(From.id()).second)
+        return Fail("duplicate source attribute in rename");
+      auto DF = FindDim(From), DT = FindDim(To);
+      if (!DF || !DT)
+        return Fail("rename over an attribute with no registered extent");
+      // A harness constraint, not a semantics one: coordinates generated
+      // under `From` must stay within the registered extent of `To` (the
+      // partitioners chunk by the attribute extent).
+      if (*DF != *DT)
+        return Fail("rename must map between equal extents");
+    }
+    FuzzTyping Out;
+    Out.Sig = Cc->Sig;
+    Attr Prev;
+    for (FuzzLevel &L : Out.Sig) {
+      if (L.Contracted)
+        continue; // contracted attrs are gone from the relation
+      L.A = Renamed(L.A);
+      if (Prev.valid() && !(Prev < L.A))
+        return Fail("rename must preserve the global attribute order");
+      Prev = L.A;
+    }
+    for (Attr A : Cc->Dense)
+      Out.Dense.push_back(Renamed(A));
+    Out.Dense = makeShape(Out.Dense);
+    if (Out.Dense.size() != Cc->Dense.size())
+      return Fail("rename must not merge attributes");
+    return Out;
+  }
+  }
+  return Fail("unknown expression kind");
+}
+
+bool validTensor(const FuzzCase &C, const FuzzTensor &T, std::string &Err) {
+  if (static_cast<size_t>(fuzzFormatArity(T.Fmt)) != T.Shp.size()) {
+    Err = T.Name + ": format arity does not match shape";
+    return false;
+  }
+  for (size_t I = 1; I < T.Shp.size(); ++I) {
+    if (!(T.Shp[I - 1] < T.Shp[I])) {
+      Err = T.Name + ": shape must follow the global attribute order";
+      return false;
+    }
+  }
+  for (Attr A : T.Shp) {
+    bool Found = false;
+    for (const auto &[B, N] : C.Dims)
+      Found |= (B == A);
+    if (!Found) {
+      Err = T.Name + ": no extent for attribute " + A.name();
+      return false;
+    }
+  }
+  if (fuzzFormatHasDenseValues(T.Fmt) && C.dimOf(T.Shp[0]) > (1 << 20)) {
+    Err = T.Name + ": dense storage over a huge extent";
+    return false;
+  }
+  const FuzzEntry *Prev = nullptr;
+  for (const FuzzEntry &En : T.Entries) {
+    if (En.Coords.size() != T.Shp.size()) {
+      Err = T.Name + ": entry arity mismatch";
+      return false;
+    }
+    for (size_t I = 0; I < En.Coords.size(); ++I) {
+      if (En.Coords[I] < 0 || En.Coords[I] >= C.dimOf(T.Shp[I])) {
+        Err = T.Name + ": coordinate out of range";
+        return false;
+      }
+    }
+    if (Prev && !(Prev->Coords < En.Coords)) {
+      Err = T.Name + ": entries must be sorted and distinct";
+      return false;
+    }
+    Prev = &En;
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<FuzzTyping> etch::fuzzValidate(const FuzzCase &C,
+                                             std::string *Err) {
+  std::string Diag;
+  auto Fail = [&](const std::string &Msg) -> std::optional<FuzzTyping> {
+    if (Err)
+      *Err = Msg;
+    return std::nullopt;
+  };
+  for (size_t I = 0; I < C.Dims.size(); ++I) {
+    if (C.Dims[I].second < 0)
+      return Fail("negative attribute extent");
+    if (I > 0 && !(C.Dims[I - 1].first < C.Dims[I].first))
+      return Fail("extents must be sorted by attribute order");
+  }
+  std::set<std::string> Names;
+  for (const FuzzTensor &T : C.Tensors) {
+    if (!Names.insert(T.Name).second)
+      return Fail("duplicate tensor name " + T.Name);
+    if (!validTensor(C, T, Diag))
+      return Fail(Diag);
+  }
+  auto Ty = typeRec(C, C.E, Diag);
+  if (!Ty)
+    return Fail(Diag);
+  // Invariant of the stream algebra: indexed levels appear in the global
+  // attribute order.
+  Attr Prev;
+  for (const FuzzLevel &L : Ty->Sig) {
+    if (L.Contracted)
+      continue;
+    if (Prev.valid() && !(Prev < L.A))
+      return Fail("indexed levels out of global order");
+    Prev = L.A;
+  }
+  // Cross-check against the reference typing rules (Figure 4b).
+  std::string InferErr;
+  auto Sh = inferShape(C.E, C.types(), &InferErr);
+  if (!Sh)
+    return Fail("inferShape rejects: " + InferErr);
+  if (*Sh != fuzzIndexedShape(Ty->Sig))
+    return Fail("level signature disagrees with inferShape");
+  return Ty;
+}

@@ -1,0 +1,153 @@
+//===- fuzz/fuzzcase.h - A differential-fuzzing test case ------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit the fuzzer generates, executes, shrinks, and serializes: a
+/// semiring name, attribute extents, input tensors (format + raw entries),
+/// and one well-typed contraction expression over them. Raw values are kept
+/// as doubles and converted per semiring at materialization time, so one
+/// case format covers every scalar algebra.
+///
+/// `fuzzValidate` re-derives the *level signature* of the expression — the
+/// stream's levels outermost-first with Σ levels marked — enforcing exactly
+/// the constraints the stream/compiler lowerings assert (no Σ level under
+/// `·`, matching level signatures under `+`, order-preserving renames, the
+/// level cap). The executor refuses cases that fail validation instead of
+/// tripping lowering asserts, which keeps hand-edited corpus files safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_FUZZ_FUZZCASE_H
+#define ETCH_FUZZ_FUZZCASE_H
+
+#include "core/expr.h"
+#include "core/krelation.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace etch {
+
+/// The deepest stream the fuzzer builds (generator grammar and the erased
+/// stream variant in fuzz/dynstream.h both cap total levels here).
+inline constexpr int FuzzMaxLevels = 4;
+
+/// The storage formats the fuzzer draws leaf tensors from (formats/).
+enum class FuzzFormat { SparseVec, DenseVec, Csr, Dcsr, Csf3 };
+
+/// Name <-> enum for the corpus text format.
+const char *fuzzFormatName(FuzzFormat F);
+std::optional<FuzzFormat> fuzzFormatByName(const std::string &Name);
+
+/// Number of levels (attributes) of a format.
+int fuzzFormatArity(FuzzFormat F);
+
+/// True if the format stores a dense value level (unset positions must be
+/// materialized as the semiring zero).
+bool fuzzFormatHasDenseValues(FuzzFormat F);
+
+/// One stored tensor entry: coordinates aligned with the tensor's shape and
+/// a raw value (converted per semiring; +inf encodes the (min,+) zero).
+struct FuzzEntry {
+  Tuple Coords;
+  double Val = 0.0;
+};
+
+/// One input tensor: entries sorted lexicographically, coordinates distinct
+/// and within the attribute extents.
+struct FuzzTensor {
+  std::string Name;
+  FuzzFormat Fmt = FuzzFormat::SparseVec;
+  Shape Shp;
+  std::vector<FuzzEntry> Entries;
+};
+
+/// A complete differential test case.
+struct FuzzCase {
+  std::string SemiringName = "f64";
+  std::vector<std::pair<Attr, Idx>> Dims; ///< sorted by attribute order
+  std::vector<FuzzTensor> Tensors;
+  ExprPtr E;
+
+  Idx dimOf(Attr A) const;
+  const FuzzTensor *tensor(const std::string &Name) const;
+  TypeContext types() const;
+
+  /// One-line human summary ("i64 | Σfza (t0 · ↑fzb t1) | t0:sparsevec#3").
+  std::string summary() const;
+};
+
+/// The attribute pool the generator draws from, interned in hierarchy
+/// order (fza < fzb < fzc < fzd in the global attribute order).
+const std::vector<Attr> &fuzzAttrUniverse();
+
+/// One stream level: its attribute and whether it is a Σ (contracted) level.
+/// Contracted levels keep their attribute purely for bookkeeping.
+struct FuzzLevel {
+  Attr A;
+  bool Contracted = false;
+
+  friend bool operator==(const FuzzLevel &X, const FuzzLevel &Y) {
+    return X.A == Y.A && X.Contracted == Y.Contracted;
+  }
+};
+
+/// A level signature: levels outermost-first, Σ levels included.
+using FuzzSig = std::vector<FuzzLevel>;
+
+/// The derived stream type of an expression.
+struct FuzzTyping {
+  FuzzSig Sig;
+  Shape Dense; ///< expand-produced attributes still in the shape
+};
+
+/// The runtime contracted-level mask of a signature (bit 0 = outermost).
+uint32_t fuzzMaskOf(const FuzzSig &Sig);
+
+/// Marks the (unique) indexed level carrying \p A as contracted; returns
+/// false if no such level exists.
+bool fuzzSigContract(FuzzSig &Sig, Attr A);
+
+/// Inserts a new indexed level for \p A at the position the lowering uses:
+/// the shallowest slot after `attrsBefore` indexed levels.
+void fuzzSigExpandInsert(FuzzSig &Sig, Attr A);
+
+/// The indexed (non-Σ) attributes of a signature, outermost-first. This is
+/// the output shape of evaluating the stream.
+Shape fuzzIndexedShape(const FuzzSig &Sig);
+
+/// Validates the whole case — tensor well-formedness against the extents
+/// plus the expression against the implementable fragment — and returns the
+/// root typing. On failure returns nullopt and stores a diagnostic in
+/// \p Err if non-null.
+std::optional<FuzzTyping> fuzzValidate(const FuzzCase &C,
+                                       std::string *Err = nullptr);
+
+/// Converts a raw case value into a semiring value.
+template <Semiring S> typename S::Value fuzzValue(double Raw) {
+  if constexpr (std::is_same_v<typename S::Value, bool>)
+    return Raw != 0.0;
+  else
+    return static_cast<typename S::Value>(Raw);
+}
+
+/// The oracle-side relation for one tensor (finite support, no dense part);
+/// for dense-value formats absent positions are simply zero, which agrees
+/// with the zero-filled stream/VM storage.
+template <Semiring S>
+KRelation<S> fuzzTensorRelation(const FuzzTensor &T) {
+  KRelation<S> R(T.Shp);
+  for (const FuzzEntry &E : T.Entries)
+    R.insert(E.Coords, fuzzValue<S>(E.Val));
+  R.pruneZeros();
+  return R;
+}
+
+} // namespace etch
+
+#endif // ETCH_FUZZ_FUZZCASE_H

@@ -1,0 +1,236 @@
+//===- fuzz/shrink.cpp - Greedy minimization of failing cases -------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace etch;
+
+namespace {
+
+size_t exprNodes(const ExprPtr &E) {
+  if (!E)
+    return 0;
+  size_t N = 1;
+  if (E->lhs())
+    N += exprNodes(E->lhs());
+  if (E->rhs())
+    N += exprNodes(E->rhs());
+  return N;
+}
+
+void collectVars(const ExprPtr &E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  if (E->kind() == ExprKind::Var)
+    Out.insert(E->varName());
+  collectVars(E->lhs(), Out);
+  collectVars(E->rhs(), Out);
+}
+
+/// Rebuilds \p E with the preorder-\p Target node replaced by \p Repl.
+/// \p Counter threads the preorder numbering through the walk.
+ExprPtr rebuildAt(const ExprPtr &E, int &Counter, int Target,
+                  const ExprPtr &Repl) {
+  int Mine = Counter++;
+  if (Mine == Target)
+    return Repl;
+  switch (E->kind()) {
+  case ExprKind::Var:
+    return E;
+  case ExprKind::Add:
+  case ExprKind::Mul: {
+    ExprPtr L = rebuildAt(E->lhs(), Counter, Target, Repl);
+    ExprPtr R = rebuildAt(E->rhs(), Counter, Target, Repl);
+    if (L == E->lhs() && R == E->rhs())
+      return E;
+    return E->kind() == ExprKind::Add ? Expr::add(L, R) : Expr::mul(L, R);
+  }
+  case ExprKind::Sum:
+  case ExprKind::Expand: {
+    ExprPtr L = rebuildAt(E->lhs(), Counter, Target, Repl);
+    if (L == E->lhs())
+      return E;
+    return E->kind() == ExprKind::Sum ? Expr::sum(E->attr(), L)
+                                      : Expr::expand(E->attr(), L);
+  }
+  case ExprKind::Rename: {
+    ExprPtr L = rebuildAt(E->lhs(), Counter, Target, Repl);
+    if (L == E->lhs())
+      return E;
+    return Expr::rename(E->mapping(), L);
+  }
+  }
+  return E;
+}
+
+/// The preorder-\p Target node itself (for enumerating its children).
+const ExprPtr *nodeAt(const ExprPtr &E, int &Counter, int Target) {
+  int Mine = Counter++;
+  if (Mine == Target)
+    return &E;
+  if (E->lhs())
+    if (const ExprPtr *R = nodeAt(E->lhs(), Counter, Target))
+      return R;
+  if (E->rhs())
+    if (const ExprPtr *R = nodeAt(E->rhs(), Counter, Target))
+      return R;
+  return nullptr;
+}
+
+struct Shrinker {
+  const FuzzFailPred &StillFails;
+  FuzzCase C;
+
+  /// Installs \p Cand if it is still a valid, still-failing case.
+  bool accept(const FuzzCase &Cand) {
+    if (!fuzzValidate(Cand))
+      return false;
+    if (!StillFails(Cand))
+      return false;
+    C = Cand;
+    return true;
+  }
+
+  /// Pass 1: replace any node by one of its children, repeatedly. Iterated
+  /// hoisting reaches every subtree of the original expression, so this
+  /// subsumes whole-tree subtree selection at finer granularity.
+  bool hoistChildren() {
+    bool Changed = false;
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      int N = static_cast<int>(exprNodes(C.E));
+      for (int I = 0; I < N && !Progress; ++I) {
+        int Counter = 0;
+        const ExprPtr *Node = nodeAt(C.E, Counter, I);
+        if (!Node)
+          break;
+        for (const ExprPtr &Child : {(*Node)->lhs(), (*Node)->rhs()}) {
+          if (!Child)
+            continue;
+          FuzzCase Cand = C;
+          int Counter2 = 0;
+          Cand.E = rebuildAt(C.E, Counter2, I, Child);
+          if (accept(Cand)) {
+            Progress = Changed = true;
+            break;
+          }
+        }
+      }
+    }
+    return Changed;
+  }
+
+  /// Pass 2: drop tensors the expression no longer references. Reference-
+  /// preserving, so it needs no predicate run — but the result must still
+  /// validate (it always does: validation never requires unused tensors).
+  bool gcTensors() {
+    std::set<std::string> Used;
+    collectVars(C.E, Used);
+    FuzzCase Cand = C;
+    std::erase_if(Cand.Tensors, [&Used](const FuzzTensor &T) {
+      return !Used.count(T.Name);
+    });
+    if (Cand.Tensors.size() == C.Tensors.size())
+      return false;
+    return accept(Cand);
+  }
+
+  /// Pass 3: ddmin-style removal of contiguous entry windows per tensor.
+  bool dropEntryWindows() {
+    bool Changed = false;
+    for (size_t TI = 0; TI < C.Tensors.size(); ++TI) {
+      size_t Window = C.Tensors[TI].Entries.size();
+      while (Window >= 1) {
+        bool Removed = true;
+        while (Removed) {
+          Removed = false;
+          size_t N = C.Tensors[TI].Entries.size();
+          for (size_t Start = 0; Start + Window <= N; ++Start) {
+            FuzzCase Cand = C;
+            auto &E = Cand.Tensors[TI].Entries;
+            E.erase(E.begin() + static_cast<long>(Start),
+                    E.begin() + static_cast<long>(Start + Window));
+            if (accept(Cand)) {
+              Removed = Changed = true;
+              break;
+            }
+          }
+        }
+        Window /= 2;
+      }
+    }
+    return Changed;
+  }
+
+  /// Pass 4: normalize entry values to 1.
+  bool onesValues() {
+    bool Changed = false;
+    for (size_t TI = 0; TI < C.Tensors.size(); ++TI)
+      for (size_t EI = 0; EI < C.Tensors[TI].Entries.size(); ++EI) {
+        if (C.Tensors[TI].Entries[EI].Val == 1.0)
+          continue;
+        FuzzCase Cand = C;
+        Cand.Tensors[TI].Entries[EI].Val = 1.0;
+        if (accept(Cand))
+          Changed = true;
+      }
+    return Changed;
+  }
+
+  /// Pass 5: clamp each extent to the largest coordinate using it, plus
+  /// one. Validation rejects the candidate when another constraint (a
+  /// rename's equal-extent requirement, say) still needs the larger extent.
+  bool shrinkDims() {
+    bool Changed = false;
+    for (size_t DI = 0; DI < C.Dims.size(); ++DI) {
+      Attr A = C.Dims[DI].first;
+      Idx Need = 0;
+      for (const FuzzTensor &T : C.Tensors)
+        for (size_t L = 0; L < T.Shp.size(); ++L)
+          if (T.Shp[L] == A)
+            for (const FuzzEntry &E : T.Entries)
+              Need = std::max(Need, E.Coords[L] + 1);
+      if (Need >= C.Dims[DI].second)
+        continue;
+      FuzzCase Cand = C;
+      Cand.Dims[DI].second = Need;
+      if (accept(Cand))
+        Changed = true;
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+size_t etch::fuzzCaseSize(const FuzzCase &C) {
+  size_t N = exprNodes(C.E) + C.Tensors.size();
+  for (const FuzzTensor &T : C.Tensors)
+    N += T.Entries.size();
+  return N;
+}
+
+FuzzCase etch::shrinkCase(FuzzCase C, const FuzzFailPred &StillFails,
+                          int MaxRounds) {
+  Shrinker Sh{StillFails, std::move(C)};
+  for (int Round = 0; Round < MaxRounds; ++Round) {
+    bool Changed = false;
+    Changed |= Sh.hoistChildren();
+    Changed |= Sh.gcTensors();
+    Changed |= Sh.dropEntryWindows();
+    Changed |= Sh.onesValues();
+    Changed |= Sh.shrinkDims();
+    if (!Changed)
+      break;
+  }
+  return std::move(Sh.C);
+}

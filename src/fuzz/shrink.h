@@ -1,0 +1,49 @@
+//===- fuzz/shrink.h - Greedy minimization of failing cases ----*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing (expression, inputs) pair before it is checked into
+/// the corpus. Greedy fixpoint over five passes, re-running the failure
+/// predicate on every candidate and keeping only candidates that still
+/// validate AND still fail:
+///
+///   1. wrapper hoisting — replace any node by one of its children;
+///   2. tensor GC — drop tensors the expression no longer references;
+///   3. entry windows — ddmin-style removal of contiguous entry runs at
+///      halving granularity;
+///   4. value normalization — set entry values to 1;
+///   5. dimension shrinking — clamp each extent to max used coordinate + 1.
+///
+/// Candidates are validated with fuzzValidate before the (expensive)
+/// predicate runs, so shrinking can never escape the well-typed fragment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_FUZZ_SHRINK_H
+#define ETCH_FUZZ_SHRINK_H
+
+#include "fuzz/fuzzcase.h"
+
+#include <functional>
+
+namespace etch {
+
+/// Returns true when a candidate still reproduces the failure (typically
+/// `runFuzzCase(C).failing()`).
+using FuzzFailPred = std::function<bool(const FuzzCase &)>;
+
+/// A rough cost used to report shrink progress: expression nodes + stored
+/// entries + tensors.
+size_t fuzzCaseSize(const FuzzCase &C);
+
+/// Greedily minimizes \p C under \p StillFails. \p MaxRounds bounds the
+/// outer fixpoint (each round runs every pass once).
+FuzzCase shrinkCase(FuzzCase C, const FuzzFailPred &StillFails,
+                    int MaxRounds = 32);
+
+} // namespace etch
+
+#endif // ETCH_FUZZ_SHRINK_H

@@ -288,6 +288,28 @@ public:
       Rb->skip(I, Strict);
   }
 
+  /// Fast δ from a ready state, aware of tied indices: only the side(s)
+  /// that emitted — those whose index equals the merged index() — advance,
+  /// each through its own fast path. A side waiting at a strictly larger
+  /// index is already past the strict-skip target, so the fallback
+  /// `skip(index(), true)` would leave it in place anyway; eliding the call
+  /// avoids re-running that operand's policy search from a ready state.
+  void next() {
+    bool Av = aValid(), Bv = bValid();
+    if (Av && Bv) {
+      Idx Ia = La->index(), Ib = Rb->index();
+      if (Ia <= Ib)
+        advanceReady(*La);
+      if (Ib <= Ia)
+        advanceReady(*Rb);
+      return;
+    }
+    if (Av)
+      advanceReady(*La);
+    else
+      advanceReady(*Rb);
+  }
+
 private:
   bool aValid() const { return La && La->valid(); }
   bool bValid() const { return Rb && Rb->valid(); }

@@ -96,12 +96,20 @@ private:
 /// Chunks > Size).
 inline std::vector<IdxRange> partitionDense(Idx Size, size_t Chunks) {
   ETCH_ASSERT(Chunks >= 1, "need at least one chunk");
+  // Quotient/remainder split: the first Size % Chunks chunks are one index
+  // wider. The tempting `Size * (C + 1) / Chunks` form overflows once Size
+  // approaches the Idx maximum, leaving the top of the coordinate space in
+  // no chunk (found by differential fuzzing: parallel legs silently dropped
+  // entries with coordinates past the wrap point).
+  Idx N = static_cast<Idx>(Chunks);
+  Idx Q = Size / N, R = Size % N;
   std::vector<IdxRange> Out;
   Out.reserve(Chunks);
-  for (size_t C = 0; C < Chunks; ++C) {
-    Idx Lo = static_cast<Idx>(static_cast<size_t>(Size) * C / Chunks);
-    Idx Hi = static_cast<Idx>(static_cast<size_t>(Size) * (C + 1) / Chunks);
+  Idx Lo = 0;
+  for (Idx C = 0; C < N; ++C) {
+    Idx Hi = Lo + Q + (C < R ? 1 : 0);
     Out.push_back({Lo, Hi});
+    Lo = Hi;
   }
   return Out;
 }

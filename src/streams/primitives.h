@@ -69,15 +69,24 @@ size_t searchFrom(const Idx *Crd, size_t Pos, size_t End, Idx I, bool Strict) {
     return Lo;
   } else {
     // Gallop: double the step until we overshoot, then binary search the
-    // bracketed range. O(log d) for a skip of distance d.
+    // bracketed range. O(log d) for a skip of distance d. The probe offset
+    // is clamped to the remaining range *before* forming Pos + Step:
+    // repeated doubling against a repeatUnbounded-scale extent would
+    // otherwise wrap Pos + Step around size_t and probe below Pos.
     if (Pos >= End || Reached(Pos))
       return Pos;
-    size_t Step = 1, Prev = Pos;
-    while (Pos + Step < End && !Reached(Pos + Step)) {
+    size_t MaxOff = End - 1 - Pos; // largest in-range probe offset
+    size_t Prev = Pos, Hi = End;
+    for (size_t Step = 1; Step <= MaxOff; Step *= 2) {
+      if (Reached(Pos + Step)) {
+        Hi = Pos + Step;
+        break;
+      }
       Prev = Pos + Step;
-      Step *= 2;
+      if (Step > MaxOff / 2) // next doubling would leave [Pos, End)
+        break;
     }
-    size_t Lo = Prev + 1, Hi = Pos + Step < End ? Pos + Step : End;
+    size_t Lo = Prev + 1;
     while (Lo < Hi) {
       size_t Mid = Lo + (Hi - Lo) / 2;
       if (Reached(Mid))

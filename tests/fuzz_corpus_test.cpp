@@ -1,0 +1,55 @@
+//===- tests/fuzz_corpus_test.cpp - Regression corpus replay --------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Replays every shrunken repro in tests/corpus/ through the full executor
+// matrix. Each file is a minimized witness of a bug the differential
+// fuzzer once found (its comment names the bug); a red replay here means
+// a fixed bug has regressed. The corpus directory is baked in at compile
+// time (ETCH_CORPUS_DIR) so the test runs from any build directory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/corpus.h"
+#include "fuzz/exec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace etch;
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Out;
+  for (const auto &Ent : fs::directory_iterator(ETCH_CORPUS_DIR))
+    if (Ent.is_regular_file() && Ent.path().extension() == ".txt")
+      Out.push_back(Ent.path().string());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+TEST(FuzzCorpus, AllReprosReplayGreen) {
+  auto Files = corpusFiles();
+  // The corpus is seeded with the partitionDense overflow repros; an empty
+  // or missing directory would make this test vacuous.
+  ASSERT_GE(Files.size(), 3u)
+      << "expected checked-in repros under " << ETCH_CORPUS_DIR;
+  for (const std::string &F : Files) {
+    std::string Err;
+    auto C = readCaseFile(F, &Err);
+    ASSERT_TRUE(C.has_value()) << F << ": " << Err;
+    FuzzReport Rep = runFuzzCase(*C);
+    EXPECT_FALSE(Rep.Invalid) << F << ": " << Rep.ValidationError;
+    EXPECT_TRUE(Rep.ok()) << F << " regressed:\n" << Rep.toString();
+  }
+}
+
+} // namespace

@@ -170,6 +170,99 @@ TEST(StreamLawsEdge, CountTransitionsMatchesSupport) {
             static_cast<int64_t>(X.nnz()));
 }
 
+//===----------------------------------------------------------------------===//
+// AddStream's tied-index-aware next() against the strict-skip fallback
+//===----------------------------------------------------------------------===//
+
+/// Hides next() so advanceReady must take the `skip(index(), true)`
+/// fallback — the δ path AddStream used before it grew a fast successor.
+/// Equal trajectories of the wrapped and unwrapped stream prove the fast
+/// path implements exactly the strict skip from every ready state.
+template <AnIndexedStream St> struct NoNext {
+  St Inner;
+  using ValueType = typename St::ValueType;
+  static constexpr bool Contracted = IsContractedV<St>;
+  bool valid() const { return Inner.valid(); }
+  Idx index() const { return Inner.index(); }
+  bool ready() const { return Inner.ready(); }
+  ValueType value() const { return Inner.value(); }
+  void skip(Idx I, bool Strict) { Inner.skip(I, Strict); }
+};
+
+static_assert(!HasNext<NoNext<RepeatStream<double>>>,
+              "NoNext must force the strict-skip fallback");
+
+/// Drives \p Fast (next()) and \p Slow (skip fallback) in lockstep,
+/// asserting identical (valid, index, ready, value) at every state.
+template <typename A, typename B> void expectLockstep(A Fast, B Slow) {
+  int Guard = 0;
+  while ((Fast.valid() || Slow.valid()) && ++Guard < 100000) {
+    ASSERT_EQ(Fast.valid(), Slow.valid());
+    ASSERT_EQ(Fast.index(), Slow.index());
+    ASSERT_EQ(Fast.ready(), Slow.ready());
+    if (Fast.ready()) {
+      ASSERT_EQ(Fast.value(), Slow.value());
+      advanceReady(Fast);
+      advanceReady(Slow);
+    } else {
+      Fast.skip(Fast.index(), false);
+      Slow.skip(Slow.index(), false);
+    }
+  }
+  EXPECT_FALSE(Fast.valid());
+  EXPECT_FALSE(Slow.valid());
+}
+
+TEST_P(StreamLaws, AddNextMatchesStrictSkipFlat) {
+  Rng R(GetParam() + 700);
+  const Idx N = 60;
+  // Strided supports overlap heavily, covering tied indices as well as
+  // strictly-ahead states on either side.
+  auto X = randomSparseVector(R, N, R.nextBelow(30) + 1);
+  auto Y = randomSparseVector(R, N, R.nextBelow(30) + 1);
+  auto Fast = addStreams<F64Semiring>(X.stream(), Y.stream());
+  NoNext<decltype(Fast)> Slow{
+      addStreams<F64Semiring>(X.stream(), Y.stream())};
+  expectLockstep(Fast, Slow);
+}
+
+TEST(StreamLawsEdge, AddNextTiedIndexCases) {
+  // Deterministic coverage of every next() branch: A ahead, B ahead, tie,
+  // and one side exhausted while the other still emits.
+  SparseVector<double> X(16);
+  for (Idx I : {1, 5, 7, 9})
+    X.push(I, 1.0 + I);
+  SparseVector<double> Y(16);
+  for (Idx I : {5, 9, 11, 14})
+    Y.push(I, 2.0 + I);
+  auto Fast = addStreams<F64Semiring>(X.stream(), Y.stream());
+  NoNext<decltype(Fast)> Slow{
+      addStreams<F64Semiring>(X.stream(), Y.stream())};
+  expectLockstep(Fast, Slow);
+
+  // One side entirely empty.
+  SparseVector<double> E(16);
+  auto Fast2 = addStreams<F64Semiring>(X.stream(), E.stream());
+  NoNext<decltype(Fast2)> Slow2{
+      addStreams<F64Semiring>(X.stream(), E.stream())};
+  expectLockstep(Fast2, Slow2);
+}
+
+TEST_P(StreamLaws, AddNextMatchesStrictSkipNested) {
+  // Two-level union-merge: the outer δ of the wrapped stream takes the
+  // skip path while the bare stream takes next(); evaluation must agree
+  // exactly (same merge order, same additions).
+  Rng R(GetParam() + 800);
+  auto A = randomDcsr(R, 12, 9, R.nextBelow(40) + 1);
+  auto B = randomDcsr(R, 12, 9, R.nextBelow(40) + 1);
+  auto Fast = addStreams<F64Semiring>(A.stream(), B.stream());
+  NoNext<decltype(Fast)> Slow{
+      addStreams<F64Semiring>(A.stream(), B.stream())};
+  Shape Sh{attrL(), Attr::named("lw_j")};
+  EXPECT_TRUE(evalStream<F64Semiring>(Fast, Sh)
+                  .equals(evalStream<F64Semiring>(Slow, Sh)));
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamLaws,
                          ::testing::Range<uint64_t>(0, 10));
 

@@ -21,6 +21,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 using namespace etch;
 
 namespace {
@@ -104,6 +106,87 @@ TEST_P(PolicyEquiv, FullWalkVisitsSameEntries) {
   }
   expectSameState(Lin, Bin, Gal, "terminal");
   EXPECT_EQ(Visited, Nnz);
+}
+
+//===----------------------------------------------------------------------===//
+// Boundary coordinates: galloping near the top of the index space
+//===----------------------------------------------------------------------===//
+
+// The galloping probe `Pos + Step` must not wrap size_t (and the doubling
+// `Step *= 2` must not overflow) when coordinates sit near `1 << 62` and
+// the Idx maximum — extents real kernels never reach but skip arithmetic
+// must still be total over.
+TEST(PolicyBoundary, GallopNearIdxMax) {
+  constexpr Idx IMax = std::numeric_limits<Idx>::max();
+  constexpr Idx Big = Idx(1) << 62;
+  SparseVector<double> V(IMax);
+  int K = 0;
+  for (Idx I : {Idx(0), Idx(5), Big, Big + 3, IMax - 2, IMax - 1})
+    V.push(I, 1.0 + K++);
+
+  // Every policy, skipped to the same adversarial targets, must land in
+  // the same state (first coordinate >= target; strict: > target).
+  struct Probe {
+    Idx Target;
+    bool Strict;
+  };
+  const Probe Probes[] = {
+      {0, false},        {0, true},        {6, false},      {Big - 1, false},
+      {Big, false},      {Big, true},      {Big + 2, true}, {Big + 3, false},
+      {IMax - 2, false}, {IMax - 2, true}, {IMax - 1, true}};
+  for (const Probe &P : Probes) {
+    auto Lin = V.stream<SearchPolicy::Linear>();
+    auto Bin = V.stream<SearchPolicy::Binary>();
+    auto Gal = V.stream<SearchPolicy::Gallop>();
+    Lin.skip(P.Target, P.Strict);
+    Bin.skip(P.Target, P.Strict);
+    Gal.skip(P.Target, P.Strict);
+    SCOPED_TRACE(::testing::Message()
+                 << "skip(" << P.Target << ", " << P.Strict << ")");
+    expectSameState(Lin, Bin, Gal, "after boundary skip");
+  }
+
+  // A full strict-skip walk terminates and visits all six entries under
+  // every policy (the last entry sits one below the Idx maximum, where a
+  // saturating strict skip must still reach the terminal state).
+  auto Lin = V.stream<SearchPolicy::Linear>();
+  auto Bin = V.stream<SearchPolicy::Binary>();
+  auto Gal = V.stream<SearchPolicy::Gallop>();
+  size_t Visited = 0;
+  while (Gal.valid()) {
+    expectSameState(Lin, Bin, Gal, "during boundary walk");
+    Lin.skip(Lin.index(), true);
+    Bin.skip(Bin.index(), true);
+    Gal.skip(Gal.index(), true);
+    ++Visited;
+  }
+  expectSameState(Lin, Bin, Gal, "boundary terminal");
+  EXPECT_EQ(Visited, 6u);
+}
+
+// Incremental galloping from a mid-stream cursor: after skipping to the
+// middle of the support, a further long skip probes from the cursor, where
+// `End - 1 - Pos` (not the array length) bounds the doubling.
+TEST(PolicyBoundary, GallopResumesFromCursor) {
+  constexpr Idx IMax = std::numeric_limits<Idx>::max();
+  SparseVector<double> V(IMax);
+  for (int I = 0; I < 64; ++I)
+    V.push(static_cast<Idx>(I) * 3, I);
+  V.push(IMax - 4, 64.0);
+  V.push(IMax - 1, 65.0);
+
+  auto Gal = V.stream<SearchPolicy::Gallop>();
+  Gal.skip(90, false); // Mid-support: position 30.
+  ASSERT_TRUE(Gal.valid());
+  ASSERT_EQ(Gal.index(), 90);
+  Gal.skip(IMax - 4, false); // Gallop across the tail without wrapping.
+  ASSERT_TRUE(Gal.valid());
+  EXPECT_EQ(Gal.index(), IMax - 4);
+  Gal.skip(IMax - 4, true);
+  ASSERT_TRUE(Gal.valid());
+  EXPECT_EQ(Gal.index(), IMax - 1);
+  Gal.skip(IMax - 1, true); // Strict skip at the last representable - 1.
+  EXPECT_FALSE(Gal.valid());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PolicyEquiv,

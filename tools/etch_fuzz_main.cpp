@@ -1,0 +1,217 @@
+//===- tools/etch_fuzz_main.cpp - Differential fuzzing driver -------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `etch-fuzz` command line tool:
+///
+///   etch-fuzz --seeds 1000                 # run seeds 0..999
+///   etch-fuzz --start 5000 --seeds 200     # a different seed window
+///   etch-fuzz --time-budget 120            # stop after ~2 minutes
+///   etch-fuzz --corpus tests/corpus        # write shrunken repros there
+///   etch-fuzz --replay tests/corpus        # re-run saved cases (file/dir)
+///   etch-fuzz --no-shrink --verbose
+///
+/// Exit status is nonzero iff any case diverged (after shrinking) or any
+/// replayed case failed — suitable for CI.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/corpus.h"
+#include "fuzz/exec.h"
+#include "fuzz/gen.h"
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace etch;
+
+namespace {
+
+struct Options {
+  uint64_t Seeds = 1000;
+  uint64_t Start = 0;
+  double TimeBudget = 0; // seconds; 0 = unlimited
+  std::string CorpusDir;
+  std::string ReplayPath;
+  bool NoShrink = false;
+  bool Verbose = false;
+  double HugeProb = 0.10;
+};
+
+[[noreturn]] void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seeds N] [--start S] [--time-budget SEC]\n"
+      "          [--corpus DIR] [--replay FILE|DIR] [--no-shrink]\n"
+      "          [--huge-prob P] [--verbose]\n",
+      Argv0);
+  std::exit(2);
+}
+
+Options parseArgs(int Argc, char **Argv) {
+  Options O;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        usage(Argv[0]);
+      return Argv[++I];
+    };
+    if (A == "--seeds")
+      O.Seeds = std::strtoull(Next(), nullptr, 10);
+    else if (A == "--start")
+      O.Start = std::strtoull(Next(), nullptr, 10);
+    else if (A == "--time-budget")
+      O.TimeBudget = std::strtod(Next(), nullptr);
+    else if (A == "--corpus")
+      O.CorpusDir = Next();
+    else if (A == "--replay")
+      O.ReplayPath = Next();
+    else if (A == "--no-shrink")
+      O.NoShrink = true;
+    else if (A == "--verbose")
+      O.Verbose = true;
+    else if (A == "--huge-prob")
+      O.HugeProb = std::strtod(Next(), nullptr);
+    else
+      usage(Argv[0]);
+  }
+  return O;
+}
+
+/// The legs a report diverged on, comma-joined (for the repro comment).
+std::string legList(const FuzzReport &Rep) {
+  std::string Out;
+  for (const FuzzDivergence &D : Rep.Divs) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += D.Leg;
+  }
+  return Out;
+}
+
+int replay(const Options &O) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Files;
+  if (fs::is_directory(O.ReplayPath)) {
+    for (const auto &Ent : fs::directory_iterator(O.ReplayPath))
+      if (Ent.is_regular_file() && Ent.path().extension() == ".txt")
+        Files.push_back(Ent.path().string());
+    std::sort(Files.begin(), Files.end());
+  } else {
+    Files.push_back(O.ReplayPath);
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "etch-fuzz: no .txt cases under %s\n",
+                 O.ReplayPath.c_str());
+    return 2;
+  }
+  int Bad = 0;
+  for (const std::string &F : Files) {
+    std::string Err;
+    auto C = readCaseFile(F, &Err);
+    if (!C) {
+      std::fprintf(stderr, "%s: parse error: %s\n", F.c_str(), Err.c_str());
+      ++Bad;
+      continue;
+    }
+    FuzzReport Rep = runFuzzCase(*C);
+    if (Rep.ok()) {
+      if (O.Verbose)
+        std::printf("%s: ok (%s)\n", F.c_str(), C->summary().c_str());
+      continue;
+    }
+    ++Bad;
+    std::printf("%s: %s\n", F.c_str(), Rep.toString().c_str());
+  }
+  std::printf("replayed %zu case(s), %d failing\n", Files.size(), Bad);
+  return Bad ? 1 : 0;
+}
+
+int fuzz(const Options &O) {
+  using Clock = std::chrono::steady_clock;
+  auto Began = Clock::now();
+  auto Elapsed = [&]() {
+    return std::chrono::duration<double>(Clock::now() - Began).count();
+  };
+
+  GenOptions GO;
+  GO.HugeProb = O.HugeProb;
+
+  uint64_t Ran = 0, Diverged = 0;
+  for (uint64_t Seed = O.Start; Seed < O.Start + O.Seeds; ++Seed) {
+    if (O.TimeBudget > 0 && Elapsed() > O.TimeBudget) {
+      std::printf("time budget reached after %llu seed(s)\n",
+                  static_cast<unsigned long long>(Ran));
+      break;
+    }
+    FuzzCase C = genCase(Seed, GO);
+    FuzzReport Rep = runFuzzCase(C);
+    ++Ran;
+    if (O.Verbose && Ran % 100 == 0)
+      std::printf("... %llu seeds, %llu divergence(s), %.1fs\n",
+                  static_cast<unsigned long long>(Ran),
+                  static_cast<unsigned long long>(Diverged), Elapsed());
+    if (Rep.ok())
+      continue;
+    if (Rep.Invalid) {
+      // The generator asserts validity, so this is itself a bug.
+      std::printf("seed %llu: generator produced an invalid case: %s\n",
+                  static_cast<unsigned long long>(Seed),
+                  Rep.ValidationError.c_str());
+      ++Diverged;
+      continue;
+    }
+    ++Diverged;
+    std::printf("seed %llu: %s\n", static_cast<unsigned long long>(Seed),
+                Rep.toString().c_str());
+    FuzzCase Min = C;
+    if (!O.NoShrink) {
+      Min = shrinkCase(C, [](const FuzzCase &Cand) {
+        return runFuzzCase(Cand).failing();
+      });
+      std::printf("seed %llu: shrunk %zu -> %zu\n",
+                  static_cast<unsigned long long>(Seed), fuzzCaseSize(C),
+                  fuzzCaseSize(Min));
+    }
+    FuzzReport MinRep = runFuzzCase(Min);
+    std::string Comment = "seed " + std::to_string(Seed) +
+                          "; diverging legs: " + legList(MinRep);
+    if (!O.CorpusDir.empty()) {
+      std::filesystem::create_directories(O.CorpusDir);
+      std::string Path =
+          O.CorpusDir + "/fuzz-seed-" + std::to_string(Seed) + ".txt";
+      if (writeCaseFile(Path, Min, Comment))
+        std::printf("seed %llu: wrote %s\n",
+                    static_cast<unsigned long long>(Seed), Path.c_str());
+      else
+        std::fprintf(stderr, "etch-fuzz: cannot write %s\n", Path.c_str());
+    } else {
+      std::printf("--- repro ---\n%s-------------\n",
+                  serializeCase(Min, Comment).c_str());
+    }
+  }
+  std::printf("ran %llu seed(s): %llu divergence(s), %.1fs\n",
+              static_cast<unsigned long long>(Ran),
+              static_cast<unsigned long long>(Diverged), Elapsed());
+  return Diverged ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O = parseArgs(Argc, Argv);
+  if (!O.ReplayPath.empty())
+    return replay(O);
+  return fuzz(O);
+}
