@@ -20,7 +20,9 @@
 
 #include "baselines/etch_kernels.h"
 #include "formats/random.h"
+#include "planner/plan.h"
 #include "relational/trie.h"
+#include "support/benchjson.h"
 #include "support/table.h"
 #include "support/timer.h"
 
@@ -30,7 +32,7 @@ using namespace etch;
 
 namespace {
 
-void ablateSkipPolicy() {
+void ablateSkipPolicy(BenchJson &Json) {
   std::puts("--- A: skip policy on asymmetric intersection x*y*z ---");
   std::puts("(|x| = 1000 nnz drives skips through |y| = |z| = 2M nnz)\n");
   const Idx N = 40'000'000;
@@ -51,9 +53,12 @@ void ablateSkipPolicy() {
   T.addRow({"gallop", ResultTable::num(G * 1e3)});
   (void)Sink;
   T.print();
+  Json.add("ablation_skip_policy", "linear", 1, L);
+  Json.add("ablation_skip_policy", "binary", 1, B);
+  Json.add("ablation_skip_policy", "gallop", 1, G);
 }
 
-void ablateAttributeOrder() {
+void ablateAttributeOrder(BenchJson &Json) {
   std::puts("\n--- B: attribute order for Example 2.1's filtered scan ---");
   std::puts("(predicate on y passes 0.1%; y-first skips whole x-slices)\n");
   const Idx NX = 3000, NY = 3000;
@@ -62,24 +67,54 @@ void ablateAttributeOrder() {
 
   // T(x, y) as both orderings, plus the selective predicate p_y.
   std::vector<std::array<Idx, 2>> XY, YX;
+  std::vector<Tuple> TTuples;
   XY.reserve(Rows);
   YX.reserve(Rows);
+  TTuples.reserve(Rows);
   for (size_t I = 0; I < Rows; ++I) {
     Idx X = static_cast<Idx>(R.nextBelow(static_cast<uint64_t>(NX)));
     Idx Y = static_cast<Idx>(R.nextBelow(static_cast<uint64_t>(NY)));
     XY.push_back({X, Y});
     YX.push_back({Y, X});
+    TTuples.push_back({X, Y});
   }
   auto TXy = Trie<2, int64_t>::fromKeysCounting(std::move(XY));
   auto TYx = Trie<2, int64_t>::fromKeysCounting(std::move(YX));
 
   std::vector<std::array<Idx, 1>> PassY;
+  std::vector<Tuple> PTuples;
   for (Idx Y = 0; Y < NY; ++Y)
     if (R.nextBool(0.001))
       PassY.push_back({Y});
   if (PassY.empty())
     PassY.push_back({0});
+  for (auto &P : PassY)
+    PTuples.push_back({P[0]});
   auto PY = Trie<1, int64_t>::fromKeys(std::move(PassY), 1);
+
+  // The planner's estimates for the same two orders, from the same data:
+  // both trie orientations are pre-built, so a "transpose" is free.
+  Attr AX = Attr::named("abl_x"), AY = Attr::named("abl_y");
+  PlanQuery Q;
+  PlanTerm Term;
+  Term.Factors = {{"T", {AX, AY}}, {"p", {AY}}};
+  Term.Summed = {AX, AY};
+  Q.Terms.push_back(std::move(Term));
+  Q.Stats.emplace("T", [&] {
+    TensorStats S = statsFromTuples(
+        "T", {AX, AY}, {LevelSpec::Compressed, LevelSpec::Compressed},
+        {NX, NY}, TTuples);
+    S.CanTranspose = true;
+    return S;
+  }());
+  Q.Stats.emplace("p", statsFromTuples("p", {AY}, {LevelSpec::Compressed},
+                                       {NY}, PTuples));
+  Q.Dims.emplace(AX.id(), NX);
+  Q.Dims.emplace(AY.id(), NY);
+  PlanOptions PO;
+  PO.TransposeCostPerNnz = 0.0;
+  auto XFirstPlan = planForOrder(Q, {AX, AY}, PO);
+  auto YFirstPlan = planForOrder(Q, {AY, AX}, PO);
 
   using K = I64Semiring;
   volatile int64_t Sink;
@@ -106,9 +141,18 @@ void ablateAttributeOrder() {
   T.addRow({"y-first (filter outer)", ResultTable::num(YFirst * 1e3),
             ResultTable::num(XFirst / YFirst, 1)});
   T.print();
+  if (XFirstPlan && YFirstPlan) {
+    Json.add("ablation_attr_order", "x_first", 1, XFirst,
+             XFirstPlan->cost());
+    Json.add("ablation_attr_order", "y_first", 1, YFirst,
+             YFirstPlan->cost());
+  } else {
+    Json.add("ablation_attr_order", "x_first", 1, XFirst);
+    Json.add("ablation_attr_order", "y_first", 1, YFirst);
+  }
 }
 
-void ablateFusion() {
+void ablateFusion(BenchJson &Json) {
   std::puts("\n--- C: fused vs materialised x*y*z (Section 2.1) ---");
   std::puts("(z is sparse; materialising x*y first wastes its work)\n");
   const Idx N = 8'000'000;
@@ -136,14 +180,20 @@ void ablateFusion() {
   T.addRow({"fused", ResultTable::num(Fused * 1e3),
             ResultTable::num(Unfused / Fused, 1)});
   T.print();
+  Json.add("ablation_fusion", "unfused", 1, Unfused);
+  Json.add("ablation_fusion", "fused", 1, Fused);
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions BO = parseBenchArgs(Argc, Argv);
   std::puts("=== Ablations: skip policy, iteration order, fusion ===\n");
-  ablateSkipPolicy();
-  ablateAttributeOrder();
-  ablateFusion();
+  BenchJson Json;
+  ablateSkipPolicy(Json);
+  ablateAttributeOrder(Json);
+  ablateFusion(Json);
+  if (!BO.JsonPath.empty() && !Json.writeFile(BO.JsonPath))
+    return 1;
   return 0;
 }

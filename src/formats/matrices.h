@@ -114,6 +114,31 @@ template <typename V> struct CsrMatrix {
   }
 };
 
+/// Transposes a CSR matrix into CSR form (i.e. produces CSC of the input)
+/// with a counting sort over columns: O(nnz + rows + cols), no COO detour.
+/// Rows of the result are the columns of \p M, in increasing coordinate
+/// order, so the result is canonical CSR.
+template <typename V> CsrMatrix<V> transpose(const CsrMatrix<V> &M) {
+  CsrMatrix<V> T(M.NumCols, M.NumRows);
+  T.Crd.resize(M.nnz());
+  T.Val.resize(M.nnz());
+  // Count entries per column, then prefix-sum into Pos.
+  for (Idx C : M.Crd)
+    ++T.Pos[static_cast<size_t>(C) + 1];
+  for (size_t C = 0; C < static_cast<size_t>(T.NumRows); ++C)
+    T.Pos[C + 1] += T.Pos[C];
+  // Scatter; a second cursor array tracks each column's write position.
+  std::vector<size_t> Cur(T.Pos.begin(), T.Pos.end() - 1);
+  for (Idx R = 0; R < M.NumRows; ++R)
+    for (size_t Q = M.Pos[static_cast<size_t>(R)];
+         Q < M.Pos[static_cast<size_t>(R) + 1]; ++Q) {
+      size_t W = Cur[static_cast<size_t>(M.Crd[Q])]++;
+      T.Crd[W] = R;
+      T.Val[W] = M.Val[Q];
+    }
+  return T;
+}
+
 /// DCSR: compressed row level (RowCrd) over compressed column level.
 template <typename V> struct DcsrMatrix {
   Idx NumRows = 0, NumCols = 0;

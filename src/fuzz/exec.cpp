@@ -625,6 +625,38 @@ FuzzReport etch::runFuzzCase(const FuzzCase &C, ThreadPool &Pool) {
   return Rep;
 }
 
+namespace {
+
+template <Semiring S> FuzzTotal oracleTotalTyped(const FuzzCase &C) {
+  ValueContext<S> Inputs;
+  for (const FuzzTensor &T : C.Tensors)
+    Inputs.emplace(T.Name, fuzzTensorRelation<S>(T));
+  KRelation<S> Want = densifyAll<S>(evalT<S>(C.E, Inputs), C);
+  typename S::Value Total = S::zero();
+  for (const auto &[Tu, V] : Want.entries())
+    Total = S::add(Total, V);
+  FuzzTotal R;
+  R.Text = valStr<S>(Total);
+  R.Num = static_cast<double>(Total);
+  return R;
+}
+
+} // namespace
+
+std::optional<FuzzTotal> etch::fuzzOracleTotal(const FuzzCase &C) {
+  if (!fuzzValidate(C))
+    return std::nullopt;
+  if (C.SemiringName == "f64")
+    return oracleTotalTyped<F64Semiring>(C);
+  if (C.SemiringName == "i64")
+    return oracleTotalTyped<I64Semiring>(C);
+  if (C.SemiringName == "bool")
+    return oracleTotalTyped<BoolSemiring>(C);
+  if (C.SemiringName == "minplus")
+    return oracleTotalTyped<MinPlusSemiring>(C);
+  return std::nullopt;
+}
+
 FuzzReport etch::runFuzzCase(const FuzzCase &C) {
   // Shared across calls: the shrinker invokes the executor hundreds of
   // times per campaign and must not pay thread spawn/join each time.

@@ -63,6 +63,16 @@ FuzzReport runFuzzCase(const FuzzCase &C, ThreadPool &Pool);
 /// Convenience overload using a lazily constructed shared pool.
 FuzzReport runFuzzCase(const FuzzCase &C);
 
+/// The oracle's fully contracted total for \p C, both as exact text and as
+/// a double (for the f64 tolerance). Used by the order sweep
+/// (fuzz/reorder.h) to check cross-order agreement. Nullopt if the case is
+/// invalid.
+struct FuzzTotal {
+  std::string Text;
+  double Num = 0.0;
+};
+std::optional<FuzzTotal> fuzzOracleTotal(const FuzzCase &C);
+
 } // namespace etch
 
 #endif // ETCH_FUZZ_EXEC_H

@@ -1,0 +1,575 @@
+//===- planner/plan.cpp - Plan IR, enumerator, and cost model -------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "planner/plan.h"
+
+#include "support/assert.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace etch {
+
+namespace {
+
+/// Maximum number of product terms extraction will distribute into.
+constexpr size_t MaxExtractTerms = 64;
+
+std::string fmtNum(double X) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3g", X);
+  return Buf;
+}
+
+bool contains(const std::vector<Attr> &V, Attr A) {
+  return std::find(V.begin(), V.end(), A) != V.end();
+}
+
+} // namespace
+
+Shape PlanTerm::allAttrs() const {
+  std::vector<Attr> All(Free.begin(), Free.end());
+  All.insert(All.end(), Summed.begin(), Summed.end());
+  return makeShape(std::move(All));
+}
+
+Shape PlanQuery::allAttrs() const {
+  std::vector<Attr> All;
+  for (const PlanTerm &T : Terms) {
+    Shape TA = T.allAttrs();
+    All.insert(All.end(), TA.begin(), TA.end());
+  }
+  return makeShape(std::move(All));
+}
+
+int64_t PlanQuery::dimOf(Attr A) const {
+  auto It = Dims.find(A.id());
+  ETCH_ASSERT(It != Dims.end(), "planner: unknown attribute extent");
+  return It->second;
+}
+
+std::string PlanAccess::bindName() const {
+  return Transposed ? Tensor + "_T" : Tensor;
+}
+
+//===----------------------------------------------------------------------===//
+// extractQuery: sum-of-products normalization with renames resolved
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ExtractFail {
+  std::string Why;
+};
+
+/// Recursively normalizes into terms; Summed attributes are bound (fixed
+/// identity), Free attributes are still subject to enclosing renames.
+std::optional<std::vector<PlanTerm>> extractTerms(const ExprPtr &E,
+                                                  const TypeContext &Ctx,
+                                                  std::string *Err) {
+  auto fail = [&](const std::string &Why) -> std::optional<std::vector<PlanTerm>> {
+    if (Err)
+      *Err = Why;
+    return std::nullopt;
+  };
+  switch (E->kind()) {
+  case ExprKind::Var: {
+    auto It = Ctx.find(E->varName());
+    if (It == Ctx.end())
+      return fail("unbound variable " + E->varName());
+    PlanTerm T;
+    T.Factors.push_back({E->varName(),
+                         std::vector<Attr>(It->second.begin(), It->second.end())});
+    T.Free = It->second;
+    return std::vector<PlanTerm>{std::move(T)};
+  }
+  case ExprKind::Add: {
+    auto L = extractTerms(E->lhs(), Ctx, Err);
+    if (!L)
+      return std::nullopt;
+    auto R = extractTerms(E->rhs(), Ctx, Err);
+    if (!R)
+      return std::nullopt;
+    L->insert(L->end(), R->begin(), R->end());
+    if (L->size() > MaxExtractTerms)
+      return fail("term blow-up under +");
+    return L;
+  }
+  case ExprKind::Mul: {
+    auto L = extractTerms(E->lhs(), Ctx, Err);
+    if (!L)
+      return std::nullopt;
+    auto R = extractTerms(E->rhs(), Ctx, Err);
+    if (!R)
+      return std::nullopt;
+    std::vector<PlanTerm> Out;
+    for (const PlanTerm &A : *L)
+      for (const PlanTerm &B : *R) {
+        // A product of contracted streams is not the contraction of a
+        // product (the frontend refuses it too); the normal form requires
+        // Σ to commute to the top of each term.
+        if (!A.Summed.empty() || !B.Summed.empty())
+          return fail("Σ under a · operand is not plannable");
+        PlanTerm T;
+        T.Factors = A.Factors;
+        T.Factors.insert(T.Factors.end(), B.Factors.begin(), B.Factors.end());
+        T.Free = shapeUnion(A.Free, B.Free);
+        Out.push_back(std::move(T));
+        if (Out.size() > MaxExtractTerms)
+          return fail("term blow-up under ·");
+      }
+    return Out;
+  }
+  case ExprKind::Sum: {
+    auto L = extractTerms(E->lhs(), Ctx, Err);
+    if (!L)
+      return std::nullopt;
+    for (PlanTerm &T : *L) {
+      if (!shapeContains(T.Free, E->attr()))
+        return fail("Σ over attribute not in shape");
+      T.Free = shapeMinus(T.Free, Shape{E->attr()});
+      T.Summed.push_back(E->attr());
+    }
+    return L;
+  }
+  case ExprKind::Expand: {
+    auto L = extractTerms(E->lhs(), Ctx, Err);
+    if (!L)
+      return std::nullopt;
+    for (PlanTerm &T : *L) {
+      if (contains(T.Summed, E->attr()))
+        return fail("↑ shadows a contracted attribute");
+      T.Free = shapeUnion(T.Free, Shape{E->attr()});
+    }
+    return L;
+  }
+  case ExprKind::Rename: {
+    auto L = extractTerms(E->lhs(), Ctx, Err);
+    if (!L)
+      return std::nullopt;
+    const auto &M = E->mapping();
+    auto mapA = [&M](Attr A) {
+      for (const auto &[From, To] : M)
+        if (From == A)
+          return To;
+      return A;
+    };
+    for (PlanTerm &T : *L) {
+      // Renames act on the free shape only; contracted attributes keep
+      // their identity. A rename whose target collides with a bound
+      // attribute of this term would conflate two distinct loops.
+      Shape NewFree;
+      for (Attr A : T.Free) {
+        Attr B = mapA(A);
+        if (contains(T.Summed, B))
+          return fail("rename target collides with contracted attribute");
+        NewFree.push_back(B);
+      }
+      Shape Sorted = makeShape(NewFree);
+      if (Sorted.size() != T.Free.size())
+        return fail("rename conflates attributes");
+      T.Free = std::move(Sorted);
+      for (PlanFactor &F : T.Factors)
+        for (Attr &A : F.Query)
+          if (!contains(T.Summed, A))
+            A = mapA(A);
+    }
+    return L;
+  }
+  }
+  return fail("unknown expression kind");
+}
+
+} // namespace
+
+std::optional<PlanQuery> extractQuery(const ExprPtr &E, const TypeContext &Ctx,
+                                      std::map<std::string, TensorStats> Stats,
+                                      std::map<uint32_t, int64_t> Dims,
+                                      std::string *Err) {
+  auto Terms = extractTerms(E, Ctx, Err);
+  if (!Terms)
+    return std::nullopt;
+  PlanQuery Q;
+  Q.Terms = std::move(*Terms);
+  Q.Stats = std::move(Stats);
+  Q.Dims = std::move(Dims);
+  for (PlanTerm &T : Q.Terms) {
+    // Attributes no factor drives iterate their whole extent (↑ only).
+    Shape Covered;
+    for (const PlanFactor &F : T.Factors) {
+      if (!Q.Stats.count(F.Tensor)) {
+        if (Err)
+          *Err = "no statistics for tensor " + F.Tensor;
+        return std::nullopt;
+      }
+      for (Attr A : F.Query)
+        Covered.push_back(A);
+    }
+    T.Expanded = shapeMinus(T.allAttrs(), makeShape(std::move(Covered)));
+  }
+  // Extents: caller-provided first, then filled from the stats.
+  for (const auto &[Name, S] : Q.Stats)
+    for (const LevelStat &L : S.Levels)
+      Q.Dims.emplace(L.A.id(), L.Extent);
+  for (Attr A : Q.allAttrs())
+    if (!Q.Dims.count(A.id())) {
+      if (Err)
+        *Err = "no extent known for attribute " + A.name();
+      return std::nullopt;
+    }
+  return Q;
+}
+
+//===----------------------------------------------------------------------===//
+// Costing one order
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The stored-level statistic realizing query attribute \p A of factor
+/// access \p Stored (query attrs in stored order): lookups are positional
+/// because renames can make the query attribute differ from the attribute
+/// the stats were collected under.
+const LevelStat &levelFor(const TensorStats &S,
+                          const std::vector<Attr> &Stored, Attr A) {
+  for (size_t I = 0; I < Stored.size(); ++I)
+    if (Stored[I] == A)
+      return S.Levels[I];
+  ETCH_ASSERT(false, "query attribute not accessed by this tensor");
+  return S.Levels.front();
+}
+
+/// The independence estimate of distinct tuples of the query attributes
+/// \p Sub within the access (T, Stored): the product of per-level distinct
+/// counts, capped by nnz (a tensor cannot have more distinct sub-tuples
+/// than entries).
+double dpEstimate(const TensorStats &T, const std::vector<Attr> &Stored,
+                  const std::vector<Attr> &Sub) {
+  double P = 1.0;
+  for (Attr A : Sub)
+    P *= static_cast<double>(levelFor(T, Stored, A).Distinct);
+  return std::min(P, static_cast<double>(T.Nnz));
+}
+
+/// Per-level format heuristic for a transposed two-level copy: dense outer
+/// level when the attribute is at least half-full (CSR-style), compressed
+/// otherwise (DCSR-style, robust to hypersparsity).
+LevelSpec::Kind transposedOuterKind(const LevelStat &L) {
+  return 2 * L.Distinct >= L.Extent ? LevelSpec::Dense
+                                    : LevelSpec::Compressed;
+}
+
+/// Search-policy heuristic: galloping pays off on large compressed levels,
+/// linear scanning wins on small ones.
+SearchPolicy policyFor(LevelSpec::Kind K, int64_t Extent) {
+  if (K == LevelSpec::Compressed && Extent >= 4096)
+    return SearchPolicy::Gallop;
+  return SearchPolicy::Linear;
+}
+
+} // namespace
+
+std::optional<Plan> planForOrder(const PlanQuery &Q,
+                                 const std::vector<Attr> &Order,
+                                 const PlanOptions &O) {
+  // Sanity: Order must be a permutation of the query's attributes.
+  ETCH_ASSERT(makeShape(Order) == Q.allAttrs(),
+              "planForOrder: not a permutation of the query attributes");
+  auto rankOf = [&Order](Attr A) {
+    for (size_t I = 0; I < Order.size(); ++I)
+      if (Order[I] == A)
+        return I;
+    ETCH_ASSERT(false, "attribute missing from order");
+    return Order.size();
+  };
+
+  Plan P;
+  P.Order = Order;
+
+  // Physical accesses: one per distinct (tensor, attribute mapping).
+  for (const PlanTerm &T : Q.Terms)
+    for (const PlanFactor &F : T.Factors) {
+      bool Seen = false;
+      for (const PlanAccess &A : P.Accesses)
+        Seen |= A.Tensor == F.Tensor && A.Stored == F.Query;
+      if (Seen)
+        continue;
+      const TensorStats &S = Q.Stats.at(F.Tensor);
+      PlanAccess A;
+      A.Tensor = F.Tensor;
+      A.Stored = F.Query;
+      A.Used = F.Query;
+      std::sort(A.Used.begin(), A.Used.end(),
+                [&](Attr X, Attr Y) { return rankOf(X) < rankOf(Y); });
+      A.Transposed = A.Used != A.Stored;
+      if (A.Transposed &&
+          (!O.AllowTranspose || !S.CanTranspose || A.Used.size() != 2))
+        return std::nullopt; // Order not realizable for this access.
+      for (size_t L = 0; L < A.Used.size(); ++L) {
+        LevelSpec Spec;
+        const LevelStat &St = levelFor(S, A.Stored, A.Used[L]);
+        if (!A.Transposed)
+          Spec.K = St.Kind;
+        else
+          Spec.K = L == 0 ? transposedOuterKind(St) : LevelSpec::Compressed;
+        Spec.Policy = policyFor(Spec.K, St.Extent);
+        A.Levels.push_back(Spec);
+      }
+      if (A.Transposed)
+        P.TransposeCost += O.TransposeCostPerNnz * static_cast<double>(S.Nnz);
+      P.Accesses.push_back(std::move(A));
+    }
+
+  auto accessOf = [&P](const PlanFactor &F) -> const PlanAccess & {
+    for (const PlanAccess &A : P.Accesses)
+      if (A.Tensor == F.Tensor && A.Stored == F.Query)
+        return A;
+    ETCH_ASSERT(false, "factor without access");
+    return P.Accesses.front();
+  };
+
+  // Cost every term under the order: at each level, the fused loop visits
+  // roughly the smallest participating stream's conditional count; dense
+  // levels enumerate their extent (they locate in O(1) but iterate all
+  // positions when driving).
+  for (const PlanTerm &T : Q.Terms) {
+    Shape TermAttrs = T.allAttrs();
+    std::vector<PlanLevel> Levels;
+    std::vector<std::vector<Attr>> Fixed(T.Factors.size()); // per factor
+    double Cum = 1.0, TermCost = 0.0;
+    for (Attr A : Order) {
+      if (!shapeContains(TermAttrs, A))
+        continue;
+      PlanLevel L;
+      L.A = A;
+      L.Extent = Q.dimOf(A);
+      L.Summed = contains(T.Summed, A);
+      double Best = -1.0;
+      for (size_t FI = 0; FI < T.Factors.size(); ++FI) {
+        const PlanFactor &F = T.Factors[FI];
+        if (!contains(F.Query, A))
+          continue;
+        const PlanAccess &Acc = accessOf(F);
+        const TensorStats &S = Q.Stats.at(F.Tensor);
+        size_t Pos = 0;
+        while (Acc.Used[Pos] != A)
+          ++Pos;
+        double Cand;
+        if (Acc.Levels[Pos].K == LevelSpec::Dense) {
+          Cand = static_cast<double>(L.Extent);
+        } else {
+          std::vector<Attr> &Fx = Fixed[FI];
+          double Before = std::max(dpEstimate(S, F.Query, Fx), 1.0);
+          std::vector<Attr> With = Fx;
+          With.push_back(A);
+          Cand = dpEstimate(S, F.Query, With) / Before;
+        }
+        if (Best < 0.0 || Cand < Best)
+          Best = Cand;
+        L.Drivers.push_back(Acc.bindName());
+      }
+      if (Best < 0.0)
+        Best = static_cast<double>(L.Extent); // ↑ only: full extent.
+      for (size_t FI = 0; FI < T.Factors.size(); ++FI)
+        if (contains(T.Factors[FI].Query, A))
+          Fixed[FI].push_back(A);
+      L.Iters = Best;
+      Cum *= Best;
+      L.CumIters = Cum;
+      TermCost += Cum;
+      Levels.push_back(std::move(L));
+    }
+    P.StreamCost += TermCost;
+    P.TermLevels.push_back(std::move(Levels));
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Enumeration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+double factorialCapped(size_t N, size_t Cap) {
+  double F = 1.0;
+  for (size_t I = 2; I <= N; ++I) {
+    F *= static_cast<double>(I);
+    if (F > static_cast<double>(Cap))
+      return F;
+  }
+  return F;
+}
+
+/// Greedy order construction for large attribute sets: fix a starting
+/// attribute, then repeatedly append the attribute with the smallest
+/// estimated per-level iteration count over all terms.
+std::vector<Attr> greedyOrder(const PlanQuery &Q, Attr Start) {
+  Shape All = Q.allAttrs();
+  std::vector<Attr> Order{Start};
+  std::vector<Attr> Rest;
+  for (Attr A : All)
+    if (A != Start)
+      Rest.push_back(A);
+  while (!Rest.empty()) {
+    size_t BestI = 0;
+    double BestScore = -1.0;
+    for (size_t I = 0; I < Rest.size(); ++I) {
+      Attr A = Rest[I];
+      double Score = 0.0;
+      for (const PlanTerm &T : Q.Terms) {
+        if (!shapeContains(T.allAttrs(), A))
+          continue;
+        double Cand = static_cast<double>(Q.dimOf(A));
+        for (const PlanFactor &F : T.Factors) {
+          if (!contains(F.Query, A))
+            continue;
+          const TensorStats &S = Q.Stats.at(F.Tensor);
+          std::vector<Attr> Fx;
+          for (Attr B : F.Query)
+            if (contains(Order, B))
+              Fx.push_back(B);
+          double Before = std::max(dpEstimate(S, F.Query, Fx), 1.0);
+          Fx.push_back(A);
+          Cand = std::min(Cand, dpEstimate(S, F.Query, Fx) / Before);
+        }
+        Score += Cand;
+      }
+      if (BestScore < 0.0 || Score < BestScore) {
+        BestScore = Score;
+        BestI = I;
+      }
+    }
+    Order.push_back(Rest[BestI]);
+    Rest.erase(Rest.begin() + static_cast<long>(BestI));
+  }
+  return Order;
+}
+
+size_t transposeCount(const Plan &P) {
+  size_t N = 0;
+  for (const PlanAccess &A : P.Accesses)
+    N += A.Transposed;
+  return N;
+}
+
+std::string orderKey(const Plan &P) {
+  std::string K;
+  for (Attr A : P.Order)
+    K += A.name() + "|";
+  return K;
+}
+
+} // namespace
+
+std::vector<Plan> enumeratePlans(const PlanQuery &Q, const PlanOptions &O) {
+  Shape All = Q.allAttrs();
+  std::vector<Plan> Plans;
+  std::set<std::string> SeenOrders;
+  auto tryOrder = [&](const std::vector<Attr> &Order) {
+    auto P = planForOrder(Q, Order, O);
+    if (!P)
+      return;
+    if (!SeenOrders.insert(orderKey(*P)).second)
+      return;
+    Plans.push_back(std::move(*P));
+  };
+  if (factorialCapped(All.size(), O.MaxOrders) <=
+      static_cast<double>(O.MaxOrders)) {
+    std::vector<Attr> Perm = All;
+    do
+      tryOrder(Perm);
+    while (std::next_permutation(Perm.begin(), Perm.end()));
+  } else {
+    for (Attr Start : All)
+      tryOrder(greedyOrder(Q, Start));
+  }
+  std::sort(Plans.begin(), Plans.end(), [](const Plan &A, const Plan &B) {
+    if (A.cost() != B.cost())
+      return A.cost() < B.cost();
+    size_t TA = transposeCount(A), TB = transposeCount(B);
+    if (TA != TB)
+      return TA < TB;
+    return orderKey(A) < orderKey(B);
+  });
+  return Plans;
+}
+
+std::optional<Plan> bestPlan(const PlanQuery &Q, const PlanOptions &O) {
+  auto Plans = enumeratePlans(Q, O);
+  if (Plans.empty())
+    return std::nullopt;
+  return Plans.front();
+}
+
+//===----------------------------------------------------------------------===//
+// EXPLAIN
+//===----------------------------------------------------------------------===//
+
+std::string Plan::explain(const PlanQuery &Q) const {
+  std::ostringstream OS;
+  OS << "order:";
+  if (Order.empty())
+    OS << " (scalar)";
+  for (size_t I = 0; I < Order.size(); ++I)
+    OS << (I ? " < " : " ") << Order[I].name();
+  OS << "\n";
+  OS << "cost: " << fmtNum(cost()) << " = " << fmtNum(StreamCost)
+     << " stream + " << fmtNum(TransposeCost) << " transpose\n";
+  OS << "inputs:\n";
+  for (const auto &[Name, S] : Q.Stats)
+    OS << "  " << statsToString(S) << "\n";
+  for (size_t TI = 0; TI < Q.Terms.size(); ++TI) {
+    const PlanTerm &T = Q.Terms[TI];
+    OS << "term " << TI + 1 << ":";
+    for (Attr A : T.Summed)
+      OS << " Σ" << A.name();
+    for (size_t FI = 0; FI < T.Factors.size(); ++FI) {
+      const PlanFactor &F = T.Factors[FI];
+      OS << (FI || !T.Summed.empty() ? " " : " ") << (FI ? "· " : "")
+         << F.Tensor << "(";
+      for (size_t I = 0; I < F.Query.size(); ++I)
+        OS << (I ? ", " : "") << F.Query[I].name();
+      OS << ")";
+    }
+    OS << "\n";
+    for (const PlanLevel &L : TermLevels[TI]) {
+      OS << "  " << (L.Summed ? "Σ " : "for ") << L.A.name() << " ["
+         << L.Extent << "]: iters " << fmtNum(L.Iters) << ", visits "
+         << fmtNum(L.CumIters);
+      if (L.Drivers.empty())
+        OS << ", expand";
+      else {
+        OS << ", drivers";
+        for (const std::string &D : L.Drivers)
+          OS << " " << D;
+      }
+      OS << "\n";
+    }
+  }
+  OS << "accesses:\n";
+  for (const PlanAccess &A : Accesses) {
+    OS << "  " << A.bindName() << ": ";
+    for (size_t L = 0; L < A.Used.size(); ++L) {
+      const LevelSpec &Spec = A.Levels[L];
+      OS << (L ? " -> " : "")
+         << (Spec.K == LevelSpec::Dense ? "dense" : "compressed") << "("
+         << A.Used[L].name();
+      if (Spec.K == LevelSpec::Compressed)
+        OS << ", "
+           << (Spec.Policy == SearchPolicy::Gallop   ? "gallop"
+               : Spec.Policy == SearchPolicy::Binary ? "binary"
+                                                     : "linear");
+      OS << ")";
+    }
+    OS << (A.Transposed ? "  [transposed copy]" : "  [as stored]") << "\n";
+  }
+  return OS.str();
+}
+
+} // namespace etch

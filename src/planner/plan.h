@@ -1,0 +1,149 @@
+//===- planner/plan.h - Plan IR, enumerator, and cost model ----*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The planning pipeline for contraction expressions:
+///
+///   expression + TensorStats  --extractQuery-->  PlanQuery (sum of
+///   products)  --enumeratePlans-->  ranked Plans  --realizePlan (see
+///   planner/realize.h)-->  expression + bindings under the chosen order.
+///
+/// A *global attribute order* in this repo is the attribute interning
+/// order (Definition 5.7 keys every stream invariant to it), so a "plan"
+/// is a permutation of the query's attributes plus, per tensor access, the
+/// storage orientation (as stored, or a transposed copy) and per-level
+/// format choices. The enumerator only emits orders every access can
+/// realize; the cost model scores each with an asymptotic-plus-stats
+/// estimate of fused-loop iterations (Section 8.1's ~40x gap is exactly
+/// such an asymptotic difference), and `Plan::explain` renders the choice
+/// as a readable EXPLAIN report.
+///
+/// The cost model consumes only per-attribute distinct counts, extents,
+/// nnz, and level kinds — all invariant under renaming — so equal queries
+/// modulo `Rename` cost the same (tested in tests/planner_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_PLANNER_PLAN_H
+#define ETCH_PLANNER_PLAN_H
+
+#include "planner/stats.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace etch {
+
+/// One tensor access inside a product term. `Query[i]` is the query-level
+/// attribute bound to stored level i of the tensor (so `Query` follows the
+/// *stored* hierarchy order and, after renames, need not be sorted).
+struct PlanFactor {
+  std::string Tensor;
+  std::vector<Attr> Query;
+};
+
+/// One product term of the sum-of-products normal form.
+struct PlanTerm {
+  std::vector<PlanFactor> Factors;
+  Shape Free;                 ///< Output attributes (sorted).
+  std::vector<Attr> Summed;   ///< Contracted attributes.
+  std::vector<Attr> Expanded; ///< Attributes driven by no factor (↑ only).
+
+  /// Every attribute the term iterates (free ∪ summed), as a sorted shape.
+  Shape allAttrs() const;
+};
+
+/// A contraction query in planning form plus everything needed to cost it.
+struct PlanQuery {
+  std::vector<PlanTerm> Terms;
+  std::map<std::string, TensorStats> Stats; ///< Per tensor name.
+  std::map<uint32_t, int64_t> Dims;         ///< Attr id -> extent.
+
+  /// Union of every term's attributes, sorted by the current global order.
+  Shape allAttrs() const;
+
+  int64_t dimOf(Attr A) const;
+};
+
+/// Normalizes \p E (typed under \p Ctx) into sum-of-products planning form,
+/// resolving renames down to the leaf accesses. Returns nullopt — with a
+/// diagnostic in \p Err — on expressions outside the plannable fragment
+/// (Σ under a `·` operand, rename collisions with contracted attributes,
+/// or a term blow-up past PlanOptions-independent cap of 64 terms).
+std::optional<PlanQuery> extractQuery(const ExprPtr &E, const TypeContext &Ctx,
+                                      std::map<std::string, TensorStats> Stats,
+                                      std::map<uint32_t, int64_t> Dims,
+                                      std::string *Err = nullptr);
+
+/// One loop level of a planned fused stream.
+struct PlanLevel {
+  Attr A;
+  int64_t Extent = 0;
+  bool Summed = false;
+  double Iters = 1.0;    ///< Estimated iterations per enclosing context.
+  double CumIters = 1.0; ///< Estimated total visits of this level.
+  std::vector<std::string> Drivers; ///< Tensors intersected at this level.
+};
+
+/// One physical tensor access of a plan.
+struct PlanAccess {
+  std::string Tensor;
+  std::vector<Attr> Stored; ///< Query attrs in stored level order.
+  std::vector<Attr> Used;   ///< Same attrs re-sorted by the plan order.
+  bool Transposed = false;  ///< Used != Stored: needs a level-permuted copy.
+  std::vector<LevelSpec> Levels; ///< Chosen per-level formats for `Used`.
+
+  /// Realized binding name: "<tensor>" as stored, "<tensor>_T" transposed.
+  std::string bindName() const;
+};
+
+/// Cost-model and enumeration knobs.
+struct PlanOptions {
+  /// Permit level-permuted copies of accesses whose stats say CanTranspose.
+  bool AllowTranspose = true;
+  /// Enumerate all n! orders while n! <= MaxOrders, else greedy fallback.
+  size_t MaxOrders = 5040;
+  /// Charged per nonzero of every transposed access (one extra pass over
+  /// the data to build the copy, amortized).
+  double TransposeCostPerNnz = 4.0;
+};
+
+/// A validated execution plan for one global attribute order.
+struct Plan {
+  std::vector<Attr> Order; ///< The chosen global order, outermost first.
+  std::vector<std::vector<PlanLevel>> TermLevels; ///< Levels per term.
+  std::vector<PlanAccess> Accesses;
+  double StreamCost = 0.0;    ///< Estimated fused-loop iterations.
+  double TransposeCost = 0.0; ///< Estimated copy cost for transposed inputs.
+
+  double cost() const { return StreamCost + TransposeCost; }
+
+  /// Renders the EXPLAIN report (deterministic; golden-tested).
+  std::string explain(const PlanQuery &Q) const;
+};
+
+/// Builds and costs the plan realizing \p Order (a permutation of
+/// Q.allAttrs()). Returns nullopt if some access cannot be realized under
+/// the order (needs a transpose that is unavailable or disallowed).
+std::optional<Plan> planForOrder(const PlanQuery &Q,
+                                 const std::vector<Attr> &Order,
+                                 const PlanOptions &O = {});
+
+/// Enumerates every realizable order (all permutations up to O.MaxOrders,
+/// then a per-starting-attribute greedy sweep) and returns the plans sorted
+/// best-first: by cost, then fewer transposes, then lexicographic order
+/// names — fully deterministic.
+std::vector<Plan> enumeratePlans(const PlanQuery &Q,
+                                 const PlanOptions &O = {});
+
+/// Convenience: the best plan, or nullopt if no order is realizable.
+std::optional<Plan> bestPlan(const PlanQuery &Q, const PlanOptions &O = {});
+
+} // namespace etch
+
+#endif // ETCH_PLANNER_PLAN_H

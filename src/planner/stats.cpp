@@ -1,0 +1,87 @@
+//===- planner/stats.cpp - Input statistics for the planner ---------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "planner/stats.h"
+
+#include "support/assert.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace etch {
+
+Shape TensorStats::shape() const {
+  Shape S;
+  S.reserve(Levels.size());
+  for (const LevelStat &L : Levels)
+    S.push_back(L.A);
+  return S;
+}
+
+int64_t TensorStats::distinctOf(Attr A) const {
+  const LevelStat *L = level(A);
+  return L ? L->Distinct : 0;
+}
+
+const LevelStat *TensorStats::level(Attr A) const {
+  for (const LevelStat &L : Levels)
+    if (L.A == A)
+      return &L;
+  return nullptr;
+}
+
+TensorStats statsFromTuples(std::string Name,
+                            const std::vector<Attr> &LevelAttrs,
+                            const std::vector<LevelSpec::Kind> &Kinds,
+                            const std::vector<int64_t> &Extents,
+                            const std::vector<Tuple> &Tuples) {
+  const size_t Order = LevelAttrs.size();
+  ETCH_ASSERT(Kinds.size() == Order && Extents.size() == Order,
+              "per-level vectors must agree in length");
+  TensorStats S;
+  S.Name = std::move(Name);
+  S.Nnz = static_cast<int64_t>(Tuples.size());
+  // Distinct coordinates per attribute and distinct prefixes per depth, the
+  // latter feeding the AvgFill branching factor.
+  std::vector<std::set<Idx>> PerAttr(Order);
+  std::vector<std::set<Tuple>> Prefixes(Order);
+  for (const Tuple &T : Tuples) {
+    ETCH_ASSERT(T.size() == Order, "tuple arity mismatch");
+    Tuple Prefix;
+    for (size_t L = 0; L < Order; ++L) {
+      PerAttr[L].insert(T[L]);
+      Prefix.push_back(T[L]);
+      Prefixes[L].insert(Prefix);
+    }
+  }
+  for (size_t L = 0; L < Order; ++L) {
+    LevelStat St;
+    St.A = LevelAttrs[L];
+    St.Kind = Kinds[L];
+    St.Extent = Extents[L];
+    St.Distinct = static_cast<int64_t>(PerAttr[L].size());
+    const double Parents =
+        L == 0 ? 1.0 : static_cast<double>(Prefixes[L - 1].size());
+    St.AvgFill =
+        Parents == 0.0 ? 0.0 : static_cast<double>(Prefixes[L].size()) / Parents;
+    S.Levels.push_back(St);
+  }
+  return S;
+}
+
+std::string statsToString(const TensorStats &S) {
+  std::ostringstream OS;
+  OS << S.Name << ":";
+  for (const LevelStat &L : S.Levels)
+    OS << " " << (L.Kind == LevelSpec::Dense ? "dense" : "compressed") << "("
+       << L.A.name() << ":" << L.Extent << ", distinct " << L.Distinct
+       << ")";
+  OS << " nnz " << S.Nnz;
+  return OS.str();
+}
+
+} // namespace etch

@@ -1,0 +1,157 @@
+//===- planner/stats.h - Input statistics for the planner ------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-tensor statistics the cost model consumes: total nonzeros plus, for
+/// every storage level, the level's kind (dense/compressed), the attribute
+/// extent, the number of *distinct* coordinates observed at that attribute,
+/// and the average branching factor (children per distinct parent prefix).
+///
+/// Distinct counts are per attribute, independent of the level's position
+/// in the hierarchy, which makes every cost derived from them invariant
+/// under attribute renaming and level permutation — the planner can score
+/// an ordering without materializing the transposed tensor (the same idea
+/// as cardinality estimation from column statistics in relational
+/// optimizers, specialized to the level-format vocabulary of Section 7.3).
+///
+/// Builders exist for every owning format in src/formats/ and for raw
+/// coordinate tuples (used by the fuzzer's entry lists and the relational
+/// edge lists).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_PLANNER_STATS_H
+#define ETCH_PLANNER_STATS_H
+
+#include "compiler/frontend.h"
+#include "formats/csf.h"
+#include "formats/matrices.h"
+#include "formats/vectors.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace etch {
+
+/// Statistics for one storage level of a bound tensor.
+struct LevelStat {
+  Attr A;                                      ///< Attribute of this level.
+  LevelSpec::Kind Kind = LevelSpec::Compressed; ///< Storage kind as bound.
+  int64_t Extent = 0;   ///< Index-set size (the attribute's dimension).
+  int64_t Distinct = 0; ///< Distinct coordinates observed at this attribute.
+  double AvgFill = 0.0; ///< Mean children per distinct parent prefix.
+};
+
+/// Statistics for one bound tensor. Levels follow the stored hierarchy
+/// order (outermost first); `Shp` of the matching TensorBinding.
+struct TensorStats {
+  std::string Name;
+  int64_t Nnz = 0;
+  std::vector<LevelStat> Levels;
+
+  /// Whether the planner may schedule a transposed (level-permuted) copy of
+  /// this tensor. Set by the builders for the two-level matrix formats
+  /// (CSR/DCSR, via `transpose` / `fromCoo`); deeper formats would need a
+  /// re-pack the repo does not provide yet.
+  bool CanTranspose = false;
+
+  /// Stored attribute sequence, outermost first.
+  Shape shape() const;
+
+  /// Distinct count for attribute \p A, or 0 if the tensor lacks it.
+  int64_t distinctOf(Attr A) const;
+
+  /// The level stat for \p A, or nullptr.
+  const LevelStat *level(Attr A) const;
+};
+
+/// Core builder: statistics from distinct, in-extent coordinate tuples
+/// (one per stored nonzero, each aligned with \p LevelAttrs). \p Kinds and
+/// \p Extents are per level. Tuples need not be sorted.
+TensorStats statsFromTuples(std::string Name,
+                            const std::vector<Attr> &LevelAttrs,
+                            const std::vector<LevelSpec::Kind> &Kinds,
+                            const std::vector<int64_t> &Extents,
+                            const std::vector<Tuple> &Tuples);
+
+/// Format-specific builders, mirroring the bind*/``*Binding`` helpers of
+/// compiler/frontend.h.
+template <typename V>
+TensorStats statsOfCsr(std::string Name, const CsrMatrix<V> &M, Attr Row,
+                       Attr Col) {
+  std::vector<Tuple> Tuples;
+  Tuples.reserve(M.nnz());
+  for (Idx R = 0; R < M.NumRows; ++R)
+    for (size_t Q = M.Pos[static_cast<size_t>(R)];
+         Q < M.Pos[static_cast<size_t>(R) + 1]; ++Q)
+      Tuples.push_back({R, M.Crd[Q]});
+  TensorStats S = statsFromTuples(
+      std::move(Name), {Row, Col}, {LevelSpec::Dense, LevelSpec::Compressed},
+      {M.NumRows, M.NumCols}, Tuples);
+  S.CanTranspose = true;
+  return S;
+}
+
+template <typename V>
+TensorStats statsOfDcsr(std::string Name, const DcsrMatrix<V> &M, Attr Row,
+                        Attr Col) {
+  std::vector<Tuple> Tuples;
+  Tuples.reserve(M.nnz());
+  for (size_t RQ = 0; RQ < M.RowCrd.size(); ++RQ)
+    for (size_t Q = M.Pos[RQ]; Q < M.Pos[RQ + 1]; ++Q)
+      Tuples.push_back({M.RowCrd[RQ], M.Crd[Q]});
+  TensorStats S = statsFromTuples(std::move(Name), {Row, Col},
+                                  {LevelSpec::Compressed, LevelSpec::Compressed},
+                                  {M.NumRows, M.NumCols}, Tuples);
+  S.CanTranspose = true;
+  return S;
+}
+
+template <typename V>
+TensorStats statsOfSparseVector(std::string Name, const SparseVector<V> &X,
+                                Attr A) {
+  std::vector<Tuple> Tuples;
+  Tuples.reserve(X.Crd.size());
+  for (Idx C : X.Crd)
+    Tuples.push_back({C});
+  return statsFromTuples(std::move(Name), {A}, {LevelSpec::Compressed},
+                         {X.Size}, Tuples);
+}
+
+template <typename V>
+TensorStats statsOfDenseVector(std::string Name, const DenseVector<V> &X,
+                               Attr A) {
+  std::vector<Tuple> Tuples;
+  for (size_t I = 0; I < X.Val.size(); ++I)
+    if (X.Val[I] != V())
+      Tuples.push_back({static_cast<Idx>(I)});
+  return statsFromTuples(std::move(Name), {A}, {LevelSpec::Dense}, {X.Size},
+                         Tuples);
+}
+
+template <typename V>
+TensorStats statsOfCsf3(std::string Name, const CsfTensor3<V> &T, Attr I,
+                        Attr J, Attr K) {
+  std::vector<Tuple> Tuples;
+  Tuples.reserve(T.Val.size());
+  for (size_t P0 = 0; P0 < T.Crd0.size(); ++P0)
+    for (size_t P1 = T.Pos0[P0]; P1 < T.Pos0[P0 + 1]; ++P1)
+      for (size_t P2 = T.Pos1[P1]; P2 < T.Pos1[P1 + 1]; ++P2)
+        Tuples.push_back({T.Crd0[P0], T.Crd1[P1], T.Crd2[P2]});
+  return statsFromTuples(
+      std::move(Name), {I, J, K},
+      {LevelSpec::Compressed, LevelSpec::Compressed, LevelSpec::Compressed},
+      {T.DimI, T.DimJ, T.DimK}, Tuples);
+}
+
+/// Renders one tensor's statistics on a single line, for EXPLAIN and the
+/// CLI ("A: csr(i:10000, j:10000) nnz 200000 distinct(i)=9998 ...").
+std::string statsToString(const TensorStats &S);
+
+} // namespace etch
+
+#endif // ETCH_PLANNER_STATS_H

@@ -1,0 +1,166 @@
+//===- relational/joinplan.cpp - Planner-chosen join orders ---------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "relational/joinplan.h"
+
+#include "relational/trie.h"
+#include "streams/combinators.h"
+#include "streams/eval.h"
+#include "support/assert.h"
+
+#include <algorithm>
+
+using namespace etch;
+
+namespace {
+
+/// The three join variables as planner attributes, interned once in the
+/// canonical a < b < c order.
+const std::array<Attr, 3> &joinVars() {
+  static const std::array<Attr, 3> Vars = {
+      Attr::named("tj_a"), Attr::named("tj_b"), Attr::named("tj_c")};
+  return Vars;
+}
+
+Trie<2, int64_t> trieOf(const EdgeList &G, bool Swap) {
+  std::vector<std::array<Idx, 2>> Keys;
+  Keys.reserve(G.Edges.size());
+  for (auto [U, V] : G.Edges)
+    Keys.push_back(Swap ? std::array<Idx, 2>{V, U}
+                        : std::array<Idx, 2>{U, V});
+  return Trie<2, int64_t>::fromKeys(std::move(Keys), 1);
+}
+
+/// The fused count for one order, with the relations already oriented and
+/// assigned by the loop depths their two variables occupy: T01 spans
+/// depths (0,1), T02 spans (0,2), T12 spans (1,2). In a triangle each
+/// relation misses exactly one variable, so every order uses each lift
+/// shape exactly once — this is queries_triangle.cpp's triangleFused with
+/// the slots made explicit.
+int64_t fusedCount(const Trie<2, int64_t> &T01, const Trie<2, int64_t> &T02,
+                   const Trie<2, int64_t> &T12) {
+  auto L01 = mapStream(T01.stream(), [](auto Lev) {
+    return mapStream(std::move(Lev),
+                     [](int64_t V) { return repeatUnbounded(V); });
+  });
+  auto L12 = repeatUnbounded(T12.stream());
+  auto L02 = mapStream(T02.stream(), [](auto Lev) {
+    return repeatUnbounded(std::move(Lev));
+  });
+  using K = I64Semiring;
+  return sumAll<K>(mulStreams<K>(L01, mulStreams<K>(L12, L02)));
+}
+
+/// Extent of each variable: one past the largest vertex id that can reach
+/// it from either incident relation.
+std::array<int64_t, 3> varExtents(const EdgeList &Rab, const EdgeList &Sbc,
+                                  const EdgeList &Tca) {
+  std::array<int64_t, 3> N{1, 1, 1};
+  for (auto [A, B] : Rab.Edges) {
+    N[0] = std::max<int64_t>(N[0], A + 1);
+    N[1] = std::max<int64_t>(N[1], B + 1);
+  }
+  for (auto [B, C] : Sbc.Edges) {
+    N[1] = std::max<int64_t>(N[1], B + 1);
+    N[2] = std::max<int64_t>(N[2], C + 1);
+  }
+  for (auto [C, A] : Tca.Edges) {
+    N[2] = std::max<int64_t>(N[2], C + 1);
+    N[0] = std::max<int64_t>(N[0], A + 1);
+  }
+  return N;
+}
+
+TensorStats edgeStats(std::string Name, const EdgeList &G, Attr First,
+                      Attr Second, int64_t NFirst, int64_t NSecond) {
+  std::vector<Tuple> Tuples;
+  Tuples.reserve(G.Edges.size());
+  for (auto [U, V] : G.Edges)
+    Tuples.push_back({U, V});
+  TensorStats S = statsFromTuples(
+      std::move(Name), {First, Second},
+      {LevelSpec::Compressed, LevelSpec::Compressed}, {NFirst, NSecond},
+      Tuples);
+  S.CanTranspose = true;
+  return S;
+}
+
+} // namespace
+
+TriangleJoinPlan etch::planTriangleJoin(const EdgeList &Rab,
+                                        const EdgeList &Sbc,
+                                        const EdgeList &Tca) {
+  const auto &V = joinVars();
+  auto N = varExtents(Rab, Sbc, Tca);
+
+  PlanQuery Q;
+  PlanTerm Term;
+  Term.Factors = {{"R", {V[0], V[1]}},  // R(a, b), stored (a, b)
+                  {"S", {V[1], V[2]}},  // S(b, c), stored (b, c)
+                  {"T", {V[2], V[0]}}}; // T(c, a), stored (c, a)
+  Term.Summed = {V[0], V[1], V[2]};
+  Q.Terms.push_back(std::move(Term));
+  Q.Stats.emplace("R", edgeStats("R", Rab, V[0], V[1], N[0], N[1]));
+  Q.Stats.emplace("S", edgeStats("S", Sbc, V[1], V[2], N[1], N[2]));
+  Q.Stats.emplace("T", edgeStats("T", Tca, V[2], V[0], N[2], N[0]));
+  for (int I = 0; I < 3; ++I)
+    Q.Dims.emplace(V[static_cast<size_t>(I)].id(), N[static_cast<size_t>(I)]);
+
+  // Tries are built per orientation inside the prepare step, so an order
+  // that flips a relation's key costs nothing extra.
+  PlanOptions O;
+  O.TransposeCostPerNnz = 0.0;
+  auto Best = bestPlan(Q, O);
+  ETCH_ASSERT(Best, "the triangle query always has a realizable order");
+
+  TriangleJoinPlan JP;
+  JP.Cost = Best->cost();
+  JP.Explain = Best->explain(Q);
+  for (size_t P = 0; P < 3; ++P)
+    for (int I = 0; I < 3; ++I)
+      if (Best->Order[P].id() == V[static_cast<size_t>(I)].id())
+        JP.VarOrder[P] = I;
+  return JP;
+}
+
+int64_t etch::triangleFusedOrdered(const EdgeList &Rab, const EdgeList &Sbc,
+                                   const EdgeList &Tca,
+                                   const std::array<int, 3> &VarOrder) {
+  std::array<int, 3> Depth{};
+  for (int P = 0; P < 3; ++P)
+    Depth[static_cast<size_t>(VarOrder[static_cast<size_t>(P)])] = P;
+
+  // Each relation spans the depths of its two variables, oriented so the
+  // shallower one is its outer trie level; its slot (01/02/12) is fixed by
+  // the depth of the variable it misses.
+  struct Rel {
+    const EdgeList *G;
+    int First, Second; ///< Stored key components, as variable numbers.
+  };
+  const std::array<Rel, 3> Rels = {
+      Rel{&Rab, 0, 1}, Rel{&Sbc, 1, 2}, Rel{&Tca, 2, 0}};
+  const Trie<2, int64_t> *Slots[3] = {nullptr, nullptr, nullptr};
+  std::array<Trie<2, int64_t>, 3> Built;
+  for (size_t I = 0; I < 3; ++I) {
+    const Rel &R = Rels[I];
+    int DF = Depth[static_cast<size_t>(R.First)];
+    int DS = Depth[static_cast<size_t>(R.Second)];
+    Built[I] = trieOf(*R.G, DF > DS);
+    int Missing = 3 - R.First - R.Second;
+    Slots[Depth[static_cast<size_t>(Missing)]] = &Built[I];
+  }
+  // Slot index = depth of the missing variable: 2 -> spans (0,1), etc.
+  return fusedCount(*Slots[2], *Slots[1], *Slots[0]);
+}
+
+int64_t etch::triangleFusedPlanned(const EdgeList &Rab, const EdgeList &Sbc,
+                                   const EdgeList &Tca,
+                                   TriangleJoinPlan *PlanOut) {
+  TriangleJoinPlan JP = planTriangleJoin(Rab, Sbc, Tca);
+  if (PlanOut)
+    *PlanOut = JP;
+  return triangleFusedOrdered(Rab, Sbc, Tca, JP.VarOrder);
+}

@@ -1,0 +1,61 @@
+//===- relational/joinplan.h - Planner-chosen join orders ------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bridge from the relational engines to the contraction planner
+/// (planner/plan.h): instead of the hand-fixed a < b < c column order of
+/// queries_triangle.cpp, `planTriangleJoin` stats the three edge lists,
+/// poses the triangle count as a PlanQuery, and lets the cost model pick
+/// the GenericJoin variable order. `triangleFusedOrdered` can execute the
+/// fused count under any of the six orders (the trie orientations and
+/// stream lifts are derived from the order), so the planner's choice is
+/// directly runnable — and testable against the reference engine.
+///
+/// Transposes cost nothing here: the tries are built per query in whatever
+/// orientation the order needs, exactly like the hand-written prepare.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_RELATIONAL_JOINPLAN_H
+#define ETCH_RELATIONAL_JOINPLAN_H
+
+#include "planner/plan.h"
+#include "relational/queries.h"
+
+#include <array>
+
+namespace etch {
+
+/// A planner-chosen variable order for the triangle join. `VarOrder[p]` is
+/// the variable iterated at loop depth p, with 0 = a, 1 = b, 2 = c.
+struct TriangleJoinPlan {
+  std::array<int, 3> VarOrder{0, 1, 2};
+  double Cost = 0.0;   ///< The cost model's estimate for this order.
+  std::string Explain; ///< The planner's full EXPLAIN report.
+};
+
+/// Asks the contraction planner for the cheapest GenericJoin variable
+/// order for count = Σ_{a,b,c} R(a,b) · S(b,c) · T(c,a), using statistics
+/// computed from the actual edge lists.
+TriangleJoinPlan planTriangleJoin(const EdgeList &Rab, const EdgeList &Sbc,
+                                  const EdgeList &Tca);
+
+/// The fused triangle count under an explicit variable order: builds the
+/// three tries in the orientation the order demands and runs the fused
+/// three-way intersection. Agrees with triangleReference for all 6 orders.
+int64_t triangleFusedOrdered(const EdgeList &Rab, const EdgeList &Sbc,
+                             const EdgeList &Tca,
+                             const std::array<int, 3> &VarOrder);
+
+/// Plan, then execute under the chosen order. The plan (order, cost,
+/// EXPLAIN) is returned through \p PlanOut when non-null.
+int64_t triangleFusedPlanned(const EdgeList &Rab, const EdgeList &Sbc,
+                             const EdgeList &Tca,
+                             TriangleJoinPlan *PlanOut = nullptr);
+
+} // namespace etch
+
+#endif // ETCH_RELATIONAL_JOINPLAN_H

@@ -51,7 +51,12 @@ std::string escapeJson(const std::string &S) {
 
 void BenchJson::add(const std::string &Bench, const std::string &Config,
                     int Threads, double BestSeconds) {
-  Rows.push_back({Bench, Config, Threads, BestSeconds});
+  Rows.push_back({Bench, Config, Threads, BestSeconds, 0.0, false});
+}
+
+void BenchJson::add(const std::string &Bench, const std::string &Config,
+                    int Threads, double BestSeconds, double PlannerCost) {
+  Rows.push_back({Bench, Config, Threads, BestSeconds, PlannerCost, true});
 }
 
 std::string BenchJson::toJson() const {
@@ -63,7 +68,12 @@ std::string BenchJson::toJson() const {
     Out += "  {\"bench\": \"" + escapeJson(R.Bench) + "\", \"config\": \"" +
            escapeJson(R.Config) +
            "\", \"threads\": " + std::to_string(R.Threads) +
-           ", \"best_seconds\": " + Buf + "}";
+           ", \"best_seconds\": " + Buf;
+    if (R.HasCost) {
+      std::snprintf(Buf, sizeof(Buf), "%.9g", R.PlannerCost);
+      Out += std::string(", \"planner_cost\": ") + Buf;
+    }
+    Out += "}";
     Out += I + 1 < Rows.size() ? ",\n" : "\n";
   }
   Out += "]\n";

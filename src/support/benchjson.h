@@ -30,6 +30,12 @@ public:
   void add(const std::string &Bench, const std::string &Config, int Threads,
            double BestSeconds);
 
+  /// Appends one row carrying the planner's cost-model estimate for the
+  /// configuration, so predicted cost lands next to measured time in the
+  /// tracked JSON ("planner_cost").
+  void add(const std::string &Bench, const std::string &Config, int Threads,
+           double BestSeconds, double PlannerCost);
+
   size_t size() const { return Rows.size(); }
 
   /// Renders all rows as a pretty-printed JSON array.
@@ -44,6 +50,8 @@ private:
     std::string Bench, Config;
     int Threads;
     double BestSeconds;
+    double PlannerCost;
+    bool HasCost;
   };
   std::vector<Row> Rows;
 };

@@ -156,6 +156,53 @@ TEST_P(PolicySweep, GeneratorsHonourTheirContracts) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PolicySweep,
                          ::testing::Range<uint64_t>(0, 6));
 
+TEST(Csr, TransposeSwapsCoordinates) {
+  // A = [[1,0,2],[0,3,0]]; its transpose is [[1,0],[0,3],[2,0]].
+  auto A = CsrMatrix<double>::fromCoo(2, 3, {{0, 0, 1}, {0, 2, 2}, {1, 1, 3}});
+  auto T = transpose(A);
+  EXPECT_EQ(T.NumRows, 3);
+  EXPECT_EQ(T.NumCols, 2);
+  EXPECT_EQ(T.Pos, (std::vector<size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(T.Crd, (std::vector<Idx>{0, 1, 0}));
+  EXPECT_EQ(T.Val, (std::vector<double>{1, 3, 2}));
+}
+
+TEST(Csr, TransposeAgreesWithOracleAndInvolutes) {
+  Rng R(77);
+  auto A = randomCsr(R, 37, 23, 150); // Rectangular, with empty rows/cols.
+  auto T = transpose(A);
+  // Swapped-coordinate relations coincide (the attribute order constraint
+  // means we compare entry lists, not KRelations, across the swap).
+  auto Rel = A.toKRelation<F64Semiring>(AI(), AJ());
+  size_t Nnz = 0;
+  for (Idx Row = 0; Row < T.NumRows; ++Row)
+    for (size_t Q = T.Pos[static_cast<size_t>(Row)];
+         Q < T.Pos[static_cast<size_t>(Row) + 1]; ++Q) {
+      EXPECT_DOUBLE_EQ(Rel.at({T.Crd[Q], Row}), T.Val[Q]);
+      ++Nnz;
+    }
+  EXPECT_EQ(Nnz, A.nnz());
+  // Columns within each transposed row arrive sorted (canonical CSR).
+  for (Idx Row = 0; Row < T.NumRows; ++Row)
+    for (size_t Q = T.Pos[static_cast<size_t>(Row)] + 1;
+         Q < T.Pos[static_cast<size_t>(Row) + 1]; ++Q)
+      EXPECT_LT(T.Crd[Q - 1], T.Crd[Q]);
+  // Transposing twice is the identity.
+  auto TT = transpose(T);
+  EXPECT_EQ(TT.Pos, A.Pos);
+  EXPECT_EQ(TT.Crd, A.Crd);
+  EXPECT_EQ(TT.Val, A.Val);
+}
+
+TEST(Csr, TransposeHandlesEmptyMatrix) {
+  CsrMatrix<double> A(4, 6);
+  auto T = transpose(A);
+  EXPECT_EQ(T.NumRows, 6);
+  EXPECT_EQ(T.NumCols, 4);
+  EXPECT_EQ(T.nnz(), 0u);
+  EXPECT_EQ(T.Pos, (std::vector<size_t>(7, 0)));
+}
+
 TEST(DenseVectorFmt, StreamVisitsEverySlot) {
   DenseVector<double> V(5, 2.0);
   V.Val[3] = 7.0;

@@ -14,6 +14,7 @@
 
 #include "fuzz/corpus.h"
 #include "fuzz/exec.h"
+#include "fuzz/reorder.h"
 
 #include <gtest/gtest.h>
 
@@ -49,6 +50,21 @@ TEST(FuzzCorpus, AllReprosReplayGreen) {
     FuzzReport Rep = runFuzzCase(*C);
     EXPECT_FALSE(Rep.Invalid) << F << ": " << Rep.ValidationError;
     EXPECT_TRUE(Rep.ok()) << F << " regressed:\n" << Rep.toString();
+  }
+}
+
+TEST(FuzzCorpus, AllReprosReplayGreenUnderEveryLegalOrder) {
+  // A repro guards its bug regardless of which attribute permutation
+  // originally triggered it: the whole matrix reruns under every legal
+  // global order of each case (bounded; cases here are shrunken and tiny).
+  for (const std::string &F : corpusFiles()) {
+    std::string Err;
+    auto C = readCaseFile(F, &Err);
+    ASSERT_TRUE(C.has_value()) << F << ": " << Err;
+    FuzzOrderReport Rep = runFuzzCaseOrders(*C, /*MaxOrders=*/8);
+    EXPECT_FALSE(Rep.failing())
+        << F << " regressed under an order sweep:\n"
+        << Rep.toString();
   }
 }
 

@@ -11,10 +11,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "relational/joinplan.h"
 #include "relational/queries.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 using namespace etch;
@@ -111,6 +113,60 @@ TEST(Triangle, RandomGraphsAgree) {
     EXPECT_EQ(triangleColumnar(Ra, Sb, Tc), Ref) << "case " << Case;
     EXPECT_EQ(triangleRowStore(Ra, Sb, Tc), Ref) << "case " << Case;
   }
+}
+
+TEST(TriangleJoinPlan, AllSixOrdersAgreeWithReference) {
+  Rng R(7);
+  std::array<int, 3> Ord{0, 1, 2};
+  for (int Case = 0; Case < 4; ++Case) {
+    Idx N = 20 + static_cast<Idx>(R.nextBelow(40));
+    size_t E = 1 + R.nextBelow(static_cast<uint64_t>(N) * 3);
+    EdgeList Ra = randomEdges(R, N, E);
+    EdgeList Sb = randomEdges(R, N, E);
+    EdgeList Tc = randomEdges(R, N, E);
+    int64_t Ref = triangleReference(Ra, Sb, Tc);
+    std::sort(Ord.begin(), Ord.end());
+    do {
+      EXPECT_EQ(triangleFusedOrdered(Ra, Sb, Tc, Ord), Ref)
+          << "case " << Case << " order " << Ord[0] << Ord[1] << Ord[2];
+    } while (std::next_permutation(Ord.begin(), Ord.end()));
+  }
+}
+
+TEST(TriangleJoinPlan, IdentityOrderMatchesHandWrittenFused) {
+  EdgeList G = triangleWorstCase(64);
+  EXPECT_EQ(triangleFusedOrdered(G, G, G, {0, 1, 2}),
+            triangleFused(G, G, G));
+}
+
+TEST(TriangleJoinPlan, PlannedOrderAgreesAndIsCostMinimal) {
+  Rng R(13);
+  EdgeList Ra = randomEdges(R, 50, 120);
+  EdgeList Sb = randomEdges(R, 50, 120);
+  EdgeList Tc = randomEdges(R, 50, 120);
+  TriangleJoinPlan JP;
+  int64_t Got = triangleFusedPlanned(Ra, Sb, Tc, &JP);
+  EXPECT_EQ(Got, triangleReference(Ra, Sb, Tc));
+  // The chosen order is a permutation of {a, b, c} and the EXPLAIN report
+  // names all three join variables.
+  std::array<int, 3> Sorted = JP.VarOrder;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(Sorted, (std::array<int, 3>{0, 1, 2}));
+  EXPECT_NE(JP.Explain.find("tj_a"), std::string::npos);
+  EXPECT_NE(JP.Explain.find("tj_b"), std::string::npos);
+  EXPECT_NE(JP.Explain.find("tj_c"), std::string::npos);
+  EXPECT_GT(JP.Cost, 0.0);
+}
+
+TEST(TriangleJoinPlan, WorstCaseFamilyStaysWorstCaseOptimal) {
+  // On the Θ(n²)-for-pairwise family the planner must keep a GenericJoin
+  // order whose estimate stays near-linear in n, far below n².
+  Idx N = 2000;
+  EdgeList G = triangleWorstCase(N);
+  TriangleJoinPlan JP;
+  int64_t Got = triangleFusedPlanned(G, G, G, &JP);
+  EXPECT_EQ(Got, 3 * static_cast<int64_t>(N) - 2);
+  EXPECT_LT(JP.Cost, static_cast<double>(N) * 50.0);
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 ///   etch-fuzz --time-budget 120            # stop after ~2 minutes
 ///   etch-fuzz --corpus tests/corpus        # write shrunken repros there
 ///   etch-fuzz --replay tests/corpus        # re-run saved cases (file/dir)
+///   etch-fuzz --orders 6                   # sweep legal attribute orders
 ///   etch-fuzz --no-shrink --verbose
 ///
 /// Exit status is nonzero iff any case diverged (after shrinking) or any
@@ -22,6 +23,7 @@
 #include "fuzz/corpus.h"
 #include "fuzz/exec.h"
 #include "fuzz/gen.h"
+#include "fuzz/reorder.h"
 #include "fuzz/shrink.h"
 
 #include <algorithm>
@@ -46,6 +48,7 @@ struct Options {
   bool NoShrink = false;
   bool Verbose = false;
   double HugeProb = 0.10;
+  size_t Orders = 1; // legal attribute orders per case; 1 = original only
 };
 
 [[noreturn]] void usage(const char *Argv0) {
@@ -53,7 +56,7 @@ struct Options {
       stderr,
       "usage: %s [--seeds N] [--start S] [--time-budget SEC]\n"
       "          [--corpus DIR] [--replay FILE|DIR] [--no-shrink]\n"
-      "          [--huge-prob P] [--verbose]\n",
+      "          [--orders N] [--huge-prob P] [--verbose]\n",
       Argv0);
   std::exit(2);
 }
@@ -83,6 +86,8 @@ Options parseArgs(int Argc, char **Argv) {
       O.Verbose = true;
     else if (A == "--huge-prob")
       O.HugeProb = std::strtod(Next(), nullptr);
+    else if (A == "--orders")
+      O.Orders = std::strtoull(Next(), nullptr, 10);
     else
       usage(Argv[0]);
   }
@@ -127,6 +132,18 @@ int replay(const Options &O) {
     }
     FuzzReport Rep = runFuzzCase(*C);
     if (Rep.ok()) {
+      // A clean matrix run still has to agree under alternative attribute
+      // orders, so harvested cases guard regressions regardless of which
+      // permutation originally triggered them.
+      if (O.Orders > 1) {
+        FuzzOrderReport ORep = runFuzzCaseOrders(*C, O.Orders);
+        if (ORep.failing()) {
+          ++Bad;
+          std::printf("%s: order sweep: %s\n", F.c_str(),
+                      ORep.toString().c_str());
+          continue;
+        }
+      }
       if (O.Verbose)
         std::printf("%s: ok (%s)\n", F.c_str(), C->summary().c_str());
       continue;
@@ -162,8 +179,6 @@ int fuzz(const Options &O) {
       std::printf("... %llu seeds, %llu divergence(s), %.1fs\n",
                   static_cast<unsigned long long>(Ran),
                   static_cast<unsigned long long>(Diverged), Elapsed());
-    if (Rep.ok())
-      continue;
     if (Rep.Invalid) {
       // The generator asserts validity, so this is itself a bug.
       std::printf("seed %llu: generator produced an invalid case: %s\n",
@@ -172,21 +187,40 @@ int fuzz(const Options &O) {
       ++Diverged;
       continue;
     }
+    bool MatrixFail = Rep.failing();
+    FuzzOrderReport ORep;
+    if (!MatrixFail) {
+      if (O.Orders > 1)
+        ORep = runFuzzCaseOrders(C, O.Orders);
+      if (!ORep.failing())
+        continue;
+    }
     ++Diverged;
-    std::printf("seed %llu: %s\n", static_cast<unsigned long long>(Seed),
-                Rep.toString().c_str());
+    if (MatrixFail)
+      std::printf("seed %llu: %s\n", static_cast<unsigned long long>(Seed),
+                  Rep.toString().c_str());
+    else
+      std::printf("seed %llu: order sweep: %s\n",
+                  static_cast<unsigned long long>(Seed),
+                  ORep.toString().c_str());
+    // A matrix divergence shrinks under the plain matrix; an order-only
+    // divergence must keep failing the sweep, or shrinking loses the bug.
+    auto StillFails = [&O, MatrixFail](const FuzzCase &Cand) {
+      return MatrixFail ? runFuzzCase(Cand).failing()
+                        : runFuzzCaseOrders(Cand, O.Orders).failing();
+    };
     FuzzCase Min = C;
     if (!O.NoShrink) {
-      Min = shrinkCase(C, [](const FuzzCase &Cand) {
-        return runFuzzCase(Cand).failing();
-      });
+      Min = shrinkCase(C, StillFails);
       std::printf("seed %llu: shrunk %zu -> %zu\n",
                   static_cast<unsigned long long>(Seed), fuzzCaseSize(C),
                   fuzzCaseSize(Min));
     }
-    FuzzReport MinRep = runFuzzCase(Min);
-    std::string Comment = "seed " + std::to_string(Seed) +
-                          "; diverging legs: " + legList(MinRep);
+    std::string Comment = "seed " + std::to_string(Seed);
+    if (MatrixFail)
+      Comment += "; diverging legs: " + legList(runFuzzCase(Min));
+    else
+      Comment += "; diverges under an attribute-order sweep (--orders)";
     if (!O.CorpusDir.empty()) {
       std::filesystem::create_directories(O.CorpusDir);
       std::string Path =
