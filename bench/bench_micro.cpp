@@ -12,6 +12,8 @@
 
 #include "baselines/etch_kernels.h"
 #include "baselines/taco_kernels.h"
+#include "compiler/bytecode.h"
+#include "compiler/frontend.h"
 #include "formats/random.h"
 
 #include <benchmark/benchmark.h>
@@ -113,6 +115,64 @@ void BM_MttkrpParallel(benchmark::State &State) {
                           static_cast<int64_t>(State.range(0)));
 }
 
+// Args are {program, backend}: program 0 is the Fig. 2 triple product,
+// program 1 a fully contracted SpMV; backend 0 is the tree-walking VM,
+// backend 1 the register-allocated bytecode VM. Both backends execute the
+// same O2-compiled P program against the same memory, so the row pairs
+// isolate pure dispatch/lookup overhead (counters report VM steps/s).
+void BM_CompiledVm(benchmark::State &State) {
+  Attr AI = Attr::named("micro_i"), AJ = Attr::named("micro_j");
+  LowerCtx Ctx;
+  Ctx.OptLevel = 2;
+  VmMemory M;
+  PRef Prog;
+  if (State.range(0) == 0) {
+    const Idx N = 30'000;
+    Ctx.setDim(AI, N);
+    for (const char *Name : {"x", "y", "z"})
+      Ctx.bind(sparseVecBinding(Name, AI));
+    Idx Step = 2;
+    for (const char *Name : {"x", "y", "z"}) {
+      SparseVector<double> V(N);
+      for (Idx I = 0; I < N; I += Step)
+        V.push(I, 1.0 + 1e-6 * static_cast<double>(I % 89));
+      bindSparseVector(M, Name, V);
+      ++Step;
+    }
+    Prog = compileFullContraction(
+        Ctx, Expr::var("x") * Expr::var("y") * Expr::var("z"), "out");
+  } else {
+    const Idx N = 1'000;
+    Rng R(5);
+    Ctx.setDim(AI, N);
+    Ctx.setDim(AJ, N);
+    Ctx.bind(csrBinding("A", AI, AJ));
+    Ctx.bind(sparseVecBinding("x", AJ));
+    bindCsr(M, "A", randomCsr(R, N, N, 30'000));
+    bindSparseVector(M, "x", randomSparseVector(R, N, 500));
+    std::string Err;
+    Prog = compileFullContraction(
+        Ctx, mulExpand(Expr::var("A"), Expr::var("x"), Ctx.types(), &Err),
+        "out");
+  }
+  int64_t Steps = 0;
+  if (State.range(1) == 0) {
+    for (auto _ : State) {
+      VmRunResult R = vmRun(Prog, M);
+      Steps = R.Steps;
+      benchmark::DoNotOptimize(R.Steps);
+    }
+  } else {
+    BytecodeProgram BC = compileBytecode(Prog);
+    for (auto _ : State) {
+      VmRunResult R = bytecodeRun(BC, M);
+      Steps = R.Steps;
+      benchmark::DoNotOptimize(R.Steps);
+    }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * Steps);
+}
+
 void BM_InnerEtch(benchmark::State &State) {
   Rng R(3);
   const Idx N = 4000;
@@ -145,6 +205,12 @@ BENCHMARK(BM_MttkrpParallel)
     ->Args({80'000, 2})
     ->Args({80'000, 4})
     ->Args({80'000, 8});
+BENCHMARK(BM_CompiledVm)
+    ->ArgNames({"program", "backend"})
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
 BENCHMARK(BM_InnerEtch)->Arg(40'000)->Arg(400'000);
 BENCHMARK(BM_InnerTaco)->Arg(40'000)->Arg(400'000);
 

@@ -1,0 +1,272 @@
+//===- bench/bench_vm.cpp - VM backend wall-clock comparison --------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Times the two executors for compiled P programs — the tree-walking VM
+// and the register-allocated bytecode VM — on the Fig. 2 triple product,
+// an SpMV contraction, and the TPC-H revenue query, at O0 and O2, next to
+// the fused template-stream implementation of the same contraction. Every
+// tree/bytecode pair is checked for bit-identical outputs and identical
+// step counts before its timings are reported; disagreement is a hard
+// failure (nonzero exit), so the CI smoke run doubles as a parity check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/bytecode.h"
+#include "compiler/frontend.h"
+#include "formats/random.h"
+#include "relational/tpch.h"
+#include "streams/combinators.h"
+#include "streams/eval.h"
+#include "streams/primitives.h"
+#include "support/benchjson.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+
+using namespace etch;
+
+namespace {
+
+Attr attrI() { return Attr::named("bvm_i"); }
+Attr attrJ() { return Attr::named("bvm_j"); }
+
+bool bitsEq(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+/// One contraction to benchmark: how to compile it (per opt level), the
+/// memory its inputs live in, where the scalar result lands, and the fused
+/// template-stream implementation of the same computation.
+struct VmBench {
+  std::string Name;
+  std::function<PRef(int Opt)> Compile;
+  std::function<void(VmMemory &)> BindInputs;
+  std::string OutVar;
+  std::function<double()> Streams;
+};
+
+VmBench fig2Bench() {
+  // Figure 2's three-way sparse vector product, scaled up: supports at
+  // multiples of 2, 3, and 5, so the intersection (multiples of 30) is
+  // nonempty and deterministic.
+  const Idx N = 240'000;
+  auto Mk = [&](Idx Step, double Base) {
+    SparseVector<double> V(N);
+    for (Idx I = 0; I < N; I += Step)
+      V.push(I, Base + 1e-6 * static_cast<double>(I % 97));
+    return V;
+  };
+  auto X = std::make_shared<SparseVector<double>>(Mk(2, 1.5));
+  auto Y = std::make_shared<SparseVector<double>>(Mk(3, 2.25));
+  auto Z = std::make_shared<SparseVector<double>>(Mk(5, 0.75));
+
+  VmBench B;
+  B.Name = "fig2_triple";
+  B.OutVar = "out";
+  B.Compile = [](int Opt) {
+    LowerCtx Ctx;
+    Ctx.OptLevel = Opt;
+    Ctx.setDim(attrI(), 240'000);
+    Ctx.bind(sparseVecBinding("x", attrI()));
+    Ctx.bind(sparseVecBinding("y", attrI()));
+    Ctx.bind(sparseVecBinding("z", attrI()));
+    return compileFullContraction(
+        Ctx, Expr::var("x") * Expr::var("y") * Expr::var("z"), "out");
+  };
+  B.BindInputs = [X, Y, Z](VmMemory &M) {
+    bindSparseVector(M, "x", *X);
+    bindSparseVector(M, "y", *Y);
+    bindSparseVector(M, "z", *Z);
+  };
+  B.Streams = [X, Y, Z] {
+    return sumAll<F64Semiring>(mulStreams<F64Semiring>(
+        mulStreams<F64Semiring>(X->stream(), Y->stream()), Z->stream()));
+  };
+  return B;
+}
+
+VmBench spmvBench() {
+  // Fully contracted SpMV, Σ_i Σ_j A(i,j)·x(j): a CSR operand (dense row
+  // level over compressed columns) against a sparse vector.
+  const Idx N = 2'000;
+  Rng R(41);
+  auto A = std::make_shared<CsrMatrix<double>>(randomCsr(R, N, N, 60'000));
+  auto X = std::make_shared<SparseVector<double>>(
+      randomSparseVector(R, N, 1'000));
+
+  VmBench B;
+  B.Name = "spmv_total";
+  B.OutVar = "out";
+  B.Compile = [N](int Opt) {
+    LowerCtx Ctx;
+    Ctx.OptLevel = Opt;
+    Ctx.setDim(attrI(), N);
+    Ctx.setDim(attrJ(), N);
+    Ctx.bind(csrBinding("A", attrI(), attrJ()));
+    Ctx.bind(sparseVecBinding("x", attrJ()));
+    std::string Err;
+    ExprPtr Prod = mulExpand(Expr::var("A"), Expr::var("x"), Ctx.types(),
+                             &Err);
+    ETCH_ASSERT(Prod, "mulExpand failed");
+    return compileFullContraction(Ctx, Prod, "out");
+  };
+  B.BindInputs = [A, X](VmMemory &M) {
+    bindCsr(M, "A", *A);
+    bindSparseVector(M, "x", *X);
+  };
+  B.Streams = [A, X] {
+    // map (·x) over the rows, then one big Σ: the same loop nest the
+    // compiler emits, expressed with the template combinators.
+    auto Rows = mapStream(A->stream(), [&](auto Row) {
+      return mulStreams<F64Semiring>(std::move(Row), X->stream());
+    });
+    return sumAll<F64Semiring>(std::move(Rows));
+  };
+  return B;
+}
+
+VmBench tpchBench() {
+  // The revenue query of the pass-pipeline tests, at a larger scale
+  // factor: Σ_o Σ_l L(o,l)·f(o) with L the lineitem tensor (extendedprice
+  // · (1 − discount) keyed by order → line position) and f the 0/1 filter
+  // of orders in the Q5 date window.
+  TpchDb Db = generateTpch(0.02);
+  const Idx NumOrders = static_cast<Idx>(Db.numOrders());
+
+  std::vector<CooEntry<double>> Coo;
+  {
+    std::vector<Idx> NextLine(static_cast<size_t>(NumOrders), 0);
+    for (size_t K = 0; K < Db.numLineitems(); ++K) {
+      Idx O = Db.LiOrder[K];
+      Coo.push_back({O, NextLine[static_cast<size_t>(O)]++,
+                     Db.LiExtendedPrice[K] * (1.0 - Db.LiDiscount[K])});
+    }
+  }
+  auto L = std::make_shared<CsrMatrix<double>>(
+      CsrMatrix<double>::fromCoo(NumOrders, 8, std::move(Coo)));
+
+  auto F = std::make_shared<SparseVector<double>>(NumOrders);
+  for (Idx O = 0; O < NumOrders; ++O)
+    if (Db.OrdDate[static_cast<size_t>(O)] >= TpchDb::q5DateLo() &&
+        Db.OrdDate[static_cast<size_t>(O)] < TpchDb::q5DateHi())
+      F->push(O, 1.0);
+
+  VmBench B;
+  B.Name = "tpch_revenue";
+  B.OutVar = "revenue";
+  B.Compile = [NumOrders](int Opt) {
+    LowerCtx Ctx;
+    Ctx.OptLevel = Opt;
+    Ctx.setDim(attrI(), NumOrders);
+    Ctx.setDim(attrJ(), 8);
+    Ctx.bind(csrBinding("L", attrI(), attrJ()));
+    Ctx.bind(sparseVecBinding("f", attrI()));
+    std::string Err;
+    ExprPtr Prod = mulExpand(Expr::var("L"), Expr::var("f"), Ctx.types(),
+                             &Err);
+    ETCH_ASSERT(Prod, "mulExpand failed");
+    return compileFullContraction(Ctx, Prod, "revenue");
+  };
+  B.BindInputs = [L, F](VmMemory &M) {
+    bindCsr(M, "L", *L);
+    bindSparseVector(M, "f", *F);
+  };
+  B.Streams = [L, F] {
+    // f expanded across the line level (↑_l), then a level-wise product
+    // with L: the order-level intersection skips whole filtered-out rows.
+    auto F2 = mapStream(F->stream(),
+                        [](double V) { return repeatUnbounded(V); });
+    return sumAll<F64Semiring>(
+        mulStreams<F64Semiring>(std::move(F2), L->stream()));
+  };
+  return B;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchArgs(Argc, Argv);
+  std::puts("=== Compiled-program executors: tree VM vs bytecode VM ===");
+  std::puts("(same P program, same step count, bit-identical outputs)\n");
+
+  ResultTable T({"program", "opt", "steps", "tree_ms", "bytecode_ms",
+                 "speedup", "streams_ms"});
+  BenchJson J;
+  bool Failed = false;
+
+  for (const VmBench &B : {fig2Bench(), spmvBench(), tpchBench()}) {
+    double StreamsSec = timeBest([&] { (void)B.Streams(); }, Opts.Reps);
+    double StreamsVal = B.Streams();
+    J.add("vm_" + B.Name, "backend=streams", 1, StreamsSec);
+
+    for (int Opt : {0, 2}) {
+      PRef Prog = B.Compile(Opt);
+      BytecodeProgram BC = compileBytecode(Prog);
+      if (!BC.ok()) {
+        std::fprintf(stderr, "%s/O%d: bytecode compile error: %s\n",
+                     B.Name.c_str(), Opt, BC.CompileError.c_str());
+        Failed = true;
+        continue;
+      }
+
+      // Parity first, on fresh memories: identical steps, identical bits.
+      VmMemory TreeM, BcM;
+      B.BindInputs(TreeM);
+      B.BindInputs(BcM);
+      VmRunResult TreeR = vmRun(Prog, TreeM);
+      VmRunResult BcR = bytecodeRun(BC, BcM);
+      if (TreeR.Error || BcR.Error || TreeR.Steps != BcR.Steps) {
+        std::fprintf(stderr, "%s/O%d: run mismatch (steps %lld vs %lld)\n",
+                     B.Name.c_str(), Opt,
+                     static_cast<long long>(TreeR.Steps),
+                     static_cast<long long>(BcR.Steps));
+        Failed = true;
+        continue;
+      }
+      double TreeVal = std::get<double>(*TreeM.getScalar(B.OutVar));
+      double BcVal = std::get<double>(*BcM.getScalar(B.OutVar));
+      if (!bitsEq(TreeVal, BcVal)) {
+        std::fprintf(stderr, "%s/O%d: output mismatch %.17g vs %.17g\n",
+                     B.Name.c_str(), Opt, TreeVal, BcVal);
+        Failed = true;
+        continue;
+      }
+      if (std::abs(TreeVal - StreamsVal) >
+          1e-9 * std::max(1.0, std::abs(StreamsVal))) {
+        std::fprintf(stderr, "%s/O%d: compiled %.17g vs streams %.17g\n",
+                     B.Name.c_str(), Opt, TreeVal, StreamsVal);
+        Failed = true;
+        continue;
+      }
+
+      // Timed runs re-execute against the same memory: the program
+      // re-declares its locals and accumulator every run, and inputs are
+      // read-only, so repetition is idempotent.
+      double TreeSec = timeBest([&] { (void)vmRun(Prog, TreeM); },
+                                Opts.Reps);
+      double BcSec = timeBest([&] { (void)bytecodeRun(BC, BcM); },
+                              Opts.Reps);
+      std::string Cfg = "opt=O" + std::to_string(Opt);
+      J.add("vm_" + B.Name, "backend=tree;" + Cfg, 1, TreeSec);
+      J.add("vm_" + B.Name, "backend=bytecode;" + Cfg, 1, BcSec);
+      T.addRow({B.Name, "O" + std::to_string(Opt),
+                ResultTable::num(TreeR.Steps),
+                ResultTable::num(TreeSec * 1e3),
+                ResultTable::num(BcSec * 1e3),
+                ResultTable::num(TreeSec / BcSec, 2),
+                ResultTable::num(StreamsSec * 1e3)});
+    }
+  }
+  T.print();
+
+  if (!Opts.JsonPath.empty() && !J.writeFile(Opts.JsonPath))
+    return 1;
+  return Failed ? 1 : 0;
+}

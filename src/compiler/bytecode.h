@@ -1,0 +1,217 @@
+//===- compiler/bytecode.h - Register-allocated bytecode for P -*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fast execution backend for compiled `P` programs. The tree-walking VM
+/// in compiler/vm.h is the reference semantics, but it pays a string-keyed
+/// hash lookup per variable access, a shared_ptr AST walk per node, and a
+/// std::variant tag dispatch per operation. This backend compiles `P`/`E`
+/// once into a flat bytecode and executes it with a tight dispatch loop:
+///
+///   - every scalar and array name is interned to a dense slot id at
+///     compile time — no string hashing at runtime;
+///   - scalars live in *typed register files* (`i64`/`f64`/`bool` vectors;
+///     the static `ImpType` of every expression is known at compile time),
+///     so values are raw machine words instead of std::variant;
+///   - constants are interned into read-only registers materialized once
+///     at frame setup, outside the instruction stream;
+///   - structured control flow (while/branch and the lazy select / && / ||
+///     operators) is flattened to conditional jumps;
+///   - dispatch uses computed goto where the compiler supports it (GCC /
+///     Clang) and a switch loop otherwise.
+///
+/// The backend preserves the tree VM's *observable semantics exactly*:
+/// identical step counts (one per statement execution and per
+/// while-iteration check, batched only across statements that execute no
+/// instructions in between), identical error text for out-of-bounds
+/// accesses, undefined names, negative array sizes and step-budget
+/// exhaustion, and bit-identical outputs (same operations in the same
+/// order). On success, `bytecodeRun` writes every scalar and array the
+/// program defined back into the VmMemory, so callers observe the same
+/// final memory as `vmRun`; after an error only VmRunResult::Error and
+/// ::Steps are meaningful (the tree VM leaves partially-updated memory
+/// behind, this backend leaves the memory untouched).
+///
+/// The differential-fuzz matrix (fuzz/exec.h) runs every case through both
+/// VMs and checks steps/error/output agreement, and bench/bench_vm.cpp
+/// measures the wall-clock gap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_COMPILER_BYTECODE_H
+#define ETCH_COMPILER_BYTECODE_H
+
+#include "compiler/vm.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace etch {
+
+/// Opcodes, kept in one X-macro list so the enum, the mnemonic table, and
+/// the computed-goto dispatch table cannot drift apart.
+///
+/// Operand conventions (fields A/B/C of BcInstr; `r` = register index in
+/// the type's file, `s` = scalar-table index, `a` = array-table index,
+/// `pc` = instruction index):
+///
+///   AddSteps n            consume n steps; budget error when exhausted
+///   Jump pc
+///   JumpIfTrue rB, pc     / JumpIfFalse rB, pc
+///   Halt
+///   MovI/MovF/MovB        A=dst, B=src
+///   CheckDef s            error unless scalar s is defined
+///   SetDef s              mark scalar s defined
+///   CheckArr a, mode      error unless array a is defined (mode 0 =
+///                         "access", 1 = "store" message)
+///   AddI..NeI, AddF..LtF, NotB, BoolToI, I64ToF
+///                         A=dst, B/C=operands (typed per opcode)
+///   CallOp k              invoke call-table entry k (custom/eager OpDefs
+///                         through OpDef::Spec)
+///   LoadI/LoadF/LoadB     A=dst, B=array (per-type file), C=index reg
+///   StoreI/StoreF/StoreB  A=array (per-type file), B=index reg, C=value
+///   AllocI/AllocF/AllocB  A=array (per-type file), B=size reg, C=table id
+#define ETCH_BC_OPS(X)                                                        \
+  X(AddSteps)                                                                 \
+  X(Jump)                                                                     \
+  X(JumpIfTrue)                                                               \
+  X(JumpIfFalse)                                                              \
+  X(Halt)                                                                     \
+  X(MovI)                                                                     \
+  X(MovF)                                                                     \
+  X(MovB)                                                                     \
+  X(CheckDef)                                                                 \
+  X(SetDef)                                                                   \
+  X(CheckArr)                                                                 \
+  X(AddI)                                                                     \
+  X(SubI)                                                                     \
+  X(MulI)                                                                     \
+  X(DivI)                                                                     \
+  X(ModI)                                                                     \
+  X(MinI)                                                                     \
+  X(MaxI)                                                                     \
+  X(LtI)                                                                      \
+  X(LeI)                                                                      \
+  X(EqI)                                                                      \
+  X(NeI)                                                                      \
+  X(AddF)                                                                     \
+  X(SubF)                                                                     \
+  X(MulF)                                                                     \
+  X(DivF)                                                                     \
+  X(MinF)                                                                     \
+  X(LtF)                                                                      \
+  X(NotB)                                                                     \
+  X(BoolToI)                                                                  \
+  X(I64ToF)                                                                   \
+  X(CallOp)                                                                   \
+  X(LoadI)                                                                    \
+  X(LoadF)                                                                    \
+  X(LoadB)                                                                    \
+  X(StoreI)                                                                   \
+  X(StoreF)                                                                   \
+  X(StoreB)                                                                   \
+  X(AllocI)                                                                   \
+  X(AllocF)                                                                   \
+  X(AllocB)
+
+enum class BcOp : uint8_t {
+#define ETCH_BC_ENUM(Name) Name,
+  ETCH_BC_OPS(ETCH_BC_ENUM)
+#undef ETCH_BC_ENUM
+};
+
+/// Returns the mnemonic for \p Op (e.g. "add.i64").
+const char *bcOpName(BcOp Op);
+
+/// One fixed-width instruction. Field meaning depends on the opcode (see
+/// the table above BcOp).
+struct BcInstr {
+  BcOp Op;
+  int32_t A = 0;
+  int32_t B = 0;
+  int32_t C = 0;
+};
+
+/// A scalar name interned to a typed register slot.
+struct BcScalar {
+  std::string Name;
+  ImpType Ty;
+  int32_t Reg;       ///< Slot in the type's register file.
+  bool WrittenBack;  ///< Stored by the program; written back when defined.
+};
+
+/// An array name interned to a typed array slot.
+struct BcArray {
+  std::string Name;
+  ImpType Elem;
+  int32_t Slot;      ///< Slot in the element type's array file.
+  bool WrittenBack;  ///< Declared or stored-to; written back when defined.
+};
+
+/// A call-table entry for ops without a dedicated opcode (user-defined
+/// operations, Figure 12): the OpDef and the typed argument registers.
+struct BcCall {
+  const OpDef *Op;
+  int32_t Dst;                                    ///< Result register.
+  std::vector<std::pair<ImpType, int32_t>> Args;  ///< (type, register).
+};
+
+/// A compiled program: flat code plus the interned name tables and the
+/// initial (constant-seeded) register images.
+struct BytecodeProgram {
+  /// Set when compilation failed (a program outside the statically-typed
+  /// fragment, e.g. one name used at two types — the verifier rules these
+  /// out for compiler output). bytecodeRun reports it as the run error.
+  std::string CompileError;
+
+  std::vector<BcInstr> Code;
+  std::vector<BcScalar> Scalars;
+  std::vector<BcArray> Arrays;
+  std::vector<BcCall> Calls;
+
+  /// Initial register-file images. Named slots come first, then interned
+  /// constants (pre-materialized here, not via instructions), then
+  /// expression temporaries (zeroed).
+  std::vector<int64_t> InitI;
+  std::vector<double> InitF;
+  std::vector<uint8_t> InitB;
+
+  /// Sizes of the typed array files.
+  size_t NumArrI = 0, NumArrF = 0, NumArrB = 0;
+
+  /// Debug names per register slot (named scalars keep their source name,
+  /// interned constants render as "#value", temporaries as "tN"). Only the
+  /// disassembler reads these.
+  std::vector<std::string> RegNamesI, RegNamesF, RegNamesB;
+
+  bool ok() const { return CompileError.empty(); }
+
+  /// Renders the code as one instruction per line ("pc: mnemonic
+  /// operands"), with named registers shown symbolically — the golden
+  /// disassembly tests pin this format.
+  std::string disassemble() const;
+};
+
+/// Compiles \p Program to bytecode. Never fails on compiler-produced
+/// programs; hand-built ill-typed programs yield a BytecodeProgram whose
+/// CompileError is set.
+BytecodeProgram compileBytecode(const PRef &Program);
+
+/// Executes \p BC against \p Memory under the same contract as vmRun:
+/// inputs are read from \p Memory at entry, and on success every scalar
+/// and array the program defined is written back. Steps and errors match
+/// the tree VM exactly (see the file comment).
+VmRunResult bytecodeRun(const BytecodeProgram &BC, VmMemory &Memory,
+                        int64_t MaxSteps = int64_t(1) << 28);
+
+/// Convenience: compile then run.
+VmRunResult bytecodeCompileAndRun(const PRef &Program, VmMemory &Memory,
+                                  int64_t MaxSteps = int64_t(1) << 28);
+
+} // namespace etch
+
+#endif // ETCH_COMPILER_BYTECODE_H

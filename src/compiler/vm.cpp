@@ -52,15 +52,25 @@ public:
     case EKind::Const:
       return E.constant();
     case EKind::Var: {
-      auto V = M.getScalar(E.name());
-      if (!V)
-        return fail("read of undefined variable '" + E.name() + "'");
-      return *V;
+      // Resolution is cached per node: the map entry's address is stable
+      // across inserts, and entries are never erased, so after the first
+      // hit re-execution (loop bodies) skips the string hash entirely. A
+      // failed lookup is not cached — the error latches and ends the run.
+      const ImpValue *&Slot = VarCache[&E];
+      if (!Slot) {
+        Slot = M.scalarPtr(E.name());
+        if (!Slot)
+          return fail("read of undefined variable '" + E.name() + "'");
+      }
+      return *Slot;
     }
     case EKind::Access: {
-      const auto *Arr = M.getArray(E.name());
-      if (!Arr)
-        return fail("access of undefined array '" + E.name() + "'");
+      const std::vector<ImpValue> *&Arr = AccessCache[&E];
+      if (!Arr) {
+        Arr = M.getArray(E.name());
+        if (!Arr)
+          return fail("access of undefined array '" + E.name() + "'");
+      }
       ImpValue IdxV = eval(*E.args()[0]);
       if (!ok())
         return int64_t{0};
@@ -151,7 +161,7 @@ public:
     case PKind::StoreVar: {
       ImpValue V = eval(*P.valueExpr());
       if (ok())
-        M.setScalar(P.name(), V);
+        storeScalarCached(P, std::move(V));
       return;
     }
     case PKind::StoreArr: {
@@ -159,10 +169,13 @@ public:
       ImpValue V = eval(*P.valueExpr());
       if (!ok())
         return;
-      auto *Arr = M.getArrayMutable(P.name());
+      std::vector<ImpValue> *&Arr = StoreArrCache[&P];
       if (!Arr) {
-        fail("store to undefined array '" + P.name() + "'");
-        return;
+        Arr = M.getArrayMutable(P.name());
+        if (!Arr) {
+          fail("store to undefined array '" + P.name() + "'");
+          return;
+        }
       }
       int64_t I = std::get<int64_t>(IdxV);
       if (I < 0 || static_cast<size_t>(I) >= Arr->size()) {
@@ -176,7 +189,7 @@ public:
     case PKind::DeclVar: {
       ImpValue V = eval(*P.valueExpr());
       if (ok())
-        M.setScalar(P.name(), V);
+        storeScalarCached(P, std::move(V));
       return;
     }
     case PKind::DeclArr: {
@@ -203,6 +216,15 @@ private:
     return int64_t{0};
   }
 
+  /// setScalar through the per-node cache: the slot is created on first
+  /// execution and written through its stable address afterwards.
+  void storeScalarCached(const PStmt &P, ImpValue V) {
+    ImpValue *&Slot = ScalarStoreCache[&P];
+    if (!Slot)
+      Slot = &M.scalarSlot(P.name());
+    *Slot = std::move(V);
+  }
+
 public:
   int64_t stepsLeft() const { return StepsLeft; }
 
@@ -210,6 +232,15 @@ private:
   VmMemory &M;
   int64_t StepsLeft;
   std::string Error;
+
+  /// Per-node resolution caches (see EKind::Var above). Keyed by node
+  /// address; an Interp lives for one run against one memory, so entries
+  /// can never go stale.
+  std::unordered_map<const EExpr *, const ImpValue *> VarCache;
+  std::unordered_map<const EExpr *, const std::vector<ImpValue> *>
+      AccessCache;
+  std::unordered_map<const PStmt *, ImpValue *> ScalarStoreCache;
+  std::unordered_map<const PStmt *, std::vector<ImpValue> *> StoreArrCache;
 };
 
 } // namespace

@@ -42,6 +42,19 @@ public:
     return It->second;
   }
 
+  /// Stable pointer to the scalar's storage, or nullptr if undefined.
+  /// unordered_map never invalidates references on insert/assign, so the
+  /// interpreter caches these per program node and skips the string hash
+  /// on re-execution.
+  ImpValue *scalarPtr(const std::string &Name) {
+    auto It = Scalars.find(Name);
+    return It == Scalars.end() ? nullptr : &It->second;
+  }
+
+  /// Stable reference to the scalar's storage, default-created when absent
+  /// (assign through it to get setScalar semantics).
+  ImpValue &scalarSlot(const std::string &Name) { return Scalars[Name]; }
+
   void setArray(const std::string &Name, std::vector<ImpValue> Data) {
     Arrays[Name] = std::move(Data);
   }

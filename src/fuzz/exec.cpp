@@ -6,6 +6,7 @@
 
 #include "fuzz/exec.h"
 
+#include "compiler/bytecode.h"
 #include "compiler/frontend.h"
 #include "compiler/imp.h"
 #include "compiler/vm.h"
@@ -18,6 +19,7 @@
 #include "support/assert.h"
 
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -518,9 +520,54 @@ std::optional<typename S::Value> fromImp(const ImpValue &V) {
   return std::nullopt;
 }
 
+/// Bit-level ImpValue equality: f64 compares as bit patterns (the two VMs
+/// promise bit-identical results, so even NaN payloads must agree).
+bool impBitsEq(const ImpValue &A, const ImpValue &B) {
+  if (impTypeOf(A) != impTypeOf(B))
+    return false;
+  if (const double *X = std::get_if<double>(&A)) {
+    uint64_t XB, YB;
+    std::memcpy(&XB, X, sizeof(XB));
+    std::memcpy(&YB, &std::get<double>(B), sizeof(YB));
+    return XB == YB;
+  }
+  return A == B;
+}
+
+std::string impToStr(const ImpValue &V) {
+  return EExpr::constant(V)->toString();
+}
+
+/// Checks one executor's "out" against the oracle total, reporting under
+/// \p Tag. Returns the scalar read back (nullopt when missing/mistyped).
+template <Semiring S>
+std::optional<ImpValue> checkVmOut(const FuzzCase &C, VmMemory &Mem,
+                                   const VmRunResult &R,
+                                   typename S::Value WantTotal,
+                                   const std::string &Tag, FuzzReport &Rep) {
+  if (!R.ok()) {
+    reportDiv(Rep, C, Tag, "vm error: " + *R.Error);
+    return std::nullopt;
+  }
+  auto Out = Mem.getScalar("out");
+  if (!Out) {
+    reportDiv(Rep, C, Tag, "program produced no 'out' scalar");
+    return std::nullopt;
+  }
+  auto Got = fromImp<S>(*Out);
+  if (!Got) {
+    reportDiv(Rep, C, Tag, "'out' has the wrong scalar type");
+    return std::nullopt;
+  }
+  if (!valEq<S>(*Got, WantTotal))
+    reportDiv(Rep, C, Tag, valDetail<S>(WantTotal, *Got));
+  return Out;
+}
+
 template <Semiring S>
 void runVmLegs(const FuzzCase &C, const Mats<S> &M,
-               typename S::Value WantTotal, FuzzReport &Rep) {
+               typename S::Value WantTotal, VmBackend Backend,
+               FuzzReport &Rep) {
   const ScalarAlgebra *Alg = algebraFor(C.SemiringName);
   ETCH_ASSERT(Alg, "dispatch guarantees a known semiring");
   const struct {
@@ -529,8 +576,10 @@ void runVmLegs(const FuzzCase &C, const Mats<S> &M,
   } Legs[] = {{0, SearchPolicy::Linear},
               {1, SearchPolicy::Binary},
               {2, SearchPolicy::Gallop}};
+  bool Tree = Backend != VmBackend::Bytecode;
+  bool Bc = Backend != VmBackend::Tree;
   for (const auto &Leg : Legs) {
-    std::string Tag = "vm/O" + std::to_string(Leg.Opt);
+    std::string Level = "O" + std::to_string(Leg.Opt);
     LowerCtx Ctx;
     Ctx.Alg = Alg;
     Ctx.OptLevel = Leg.Opt;
@@ -539,26 +588,49 @@ void runVmLegs(const FuzzCase &C, const Mats<S> &M,
     for (const FuzzTensor &T : C.Tensors)
       Ctx.bind(bindingFor(T, Leg.P));
     PRef Prog = compileFullContraction(Ctx, C.E, "out");
-    VmMemory Mem;
-    for (const FuzzTensor &T : C.Tensors)
-      bindArrays<S>(Mem, T, M);
-    VmRunResult R = vmRun(Prog, Mem);
-    if (!R.ok()) {
-      reportDiv(Rep, C, Tag, "vm error: " + *R.Error);
-      continue;
+
+    VmRunResult TreeR, BcR;
+    std::optional<ImpValue> TreeOut, BcOut;
+    if (Tree) {
+      VmMemory Mem;
+      for (const FuzzTensor &T : C.Tensors)
+        bindArrays<S>(Mem, T, M);
+      TreeR = vmRun(Prog, Mem);
+      TreeOut = checkVmOut<S>(C, Mem, TreeR, WantTotal, "vm/" + Level, Rep);
     }
-    auto Out = Mem.getScalar("out");
-    if (!Out) {
-      reportDiv(Rep, C, Tag, "program produced no 'out' scalar");
-      continue;
+    if (Bc) {
+      std::string Tag = "bvm/" + Level;
+      BytecodeProgram BC = compileBytecode(Prog);
+      if (!BC.ok()) {
+        reportDiv(Rep, C, Tag, "bytecode compile error: " + BC.CompileError);
+        continue;
+      }
+      VmMemory Mem;
+      for (const FuzzTensor &T : C.Tensors)
+        bindArrays<S>(Mem, T, M);
+      BcR = bytecodeRun(BC, Mem);
+      BcOut = checkVmOut<S>(C, Mem, BcR, WantTotal, Tag, Rep);
     }
-    auto Got = fromImp<S>(*Out);
-    if (!Got) {
-      reportDiv(Rep, C, Tag, "'out' has the wrong scalar type");
-      continue;
+    // Direct tree ≡ bytecode cross-check, stricter than the oracle
+    // comparison: identical steps, identical error text, bit-identical
+    // output scalar.
+    if (Tree && Bc) {
+      std::string Tag = "tree-vs-bvm/" + Level;
+      if (TreeR.Steps != BcR.Steps)
+        reportDiv(Rep, C, Tag,
+                  "step counts differ: tree=" + std::to_string(TreeR.Steps) +
+                      " bytecode=" + std::to_string(BcR.Steps));
+      std::string TreeErr = TreeR.Error ? *TreeR.Error : "";
+      std::string BcErr = BcR.Error ? *BcR.Error : "";
+      if (TreeErr != BcErr)
+        reportDiv(Rep, C, Tag,
+                  "errors differ: tree='" + TreeErr + "' bytecode='" +
+                      BcErr + "'");
+      if (TreeOut && BcOut && !impBitsEq(*TreeOut, *BcOut))
+        reportDiv(Rep, C, Tag,
+                  "'out' differs bit-wise: tree=" + impToStr(*TreeOut) +
+                      " bytecode=" + impToStr(*BcOut));
     }
-    if (!valEq<S>(*Got, WantTotal))
-      reportDiv(Rep, C, Tag, valDetail<S>(WantTotal, *Got));
   }
 }
 
@@ -568,7 +640,7 @@ void runVmLegs(const FuzzCase &C, const Mats<S> &M,
 
 template <Semiring S>
 void runTyped(const FuzzCase &C, const FuzzTyping &Ty, ThreadPool &Pool,
-              FuzzReport &Rep) {
+              VmBackend Backend, FuzzReport &Rep) {
   ValueContext<S> Inputs;
   for (const FuzzTensor &T : C.Tensors)
     Inputs.emplace(T.Name, fuzzTensorRelation<S>(T));
@@ -584,7 +656,7 @@ void runTyped(const FuzzCase &C, const FuzzTyping &Ty, ThreadPool &Pool,
                                          Rep);
   runStreamLegs<S, SearchPolicy::Gallop>(C, Ty, M, Pool, Want, WantTotal,
                                          Rep);
-  runVmLegs<S>(C, M, WantTotal, Rep);
+  runVmLegs<S>(C, M, WantTotal, Backend, Rep);
 }
 
 } // namespace
@@ -601,7 +673,8 @@ std::string FuzzReport::toString() const {
   return Os.str();
 }
 
-FuzzReport etch::runFuzzCase(const FuzzCase &C, ThreadPool &Pool) {
+FuzzReport etch::runFuzzCase(const FuzzCase &C, ThreadPool &Pool,
+                             VmBackend Backend) {
   FuzzReport Rep;
   std::string Err;
   auto Ty = fuzzValidate(C, &Err);
@@ -611,13 +684,13 @@ FuzzReport etch::runFuzzCase(const FuzzCase &C, ThreadPool &Pool) {
     return Rep;
   }
   if (C.SemiringName == "f64")
-    runTyped<F64Semiring>(C, *Ty, Pool, Rep);
+    runTyped<F64Semiring>(C, *Ty, Pool, Backend, Rep);
   else if (C.SemiringName == "i64")
-    runTyped<I64Semiring>(C, *Ty, Pool, Rep);
+    runTyped<I64Semiring>(C, *Ty, Pool, Backend, Rep);
   else if (C.SemiringName == "bool")
-    runTyped<BoolSemiring>(C, *Ty, Pool, Rep);
+    runTyped<BoolSemiring>(C, *Ty, Pool, Backend, Rep);
   else if (C.SemiringName == "minplus")
-    runTyped<MinPlusSemiring>(C, *Ty, Pool, Rep);
+    runTyped<MinPlusSemiring>(C, *Ty, Pool, Backend, Rep);
   else {
     Rep.Invalid = true;
     Rep.ValidationError = "unknown semiring '" + C.SemiringName + "'";
@@ -657,9 +730,9 @@ std::optional<FuzzTotal> etch::fuzzOracleTotal(const FuzzCase &C) {
   return std::nullopt;
 }
 
-FuzzReport etch::runFuzzCase(const FuzzCase &C) {
+FuzzReport etch::runFuzzCase(const FuzzCase &C, VmBackend Backend) {
   // Shared across calls: the shrinker invokes the executor hundreds of
   // times per campaign and must not pay thread spawn/join each time.
   static ThreadPool Pool(3);
-  return runFuzzCase(C, Pool);
+  return runFuzzCase(C, Pool, Backend);
 }

@@ -56,12 +56,21 @@ struct FuzzReport {
   std::string toString() const;
 };
 
+/// Which compiled-program executor(s) the VM legs run: the tree-walking
+/// reference interpreter, the register-allocated bytecode VM, or both.
+/// `Both` additionally cross-checks the two directly (bit-identical
+/// outputs, identical step counts, identical error text) — stricter than
+/// each leg's oracle comparison, which tolerates f64 re-association.
+enum class VmBackend { Tree, Bytecode, Both };
+
 /// Runs the full executor matrix on \p C, using \p Pool for the parallel
 /// legs.
-FuzzReport runFuzzCase(const FuzzCase &C, ThreadPool &Pool);
+FuzzReport runFuzzCase(const FuzzCase &C, ThreadPool &Pool,
+                       VmBackend Backend = VmBackend::Both);
 
 /// Convenience overload using a lazily constructed shared pool.
-FuzzReport runFuzzCase(const FuzzCase &C);
+FuzzReport runFuzzCase(const FuzzCase &C,
+                       VmBackend Backend = VmBackend::Both);
 
 /// The oracle's fully contracted total for \p C, both as exact text and as
 /// a double (for the f64 tolerance). Used by the order sweep

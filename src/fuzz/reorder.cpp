@@ -199,7 +199,8 @@ std::string FuzzOrderReport::toString() const {
   return Os.str();
 }
 
-FuzzOrderReport runFuzzCaseOrders(const FuzzCase &C, size_t MaxOrders) {
+FuzzOrderReport runFuzzCaseOrders(const FuzzCase &C, size_t MaxOrders,
+                                  VmBackend Backend) {
   FuzzOrderReport R;
   auto Base = fuzzOracleTotal(C);
   if (!Base)
@@ -226,7 +227,7 @@ FuzzOrderReport runFuzzCaseOrders(const FuzzCase &C, size_t MaxOrders) {
       return R;
     }
     // The full executor matrix under the permuted order.
-    FuzzReport Rep = runFuzzCase(*RC);
+    FuzzReport Rep = runFuzzCase(*RC, Backend);
     if (Rep.failing() || Rep.Invalid) {
       R.FailingPerm = Perm;
       R.Rep = std::move(Rep);

@@ -61,8 +61,10 @@ struct FuzzOrderReport {
 
 /// Runs \p C under every legal order (up to \p MaxOrders): the full
 /// executor matrix per order plus the cross-order oracle-total check.
-/// Stops at the first failing order.
-FuzzOrderReport runFuzzCaseOrders(const FuzzCase &C, size_t MaxOrders = 24);
+/// Stops at the first failing order. \p Backend selects the compiled
+/// executor(s), as in runFuzzCase.
+FuzzOrderReport runFuzzCaseOrders(const FuzzCase &C, size_t MaxOrders = 24,
+                                  VmBackend Backend = VmBackend::Both);
 
 } // namespace etch
 

@@ -112,9 +112,16 @@ BenchOptions parseBenchArgs(int Argc, char **Argv) {
         std::fprintf(stderr, "%s: bad --threads list\n", Argv[0]);
         std::exit(2);
       }
+    } else if (std::strcmp(Argv[I], "--reps") == 0 && I + 1 < Argc) {
+      Opts.Reps = static_cast<int>(std::strtol(Argv[++I], nullptr, 10));
+      if (Opts.Reps <= 0) {
+        std::fprintf(stderr, "%s: bad --reps count\n", Argv[0]);
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json <path>] [--threads <t1,t2,...>]\n",
+                   "usage: %s [--json <path>] [--threads <t1,t2,...>] "
+                   "[--reps <n>]\n",
                    Argv[0]);
       std::exit(2);
     }

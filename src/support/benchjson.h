@@ -60,10 +60,11 @@ private:
 struct BenchOptions {
   std::string JsonPath;             ///< Empty: no JSON output.
   std::vector<int> Threads = {1, 2, 4, 8}; ///< Thread counts to sweep.
+  int Reps = 3;                     ///< Repetitions per timeBest sample.
 };
 
-/// Parses `--json <path>` and `--threads <comma-list>` from argv; unknown
-/// arguments abort with a usage message.
+/// Parses `--json <path>`, `--threads <comma-list>`, and `--reps <n>` from
+/// argv; unknown arguments abort with a usage message.
 BenchOptions parseBenchArgs(int Argc, char **Argv);
 
 } // namespace etch

@@ -49,6 +49,7 @@ struct Options {
   bool Verbose = false;
   double HugeProb = 0.10;
   size_t Orders = 1; // legal attribute orders per case; 1 = original only
+  VmBackend Backend = VmBackend::Both;
 };
 
 [[noreturn]] void usage(const char *Argv0) {
@@ -56,7 +57,8 @@ struct Options {
       stderr,
       "usage: %s [--seeds N] [--start S] [--time-budget SEC]\n"
       "          [--corpus DIR] [--replay FILE|DIR] [--no-shrink]\n"
-      "          [--orders N] [--huge-prob P] [--verbose]\n",
+      "          [--orders N] [--huge-prob P] [--verbose]\n"
+      "          [--backend tree|bytecode|both]\n",
       Argv0);
   std::exit(2);
 }
@@ -88,7 +90,17 @@ Options parseArgs(int Argc, char **Argv) {
       O.HugeProb = std::strtod(Next(), nullptr);
     else if (A == "--orders")
       O.Orders = std::strtoull(Next(), nullptr, 10);
-    else
+    else if (A == "--backend") {
+      std::string B = Next();
+      if (B == "tree")
+        O.Backend = VmBackend::Tree;
+      else if (B == "bytecode")
+        O.Backend = VmBackend::Bytecode;
+      else if (B == "both")
+        O.Backend = VmBackend::Both;
+      else
+        usage(Argv[0]);
+    } else
       usage(Argv[0]);
   }
   return O;
@@ -130,13 +142,13 @@ int replay(const Options &O) {
       ++Bad;
       continue;
     }
-    FuzzReport Rep = runFuzzCase(*C);
+    FuzzReport Rep = runFuzzCase(*C, O.Backend);
     if (Rep.ok()) {
       // A clean matrix run still has to agree under alternative attribute
       // orders, so harvested cases guard regressions regardless of which
       // permutation originally triggered them.
       if (O.Orders > 1) {
-        FuzzOrderReport ORep = runFuzzCaseOrders(*C, O.Orders);
+        FuzzOrderReport ORep = runFuzzCaseOrders(*C, O.Orders, O.Backend);
         if (ORep.failing()) {
           ++Bad;
           std::printf("%s: order sweep: %s\n", F.c_str(),
@@ -173,7 +185,7 @@ int fuzz(const Options &O) {
       break;
     }
     FuzzCase C = genCase(Seed, GO);
-    FuzzReport Rep = runFuzzCase(C);
+    FuzzReport Rep = runFuzzCase(C, O.Backend);
     ++Ran;
     if (O.Verbose && Ran % 100 == 0)
       std::printf("... %llu seeds, %llu divergence(s), %.1fs\n",
@@ -191,7 +203,7 @@ int fuzz(const Options &O) {
     FuzzOrderReport ORep;
     if (!MatrixFail) {
       if (O.Orders > 1)
-        ORep = runFuzzCaseOrders(C, O.Orders);
+        ORep = runFuzzCaseOrders(C, O.Orders, O.Backend);
       if (!ORep.failing())
         continue;
     }
@@ -206,8 +218,8 @@ int fuzz(const Options &O) {
     // A matrix divergence shrinks under the plain matrix; an order-only
     // divergence must keep failing the sweep, or shrinking loses the bug.
     auto StillFails = [&O, MatrixFail](const FuzzCase &Cand) {
-      return MatrixFail ? runFuzzCase(Cand).failing()
-                        : runFuzzCaseOrders(Cand, O.Orders).failing();
+      return MatrixFail ? runFuzzCase(Cand, O.Backend).failing()
+                        : runFuzzCaseOrders(Cand, O.Orders, O.Backend).failing();
     };
     FuzzCase Min = C;
     if (!O.NoShrink) {
@@ -218,7 +230,7 @@ int fuzz(const Options &O) {
     }
     std::string Comment = "seed " + std::to_string(Seed);
     if (MatrixFail)
-      Comment += "; diverging legs: " + legList(runFuzzCase(Min));
+      Comment += "; diverging legs: " + legList(runFuzzCase(Min, O.Backend));
     else
       Comment += "; diverges under an attribute-order sweep (--orders)";
     if (!O.CorpusDir.empty()) {
