@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "relational/prepared.h"
+#include "support/benchjson.h"
 #include "support/table.h"
 #include "support/timer.h"
 
@@ -25,7 +26,9 @@
 
 using namespace etch;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions O = parseBenchArgs(Argc, Argv);
+  BenchJson J;
   std::puts("=== Figure 18: systems under comparison ===");
   ResultTable Sys({"system", "execution model", "data model"});
   Sys.addRow({"duckdb-like", "interpreted (vectorized)", "column-based"});
@@ -46,18 +49,25 @@ int main() {
     auto P9 = q9Prepare(Db);
     volatile double Sink = 0.0;
 
-    double E5 = timeBest([&] { Sink = q5Fused(Db, *P5)[10]; }, 2);
-    double C5 = timeBest([&] { Sink = q5Columnar(Db)[10]; }, 2);
-    double R5 = timeBest([&] { Sink = q5RowStore(Db, *P5)[10]; }, 2);
+    double E5 = timeBest([&] { Sink = q5Fused(Db, *P5)[10]; }, O.Reps);
+    double C5 = timeBest([&] { Sink = q5Columnar(Db)[10]; }, O.Reps);
+    double R5 = timeBest([&] { Sink = q5RowStore(Db, *P5)[10]; }, O.Reps);
+    std::string Sf = ResultTable::num(SF, 3);
+    J.add("fig19_tpch", "query=Q5;sf=" + Sf + ";engine=etch", 1, E5);
+    J.add("fig19_tpch", "query=Q5;sf=" + Sf + ";engine=duckdb-like", 1, C5);
+    J.add("fig19_tpch", "query=Q5;sf=" + Sf + ";engine=sqlite-like", 1, R5);
     T.addRow({"Q5", ResultTable::num(SF, 3),
               ResultTable::num(static_cast<int64_t>(Db.totalRows())),
               ResultTable::num(E5 * 1e3), ResultTable::num(C5 * 1e3),
               ResultTable::num(R5 * 1e3), ResultTable::num(C5 / E5, 1),
               ResultTable::num(R5 / E5, 1)});
 
-    double E9 = timeBest([&] { Sink = q9Fused(Db, *P9)[0]; }, 2);
-    double C9 = timeBest([&] { Sink = q9Columnar(Db)[0]; }, 2);
-    double R9 = timeBest([&] { Sink = q9RowStore(Db, *P9)[0]; }, 2);
+    double E9 = timeBest([&] { Sink = q9Fused(Db, *P9)[0]; }, O.Reps);
+    double C9 = timeBest([&] { Sink = q9Columnar(Db)[0]; }, O.Reps);
+    double R9 = timeBest([&] { Sink = q9RowStore(Db, *P9)[0]; }, O.Reps);
+    J.add("fig19_tpch", "query=Q9;sf=" + Sf + ";engine=etch", 1, E9);
+    J.add("fig19_tpch", "query=Q9;sf=" + Sf + ";engine=duckdb-like", 1, C9);
+    J.add("fig19_tpch", "query=Q9;sf=" + Sf + ";engine=sqlite-like", 1, R9);
     T.addRow({"Q9", ResultTable::num(SF, 3),
               ResultTable::num(static_cast<int64_t>(Db.totalRows())),
               ResultTable::num(E9 * 1e3), ResultTable::num(C9 * 1e3),
@@ -66,5 +76,7 @@ int main() {
     (void)Sink;
   }
   T.print();
+  if (!O.JsonPath.empty() && !J.writeFile(O.JsonPath))
+    return 1;
   return 0;
 }

@@ -1,0 +1,148 @@
+//===- bench/bench_formats.cpp - Dense vs hashed group-by sweep -----------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The {key_density} sweep behind DESIGN.md row 10: a fixed accumulation
+// stream (~2M adds over 8K distinct groups) while the key space grows from
+// dense (every key in use) to 2^40-sparse. The dense group-by layout pays
+// O(key space) memory and zero-fill before the first add; the hashed
+// layout (formats/levels.h) pays O(distinct groups) however sparse the
+// keys. Rows record wall-clock and resident bytes; dense rows stop at the
+// MaxDenseGroupByExtent guard — beyond it the legacy layout is a loud
+// error, not a silent 8 GiB allocation. A final row times the TPC-H
+// revenue-by-sparse-customer query end to end on the auto-selecting
+// GroupBy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "relational/groupby.h"
+#include "relational/queries.h"
+#include "support/benchjson.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace etch;
+
+namespace {
+
+/// Distinct keys spread over a power-of-two key space: multiplication by
+/// an odd constant is a bijection mod 2^k, so the first Groups images are
+/// distinct and scattered.
+std::vector<Idx> spreadKeys(size_t Groups, Idx Extent) {
+  std::vector<Idx> Keys(Groups);
+  for (size_t I = 0; I < Groups; ++I)
+    Keys[I] = static_cast<Idx>((I * 0x9E3779B1ULL) &
+                               static_cast<uint64_t>(Extent - 1));
+  return Keys;
+}
+
+std::string fmtMem(size_t Bytes) {
+  char Buf[32];
+  if (Bytes >= (size_t(1) << 20))
+    std::snprintf(Buf, sizeof(Buf), "%.1fMiB",
+                  static_cast<double>(Bytes) / (1 << 20));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.1fKiB",
+                  static_cast<double>(Bytes) / (1 << 10));
+  return Buf;
+}
+
+std::string fmtDensity(size_t Groups, Idx Extent) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3g",
+                static_cast<double>(Groups) / static_cast<double>(Extent));
+  return Buf;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions O = parseBenchArgs(Argc, Argv);
+  BenchJson J;
+
+  constexpr size_t Groups = size_t(1) << 13; // 8192 distinct keys
+  constexpr size_t Adds = size_t(1) << 21;   // ~2M accumulations
+
+  std::puts("=== key_density: group-by layout vs key-space sparsity ===");
+  std::printf("(%zu distinct groups, %zu adds; dense stops at the "
+              "MaxDenseGroupByExtent guard)\n\n",
+              Groups, Adds);
+
+  ResultTable T({"extent", "density", "layout", "ms", "memory"});
+  for (int LogExtent : {13, 16, 20, 26, 33, 40}) {
+    Idx Extent = Idx(1) << LogExtent;
+    std::vector<Idx> Keys = spreadKeys(Groups, Extent);
+    // The add sequence is precomputed so the timed region is pure
+    // accumulation (same instruction stream for both layouts).
+    std::vector<Idx> AddKeys(Adds);
+    uint64_t State = 0x243F6A8885A308D3ULL;
+    for (size_t A = 0; A < Adds; ++A) {
+      State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+      AddKeys[A] = Keys[(State >> 33) % Groups];
+    }
+    std::string Ext = "2^" + std::to_string(LogExtent);
+    std::string Density = fmtDensity(Groups, Extent);
+    volatile double Sink = 0.0;
+
+    if (Extent <= MaxDenseGroupByExtent) {
+      double Sec = timeBest(
+          [&] {
+            DenseGroupBy<double> G(Extent);
+            for (size_t A = 0; A < Adds; ++A)
+              G.add(AddKeys[A], 1.0);
+            Sink = G.slot(Keys[0]);
+          },
+          O.Reps);
+      DenseGroupBy<double> G(Extent);
+      T.addRow({Ext, Density, "dense", ResultTable::num(Sec * 1e3),
+                fmtMem(G.memoryBytes())});
+      J.add("key_density",
+            "layout=dense;extent=" + Ext + ";density=" + Density +
+                ";mem=" + fmtMem(G.memoryBytes()),
+            1, Sec);
+    } else {
+      T.addRow({Ext, Density, "dense", "guarded", "-"});
+    }
+
+    double Sec = timeBest(
+        [&] {
+          HashedGroupBy<double> G(Extent, Groups);
+          for (size_t A = 0; A < Adds; ++A)
+            G.add(AddKeys[A], 1.0);
+          Sink = G.slot(Keys[0]);
+        },
+        O.Reps);
+    HashedGroupBy<double> G(Extent, Groups);
+    for (size_t I = 0; I < Groups; ++I)
+      G.add(Keys[I], 1.0);
+    T.addRow({Ext, Density, "hashed", ResultTable::num(Sec * 1e3),
+              fmtMem(G.memoryBytes())});
+    J.add("key_density",
+          "layout=hashed;extent=" + Ext + ";density=" + Density +
+              ";mem=" + fmtMem(G.memoryBytes()),
+          1, Sec);
+    (void)Sink;
+  }
+  T.print();
+
+  std::puts("\n=== tpch_revenue_sparsekey: auto-selected group-by ===");
+  TpchDb Db = generateTpch(0.05);
+  volatile double Sink = 0.0;
+  double Sec = timeBest([&] { Sink = revenueBySparseKey(Db)[0].second; },
+                        O.Reps);
+  (void)Sink;
+  std::printf("revenue over 2^40 customer-id space: %.3f ms (hashed pick)\n",
+              Sec * 1e3);
+  J.add("tpch_revenue_sparsekey", "layout=groupby(auto:hashed);keyspace=2^40",
+        1, Sec);
+
+  if (!O.JsonPath.empty() && !J.writeFile(O.JsonPath))
+    return 1;
+  return 0;
+}

@@ -78,6 +78,53 @@ Dest etch::sparseVecDest(const ScalarAlgebra &Alg, std::string CrdArr,
   return D;
 }
 
+Dest etch::hashDest(const ScalarAlgebra &Alg, std::string KeyArr,
+                    std::string ValArr, std::string CntVar, int64_t TabSize) {
+  ETCH_ASSERT(TabSize > 0, "hash destination needs a positive table size");
+  Dest D;
+  D.Locate = [Alg, KeyArr, ValArr, CntVar,
+              TabSize](ERef Index) -> std::tuple<PRef, Dest, PRef> {
+    // One fresh slot variable per locate site; it lives across the nested
+    // value's emission so the leaf can accumulate into the probed slot.
+    static int Counter = 0;
+    std::string H = "hsl" + std::to_string(Counter++);
+    auto KeyAt = [&] {
+      return EExpr::access(KeyArr, ImpType::I64, eVarI(H));
+    };
+    auto NeI = [](ERef A, ERef B) {
+      return EExpr::call(Ops::neI(), {std::move(A), std::move(B)});
+    };
+    // h = index mod TabSize; while (key[h] != -1 && key[h] != index)
+    //   h = (h + 1) mod TabSize;
+    // if (key[h] == -1) { key[h] = index; val[h] = 0; cnt = cnt + 1; }
+    PRef Prep = PStmt::seq(
+        {PStmt::declVar(
+             H, ImpType::I64,
+             EExpr::call(Ops::modI(), {Index, eConstI(TabSize)})),
+         PStmt::whileLoop(
+             eAnd(NeI(KeyAt(), eConstI(-1)), NeI(KeyAt(), Index)),
+             PStmt::storeVar(
+                 H, EExpr::call(Ops::modI(), {eAddI(eVarI(H), eConstI(1)),
+                                              eConstI(TabSize)}))),
+         PStmt::branch(
+             eEqI(KeyAt(), eConstI(-1)),
+             PStmt::seq({PStmt::storeArr(KeyArr, eVarI(H), Index),
+                         PStmt::storeArr(ValArr, eVarI(H), Alg.Zero),
+                         PStmt::storeVar(CntVar,
+                                         eAddI(eVarI(CntVar), eConstI(1)))}),
+             PStmt::noop())});
+    Dest Leaf;
+    Leaf.Accum = [Alg, ValArr, H](ERef V) {
+      return PStmt::storeArr(
+          ValArr, eVarI(H),
+          Alg.add(EExpr::access(ValArr, Alg.Ty, eVarI(H)), std::move(V)));
+    };
+    return {std::move(Prep), std::move(Leaf), PStmt::noop()};
+  };
+  D.Live = {KeyArr, ValArr, CntVar};
+  return D;
+}
+
 PRef etch::compileValue(const Dest &D, const SynValue &V) {
   if (V.isLeaf()) {
     ETCH_ASSERT(D.Accum, "scalar value into a non-scalar destination");

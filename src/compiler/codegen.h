@@ -57,6 +57,19 @@ Dest denseDest(const ScalarAlgebra &Alg, std::string ArrName,
 Dest sparseVecDest(const ScalarAlgebra &Alg, std::string CrdArr,
                    std::string ValArr, std::string CntVar);
 
+/// Accumulates into a hash-table output (the paper's relational group-by
+/// format): locate probes \p KeyArr (open addressing, `index mod TabSize`
+/// linear probing, -1 = empty), inserting the key with a zero-initialised
+/// \p ValArr slot on first touch and counting distinct keys in \p CntVar;
+/// the leaf accumulates into the probed slot. Unlike dense destinations the
+/// footprint is O(TabSize), not O(key space). Both arrays must be pre-sized
+/// to \p TabSize with KeyArr filled with -1, TabSize must exceed 3/2 the
+/// distinct-key count (so probing terminates), and the caller owns CntVar's
+/// decl. The probe/insert sequence is plain P code, so the tree VM, the
+/// bytecode VM, and c_emit all run it unchanged.
+Dest hashDest(const ScalarAlgebra &Alg, std::string KeyArr,
+              std::string ValArr, std::string CntVar, int64_t TabSize);
+
 /// Compiles a full stream into \p D (Figure 15): declarations, init, then
 /// the level loop; contracted levels reuse the same destination.
 PRef compileStream(const Dest &D, const SynRef &S);

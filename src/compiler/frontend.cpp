@@ -51,6 +51,17 @@ SynValue buildLevels(LowerCtx &Ctx, const TensorBinding &B, size_t Level,
   auto Make = [&Ctx, &B, Level](ERef P) {
     return buildLevels(Ctx, B, Level + 1, std::move(P));
   };
+  if (L.K == LevelSpec::Hashed) {
+    // One coordinate->rank table per tensor: only the outermost level can
+    // be hashed (inner fibers would each need their own table).
+    ETCH_ASSERT(Level == 0, "hashed levels are only supported outermost");
+    std::string KeyArr = B.Name + "_hkey" + std::to_string(Level);
+    std::string RankArr = B.Name + "_hpos" + std::to_string(Level);
+    return SynValue{nullptr,
+                    synHashed(Ctx.G, CrdArr, std::move(Begin),
+                              std::move(End), KeyArr, RankArr, L.TabSize,
+                              L.Policy, Make)};
+  }
   return SynValue{nullptr, synSparse(Ctx.G, CrdArr, std::move(Begin),
                                      std::move(End), L.Policy, Make)};
 }
@@ -223,6 +234,43 @@ void etch::bindCsf3(VmMemory &M, const std::string &Name,
   M.setArrayF64(Name + "_vals", T.Val);
 }
 
+int64_t etch::hashedTabSizeFor(size_t Nnz) {
+  int64_t Buckets = 8;
+  while (Buckets < static_cast<int64_t>(2 * Nnz))
+    Buckets *= 2;
+  return Buckets;
+}
+
+std::pair<std::vector<int64_t>, std::vector<int64_t>>
+etch::hashedProbeArrays(const std::vector<Idx> &Crd, int64_t TabSize) {
+  // The emitted probe computes `key mod TabSize` with linear wraparound
+  // (no wrapping multiply in the target language), so the probe arrays use
+  // that layout rather than the runtime table's Fibonacci layout.
+  std::vector<int64_t> Key(static_cast<size_t>(TabSize), -1);
+  std::vector<int64_t> Rank(static_cast<size_t>(TabSize), 0);
+  for (size_t R = 0; R < Crd.size(); ++R) {
+    size_t H = static_cast<size_t>(Crd[R] % TabSize);
+    while (Key[H] != -1)
+      H = (H + 1) % static_cast<size_t>(TabSize);
+    Key[H] = Crd[R];
+    Rank[H] = static_cast<int64_t>(R);
+  }
+  return {std::move(Key), std::move(Rank)};
+}
+
+int64_t etch::bindHashedVector(VmMemory &M, const std::string &Name,
+                               const HashedVector<double> &V) {
+  ETCH_ASSERT(V.frozen(), "bind a frozen HashedVector");
+  M.setArrayI64(Name + "_pos0", {0, static_cast<int64_t>(V.Crd.size())});
+  M.setArrayI64(Name + "_crd0", V.Crd);
+  M.setArrayF64(Name + "_vals", V.Val);
+  int64_t TabSize = hashedTabSizeFor(V.Crd.size());
+  auto [Key, Rank] = hashedProbeArrays(V.Crd, TabSize);
+  M.setArrayI64(Name + "_hkey0", Key);
+  M.setArrayI64(Name + "_hpos0", Rank);
+  return TabSize;
+}
+
 TensorBinding etch::sparseVecBinding(std::string Name, Attr A,
                                      SearchPolicy P) {
   return TensorBinding{std::move(Name), {A}, {{LevelSpec::Compressed, P}}};
@@ -249,6 +297,12 @@ TensorBinding etch::dcsrBinding(std::string Name, Attr Row, Attr Col,
                        {Row, Col},
                        {{LevelSpec::Compressed, P},
                         {LevelSpec::Compressed, P}}};
+}
+
+TensorBinding etch::hashedVecBinding(std::string Name, Attr A,
+                                     int64_t TabSize, SearchPolicy P) {
+  return TensorBinding{
+      std::move(Name), {A}, {{LevelSpec::Hashed, P, TabSize}}};
 }
 
 TensorBinding etch::csf3Binding(std::string Name, Attr I, Attr J, Attr K,

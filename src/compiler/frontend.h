@@ -28,6 +28,7 @@
 #include "compiler/vm.h"
 #include "core/expr.h"
 #include "formats/csf.h"
+#include "formats/levels.h"
 #include "formats/matrices.h"
 #include "formats/vectors.h"
 
@@ -36,9 +37,13 @@
 namespace etch {
 
 /// One storage level of a bound tensor (Chou et al.-style level formats).
+/// Hashed levels (formats/levels.h) carry the probe-table bucket count in
+/// TabSize; they are only supported at the outermost level (one
+/// coordinate->rank table per tensor, not per fiber).
 struct LevelSpec {
-  enum Kind { Dense, Compressed } K = Compressed;
+  enum Kind { Dense, Compressed, Hashed } K = Compressed;
   SearchPolicy Policy = SearchPolicy::Linear;
+  int64_t TabSize = 0; ///< Probe-table buckets (hashed levels only).
 };
 
 /// A variable's physical binding: its shape and per-level formats. Arrays
@@ -116,6 +121,24 @@ void bindDcsr(VmMemory &M, const std::string &Name,
 void bindCsf3(VmMemory &M, const std::string &Name,
               const CsfTensor3<double> &T);
 
+/// Binds a frozen hashed vector under \p Name: the sorted snapshot as a
+/// compressed level (`_pos0`/`_crd0`/`_vals`) plus the probe arrays
+/// `_hkey0` (slot keys, -1 empty) and `_hpos0` (snapshot ranks), rebuilt
+/// with the `key mod TabSize` linear-probe layout the emitted skips and
+/// hashDest use. Returns the table size to pass to hashedVecBinding.
+int64_t bindHashedVector(VmMemory &M, const std::string &Name,
+                         const HashedVector<double> &V);
+
+/// The probe-table bucket count bindHashedVector will use for \p Nnz
+/// distinct coordinates (a power of two, load factor <= 1/2).
+int64_t hashedTabSizeFor(size_t Nnz);
+
+/// The `key mod TabSize` linear-probe arrays for sorted coordinates
+/// \p Crd: slot keys (`_hkey0`, -1 empty) and snapshot ranks (`_hpos0`) —
+/// the exact layout the emitted probes (synHashed skips, hashDest) index.
+std::pair<std::vector<int64_t>, std::vector<int64_t>>
+hashedProbeArrays(const std::vector<Idx> &Crd, int64_t TabSize);
+
 /// The matching TensorBinding constructors (formats chosen per level).
 TensorBinding sparseVecBinding(std::string Name, Attr A,
                                SearchPolicy P = SearchPolicy::Linear);
@@ -126,6 +149,9 @@ TensorBinding dcsrBinding(std::string Name, Attr Row, Attr Col,
                           SearchPolicy P = SearchPolicy::Linear);
 TensorBinding csf3Binding(std::string Name, Attr I, Attr J, Attr K,
                           SearchPolicy P = SearchPolicy::Linear);
+/// \p TabSize must match what bindHashedVector returned for the data.
+TensorBinding hashedVecBinding(std::string Name, Attr A, int64_t TabSize,
+                               SearchPolicy P = SearchPolicy::Linear);
 
 } // namespace etch
 

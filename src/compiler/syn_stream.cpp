@@ -140,6 +140,66 @@ SynRef etch::synSparse(NameGen &G, const std::string &CrdArr, ERef Begin,
   return S;
 }
 
+SynRef etch::synHashed(NameGen &G, const std::string &CrdArr, ERef Begin,
+                       ERef End, const std::string &KeyArr,
+                       const std::string &RankArr, int64_t TabSize,
+                       SearchPolicy Policy,
+                       const std::function<SynValue(ERef Pos)> &MakeValue) {
+  ETCH_ASSERT(TabSize > 0, "hashed level needs a positive table size");
+  auto S = std::make_shared<SynStream>();
+  std::string P = G.fresh(CrdArr + "_p");
+  std::string E = G.fresh(CrdArr + "_e");
+  std::string H = G.fresh(CrdArr + "_h");
+  VarDecl Lo{G.fresh(CrdArr + "_lo"), ImpType::I64};
+  VarDecl Hi{G.fresh(CrdArr + "_hi"), ImpType::I64};
+  VarDecl Mid{G.fresh(CrdArr + "_mid"), ImpType::I64};
+  S->Vars = {{P, ImpType::I64}, {E, ImpType::I64}, {H, ImpType::I64}};
+  if (Policy != SearchPolicy::Linear) {
+    S->Vars.push_back(Lo);
+    S->Vars.push_back(Hi);
+    S->Vars.push_back(Mid);
+  }
+  S->Init = PStmt::seq2(PStmt::storeVar(P, std::move(Begin)),
+                        PStmt::storeVar(E, std::move(End)));
+  S->Valid = eLtI(eVarI(P), eVarI(E));
+  S->Ready = S->Valid;
+  S->Index = EExpr::access(CrdArr, ImpType::I64, eVarI(P));
+  S->Value = MakeValue(eVarI(P));
+  // skip(i, r): probe the table for i; on a hit, jump to the stored rank
+  // (plus one when strict) — max() keeps the cursor monotone. On a miss,
+  // the snapshot is sorted, so the policy search finds the bound.
+  auto MakeSkip = [=](bool Strict) {
+    return [=](ERef I) {
+      auto KeyAt = [&] {
+        return EExpr::access(KeyArr, ImpType::I64, eVarI(H));
+      };
+      auto NeI = [](ERef A, ERef B) {
+        return EExpr::call(Ops::neI(), {std::move(A), std::move(B)});
+      };
+      PRef Probe = PStmt::seq2(
+          PStmt::storeVar(
+              H, EExpr::call(Ops::modI(), {I, eConstI(TabSize)})),
+          PStmt::whileLoop(
+              eAnd(NeI(KeyAt(), eConstI(-1)), NeI(KeyAt(), I)),
+              PStmt::storeVar(
+                  H, EExpr::call(Ops::modI(), {eAddI(eVarI(H), eConstI(1)),
+                                               eConstI(TabSize)}))));
+      ERef Rank = EExpr::access(RankArr, ImpType::I64, eVarI(H));
+      if (Strict)
+        Rank = eAddI(std::move(Rank), eConstI(1));
+      PRef Hit = PStmt::storeVar(P, eMaxI(eVarI(P), std::move(Rank)));
+      PRef Miss =
+          emitSearch(CrdArr, P, E, Lo, Hi, Mid, Policy, I, Strict);
+      return PStmt::seq2(std::move(Probe),
+                         PStmt::branch(eEqI(KeyAt(), I), std::move(Hit),
+                                       std::move(Miss)));
+    };
+  };
+  S->Skip0 = MakeSkip(/*Strict=*/false);
+  S->Skip1 = MakeSkip(/*Strict=*/true);
+  return S;
+}
+
 SynRef etch::synDense(NameGen &G, ERef Size,
                       const std::function<SynValue(ERef Index)> &MakeValue) {
   auto S = std::make_shared<SynStream>();

@@ -80,6 +80,18 @@ SynRef synSparse(NameGen &G, const std::string &CrdArr, ERef Begin, ERef End,
                  SearchPolicy Policy,
                  const std::function<SynValue(ERef Pos)> &MakeValue);
 
+/// A hashed level (formats/levels.h): iterates positions [Begin, End) of
+/// the *sorted snapshot* \p CrdArr exactly like synSparse, but skips probe
+/// the open-addressing arrays first — \p KeyArr (key per slot, -1 empty)
+/// and \p RankArr (the key's snapshot position) over \p TabSize slots,
+/// filled with `h = key mod TabSize` linear probing (the convention
+/// bindHashedVector and hashDest write). An exact coordinate hit lands in
+/// O(1); misses fall back to a \p Policy search over the snapshot.
+SynRef synHashed(NameGen &G, const std::string &CrdArr, ERef Begin, ERef End,
+                 const std::string &KeyArr, const std::string &RankArr,
+                 int64_t TabSize, SearchPolicy Policy,
+                 const std::function<SynValue(ERef Pos)> &MakeValue);
+
 /// A dense level over indices 0..Size-1. \p MakeValue receives the index
 /// expression; with a closure over external arrays this also models
 /// implicitly represented streams (user-defined functions / predicates).

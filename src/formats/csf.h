@@ -15,6 +15,7 @@
 #define ETCH_FORMATS_CSF_H
 
 #include "core/krelation.h"
+#include "formats/levels.h"
 #include "streams/primitives.h"
 #include "support/assert.h"
 
@@ -51,29 +52,20 @@ template <typename V> struct CsfTensor3 {
     T.DimI = DimI;
     T.DimJ = DimJ;
     T.DimK = DimK;
-    T.Pos0.push_back(0);
-    for (size_t P = 0; P < Coo.size();) {
-      ETCH_ASSERT(Coo[P].I >= 0 && Coo[P].I < DimI, "i out of range");
-      T.Crd0.push_back(Coo[P].I);
-      Idx I = Coo[P].I;
-      while (P < Coo.size() && Coo[P].I == I) {
-        Idx J = Coo[P].J;
-        ETCH_ASSERT(J >= 0 && J < DimJ, "j out of range");
-        T.Crd1.push_back(J);
-        T.Pos1.push_back(T.Crd2.size());
-        while (P < Coo.size() && Coo[P].I == I && Coo[P].J == J) {
-          ETCH_ASSERT(Coo[P].K >= 0 && Coo[P].K < DimK, "k out of range");
-          ETCH_ASSERT(T.Crd2.size() == T.Pos1.back() ||
-                          T.Crd2.back() != Coo[P].K,
-                      "duplicate coordinate");
-          T.Crd2.push_back(Coo[P].K);
-          T.Val.push_back(Coo[P].Val);
-          ++P;
-        }
-      }
-      T.Pos0.push_back(T.Crd1.size());
-    }
-    T.Pos1.push_back(T.Crd2.size());
+    std::vector<std::pair<std::array<Idx, 3>, V>> Entries;
+    Entries.reserve(Coo.size());
+    for (const auto &E : Coo)
+      Entries.push_back({{E.I, E.J, E.K}, E.Val});
+    auto Pack = packLevels<V, 3>({LevelKind::Compressed,
+                                  LevelKind::Compressed,
+                                  LevelKind::Compressed},
+                                 {DimI, DimJ, DimK}, Entries);
+    T.Crd0 = std::move(Pack.Crd[0]);
+    T.Pos0 = std::move(Pack.Pos[1]);
+    T.Crd1 = std::move(Pack.Crd[1]);
+    T.Pos1 = std::move(Pack.Pos[2]);
+    T.Crd2 = std::move(Pack.Crd[2]);
+    T.Val = std::move(Pack.Val);
     return T;
   }
 

@@ -1,0 +1,316 @@
+//===- formats/levels.h - Per-coordinate-level format abstraction -*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The level-format abstraction of Chou et al. ("Format Abstraction for
+/// Sparse Tensor Algebra Compilers"): a tensor format is a composition of
+/// per-coordinate-level formats, and every builder in this library is a
+/// packing of canonical sorted coordinates into such a composition.
+///
+///   - LevelKind names the level formats the library implements: dense
+///     (positions are coordinates), compressed (sorted crd/pos arrays),
+///     singleton (one coordinate per parent position), and hashed (an
+///     open-addressing coordinate->position map).
+///   - packLevels is the generic builder: it packs canonical sorted
+///     (tuple, value) entries into per-level pos/crd arrays for any
+///     dense/compressed composition. CsrMatrix, DcsrMatrix, and CsfTensor3
+///     route their fromCoo constructors through it (formats/matrices.h,
+///     formats/csf.h), so there is exactly one grouping loop in the
+///     library.
+///   - CoordHashTable is the open-addressing core shared by the hashed
+///     level: linear probing over a power-of-two table, -1 as the empty
+///     key sentinel.
+///   - HashedVector is the hashed level format as owning storage: O(1)
+///     accumulation by coordinate in any order, then freeze() takes a
+///     sorted snapshot so streams over it stay monotone (the paper's
+///     stream laws require sorted iteration) while the table keeps
+///     locate-by-coordinate O(1) for `skip` (streams/primitives.h's
+///     HashedStream).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_FORMATS_LEVELS_H
+#define ETCH_FORMATS_LEVELS_H
+
+#include "core/krelation.h"
+#include "streams/primitives.h"
+#include "support/assert.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace etch {
+
+/// The level formats a coordinate hierarchy can compose (Chou et al.
+/// Table 1; singleton appears only via fused crd arrays, hashed is the
+/// paper's hash-table output format).
+enum class LevelKind {
+  Dense,      ///< Every coordinate 0..N-1 has a position.
+  Compressed, ///< Sorted crd array segmented by a pos array.
+  Singleton,  ///< Exactly one coordinate per parent position.
+  Hashed,     ///< Coordinate->position map + sorted snapshot.
+};
+
+/// The arrays of a packed dense/compressed level composition. For level L:
+/// dense levels use no arrays (positions are parent * extent + coordinate);
+/// compressed levels have Crd[L] (one entry per fiber element) and Pos[L]
+/// (one entry per parent position, plus one). Val parallels the leaf
+/// level's positions.
+template <typename V, size_t R> struct LevelPack {
+  std::array<std::vector<Idx>, R> Crd;
+  std::array<std::vector<size_t>, R> Pos;
+  std::vector<V> Val;
+};
+
+/// Packs canonical entries into a level composition. \p Sorted must be
+/// lexicographically sorted with no duplicate tuples (canonicalize first);
+/// every coordinate is bounds-checked against \p Extents. This is the one
+/// grouping loop behind CsrMatrix/DcsrMatrix/CsfTensor3::fromCoo.
+template <typename V, size_t R>
+LevelPack<V, R>
+packLevels(const std::array<LevelKind, R> &Kinds,
+           const std::array<Idx, R> &Extents,
+           const std::vector<std::pair<std::array<Idx, R>, V>> &Sorted) {
+  LevelPack<V, R> Out;
+  for (size_t E = 1; E < Sorted.size(); ++E)
+    ETCH_ASSERT(Sorted[E - 1].first < Sorted[E].first,
+                "packLevels requires sorted, duplicate-free tuples");
+  // ParentPos[E] = position of entry E's fiber within the previous level;
+  // one virtual root fiber above level 0.
+  std::vector<size_t> ParentPos(Sorted.size(), 0);
+  size_t FiberCount = 1;
+  for (size_t L = 0; L < R; ++L) {
+    for (const auto &[T, Unused] : Sorted)
+      ETCH_ASSERT(T[L] >= 0 && T[L] < Extents[L], "coordinate out of range");
+    if (Kinds[L] == LevelKind::Dense) {
+      // Positions multiply: a parent position spans Extent child slots.
+      for (size_t E = 0; E < Sorted.size(); ++E)
+        ParentPos[E] = ParentPos[E] * static_cast<size_t>(Extents[L]) +
+                       static_cast<size_t>(Sorted[E].first[L]);
+      FiberCount *= static_cast<size_t>(Extents[L]);
+      continue;
+    }
+    ETCH_ASSERT(Kinds[L] == LevelKind::Compressed,
+                "packLevels packs dense/compressed compositions");
+    // Group entries by (parent position, coordinate): one crd entry per
+    // distinct pair, counted into the parent's pos slot.
+    Out.Pos[L].assign(FiberCount + 1, 0);
+    size_t PrevParent = static_cast<size_t>(-1);
+    Idx PrevCoord = -1;
+    for (size_t E = 0; E < Sorted.size(); ++E) {
+      size_t Par = ParentPos[E];
+      Idx C = Sorted[E].first[L];
+      if (Par != PrevParent || C != PrevCoord) {
+        Out.Crd[L].push_back(C);
+        ++Out.Pos[L][Par + 1];
+        PrevParent = Par;
+        PrevCoord = C;
+      }
+      ParentPos[E] = Out.Crd[L].size() - 1;
+    }
+    for (size_t P = 0; P + 1 < Out.Pos[L].size(); ++P)
+      Out.Pos[L][P + 1] += Out.Pos[L][P];
+    FiberCount = Out.Crd[L].size();
+  }
+  // Leaf values: parallel to leaf positions. A compressed leaf has exactly
+  // one position per entry; a dense leaf scatters into the full extent.
+  if (Kinds[R - 1] == LevelKind::Compressed) {
+    Out.Val.reserve(Sorted.size());
+    for (const auto &[Unused, X] : Sorted)
+      Out.Val.push_back(X);
+  } else {
+    Out.Val.assign(FiberCount, V());
+    for (size_t E = 0; E < Sorted.size(); ++E)
+      Out.Val[ParentPos[E]] = Sorted[E].second;
+  }
+  return Out;
+}
+
+/// The open-addressing coordinate->position map behind the hashed level:
+/// linear probing over a power-of-two table, key -1 marking empty slots.
+/// Shared by HashedVector here and the relational hashed group-by; the
+/// compiled `hashDest` lowering (compiler/codegen.cpp) emits exactly this
+/// probe sequence as target code, so the two stay in sync by construction.
+class CoordHashTable {
+public:
+  static constexpr int64_t Empty = -1;
+
+  explicit CoordHashTable(size_t CapacityHint = 0) {
+    size_t Buckets = 16;
+    while (Buckets < 2 * CapacityHint)
+      Buckets *= 2;
+    Key.assign(Buckets, Empty);
+    Pos.resize(Buckets);
+  }
+
+  size_t buckets() const { return Key.size(); }
+  size_t size() const { return Count; }
+
+  /// Returns the slot holding \p I, or the empty slot where it would be
+  /// inserted.
+  size_t slotOf(Idx I) const {
+    size_t Mask = Key.size() - 1;
+    size_t H = hashOf(I);
+    while (Key[H] != Empty && Key[H] != I)
+      H = (H + 1) & Mask;
+    return H;
+  }
+
+  /// Returns the position stored for \p I, or ~size_t(0) when absent.
+  size_t lookup(Idx I) const {
+    size_t H = slotOf(I);
+    return Key[H] == I ? Pos[H] : static_cast<size_t>(-1);
+  }
+
+  /// Inserts \p I -> \p P if absent (growing at 2/3 load); returns the
+  /// stored position either way.
+  size_t insert(Idx I, size_t P) {
+    if (3 * (Count + 1) > 2 * Key.size())
+      grow();
+    size_t H = slotOf(I);
+    if (Key[H] == I)
+      return Pos[H];
+    Key[H] = I;
+    Pos[H] = P;
+    ++Count;
+    return P;
+  }
+
+  /// Overwrites the position stored for \p I (which must be present).
+  void update(Idx I, size_t P) {
+    size_t H = slotOf(I);
+    ETCH_ASSERT(Key[H] == I, "update of absent key");
+    Pos[H] = P;
+  }
+
+  const std::vector<int64_t> &keys() const { return Key; }
+  const std::vector<size_t> &positions() const { return Pos; }
+
+private:
+  // Fibonacci multiplicative hashing (same constant as the relational
+  // HashIndex); unsigned arithmetic, so wraparound is well-defined.
+  size_t hashOf(Idx I) const {
+    uint64_t Shift = 64 - static_cast<uint64_t>(std::countr_zero(Key.size()));
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(I) * 0x9e3779b97f4a7c15ULL) >> Shift);
+  }
+
+  void grow() {
+    std::vector<int64_t> OldKey = std::move(Key);
+    std::vector<size_t> OldPos = std::move(Pos);
+    Key.assign(OldKey.size() * 2, Empty);
+    Pos.assign(OldKey.size() * 2, 0);
+    for (size_t H = 0; H < OldKey.size(); ++H)
+      if (OldKey[H] != Empty) {
+        size_t S = slotOf(OldKey[H]);
+        Key[S] = OldKey[H];
+        Pos[S] = OldPos[H];
+      }
+  }
+
+  std::vector<int64_t> Key;
+  std::vector<size_t> Pos;
+  size_t Count = 0;
+};
+
+/// A hashed level as owning rank-1 storage: the paper's hash-table format.
+/// Coordinates accumulate in any order at O(1) each; freeze() then sorts a
+/// (Crd, Val) snapshot — restoring the monotone iteration the stream laws
+/// require — and repoints the table at sorted ranks, so `skip` can locate
+/// an exact coordinate with one probe instead of a search.
+template <typename V> struct HashedVector {
+  Idx Size = 0;
+
+  explicit HashedVector(Idx Size = 0, size_t CapacityHint = 0)
+      : Size(Size), Table(CapacityHint) {}
+
+  size_t nnz() const { return Crd.size(); }
+  bool frozen() const { return Frozen; }
+  const CoordHashTable &table() const { return Table; }
+
+  /// Adds \p X to the entry at \p I, creating it when absent. Any order,
+  /// duplicates welcome — this is the group-by accumulation primitive.
+  void accumulate(Idx I, V X) {
+    ETCH_ASSERT(!Frozen, "accumulate after freeze");
+    ETCH_ASSERT(I >= 0 && I < Size, "coordinate out of range");
+    size_t P = Table.insert(I, Crd.size());
+    if (P == Crd.size()) {
+      Crd.push_back(I);
+      Val.push_back(X);
+    } else {
+      Val[P] += X;
+    }
+  }
+
+  /// The entry's accumulator, created zero on first touch. The reference
+  /// is valid until the next insertion of a different new coordinate.
+  V &slot(Idx I) {
+    ETCH_ASSERT(!Frozen, "slot after freeze");
+    ETCH_ASSERT(I >= 0 && I < Size, "coordinate out of range");
+    size_t P = Table.insert(I, Crd.size());
+    if (P == Crd.size()) {
+      Crd.push_back(I);
+      Val.push_back(V());
+    }
+    return Val[P];
+  }
+
+  /// Sorts the snapshot by coordinate and repoints the table at sorted
+  /// ranks. Streams require a frozen vector.
+  void freeze() {
+    if (Frozen)
+      return;
+    std::vector<size_t> Perm(Crd.size());
+    std::iota(Perm.begin(), Perm.end(), size_t(0));
+    std::sort(Perm.begin(), Perm.end(),
+              [&](size_t A, size_t B) { return Crd[A] < Crd[B]; });
+    std::vector<Idx> SCrd(Crd.size());
+    std::vector<V> SVal(Val.size());
+    for (size_t R = 0; R < Perm.size(); ++R) {
+      SCrd[R] = Crd[Perm[R]];
+      SVal[R] = Val[Perm[R]];
+      Table.update(SCrd[R], R);
+    }
+    Crd = std::move(SCrd);
+    Val = std::move(SVal);
+    Frozen = true;
+  }
+
+  /// A stream over the sorted snapshot whose `skip` probes the table first
+  /// (O(1) on exact coordinate hits) and falls back to \p P search.
+  template <SearchPolicy P = SearchPolicy::Linear> auto stream() const {
+    ETCH_ASSERT(Frozen, "stream over an unfrozen HashedVector");
+    return hashedVecStream<V, P>(Crd.data(), Val.data(), Crd.size(),
+                                 Table.keys().data(),
+                                 Table.positions().data(),
+                                 Table.buckets());
+  }
+
+  /// The vector as a K-relation of shape {A} (test oracle form).
+  template <Semiring S> KRelation<S> toKRelation(Attr A) const {
+    KRelation<S> R(Shape{A});
+    for (size_t P = 0; P < Crd.size(); ++P)
+      R.insert({Crd[P]}, Val[P]);
+    R.pruneZeros();
+    return R;
+  }
+
+  std::vector<Idx> Crd; ///< Snapshot coordinates (sorted once frozen).
+  std::vector<V> Val;   ///< Parallel values.
+
+private:
+  CoordHashTable Table;
+  bool Frozen = false;
+};
+
+} // namespace etch
+
+#endif // ETCH_FORMATS_LEVELS_H

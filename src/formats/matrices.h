@@ -23,6 +23,7 @@
 #define ETCH_FORMATS_MATRICES_H
 
 #include "core/krelation.h"
+#include "formats/levels.h"
 #include "streams/primitives.h"
 #include "support/assert.h"
 
@@ -73,19 +74,15 @@ template <typename V> struct CsrMatrix {
                            std::vector<CooEntry<V>> Coo) {
     CsrMatrix M(NumRows, NumCols);
     auto Sorted = canonicalizeCoo(std::move(Coo));
-    size_t P = 0;
-    for (Idx R = 0; R < NumRows; ++R) {
-      M.Pos[R] = P;
-      while (P < Sorted.size() && Sorted[P].Row == R) {
-        ETCH_ASSERT(Sorted[P].Col >= 0 && Sorted[P].Col < NumCols,
-                    "column out of range");
-        M.Crd.push_back(Sorted[P].Col);
-        M.Val.push_back(Sorted[P].Val);
-        ++P;
-      }
-    }
-    ETCH_ASSERT(P == Sorted.size(), "row out of range");
-    M.Pos[NumRows] = P;
+    std::vector<std::pair<std::array<Idx, 2>, V>> Entries;
+    Entries.reserve(Sorted.size());
+    for (const auto &E : Sorted)
+      Entries.push_back({{E.Row, E.Col}, E.Val});
+    auto Pack = packLevels<V, 2>({LevelKind::Dense, LevelKind::Compressed},
+                                 {NumRows, NumCols}, Entries);
+    M.Pos = std::move(Pack.Pos[1]);
+    M.Crd = std::move(Pack.Crd[1]);
+    M.Val = std::move(Pack.Val);
     return M;
   }
 
@@ -155,18 +152,17 @@ template <typename V> struct DcsrMatrix {
     M.NumRows = NumRows;
     M.NumCols = NumCols;
     auto Sorted = canonicalizeCoo(std::move(Coo));
-    M.Pos.push_back(0);
-    for (size_t P = 0; P < Sorted.size();) {
-      Idx R = Sorted[P].Row;
-      ETCH_ASSERT(R >= 0 && R < NumRows, "row out of range");
-      M.RowCrd.push_back(R);
-      while (P < Sorted.size() && Sorted[P].Row == R) {
-        M.Crd.push_back(Sorted[P].Col);
-        M.Val.push_back(Sorted[P].Val);
-        ++P;
-      }
-      M.Pos.push_back(M.Crd.size());
-    }
+    std::vector<std::pair<std::array<Idx, 2>, V>> Entries;
+    Entries.reserve(Sorted.size());
+    for (const auto &E : Sorted)
+      Entries.push_back({{E.Row, E.Col}, E.Val});
+    auto Pack =
+        packLevels<V, 2>({LevelKind::Compressed, LevelKind::Compressed},
+                         {NumRows, NumCols}, Entries);
+    M.RowCrd = std::move(Pack.Crd[0]);
+    M.Pos = std::move(Pack.Pos[1]);
+    M.Crd = std::move(Pack.Crd[1]);
+    M.Val = std::move(Pack.Val);
     return M;
   }
 

@@ -36,7 +36,9 @@ template <Semiring S>
 using StoreT = std::conditional_t<std::is_same_v<typename S::Value, bool>,
                                   uint8_t, typename S::Value>;
 
-/// All of a case's tensors materialized into real format storage.
+/// All of a case's tensors materialized into real format storage. Hv is
+/// only populated by the formats matrix (addHashed): every sparse-vector
+/// tensor re-materialized as a hashed coordinate level.
 template <Semiring S> struct Mats {
   using V = StoreT<S>;
   std::map<std::string, SparseVector<V>> Sv;
@@ -44,6 +46,7 @@ template <Semiring S> struct Mats {
   std::map<std::string, CsrMatrix<V>> Csr;
   std::map<std::string, DcsrMatrix<V>> Dcsr;
   std::map<std::string, CsfTensor3<V>> Csf;
+  std::map<std::string, HashedVector<V>> Hv;
 };
 
 /// Builds format arrays directly from the (sorted, distinct, validated)
@@ -136,6 +139,23 @@ template <Semiring S> Mats<S> materialize(const FuzzCase &C) {
     }
   }
   return M;
+}
+
+/// Re-materializes every sparse-vector tensor as a hashed coordinate level
+/// (insertion via the probe table, then a frozen sorted snapshot). Entries
+/// are distinct, so accumulate never merges — the snapshot holds exactly
+/// the case data, bit-identical to the SparseVector layout.
+template <Semiring S> void addHashed(Mats<S> &M, const FuzzCase &C) {
+  using V = StoreT<S>;
+  for (const FuzzTensor &T : C.Tensors) {
+    if (T.Fmt != FuzzFormat::SparseVec)
+      continue;
+    HashedVector<V> H(C.dimOf(T.Shp[0]), T.Entries.size());
+    for (const FuzzEntry &En : T.Entries)
+      H.accumulate(En.Coords[0], static_cast<V>(fuzzValue<S>(En.Val)));
+    H.freeze();
+    M.Hv.emplace(T.Name, std::move(H));
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -250,6 +270,7 @@ const char *policyName(SearchPolicy P) {
 template <Semiring S, SearchPolicy P> struct StreamBuilder {
   const FuzzCase &C;
   const Mats<S> &M;
+  bool Hashed1D = false; ///< Sparse vectors stream from M.Hv, not M.Sv.
 
   struct Res {
     DynStream<S> Q;
@@ -266,7 +287,10 @@ template <Semiring S, SearchPolicy P> struct StreamBuilder {
         R.Sig.push_back(FuzzLevel{A, false});
       switch (T->Fmt) {
       case FuzzFormat::SparseVec:
-        R.Q = Erased<S, 1>(M.Sv.at(T->Name).template stream<P>(), 0u);
+        if (Hashed1D)
+          R.Q = Erased<S, 1>(M.Hv.at(T->Name).template stream<P>(), 0u);
+        else
+          R.Q = Erased<S, 1>(M.Sv.at(T->Name).template stream<P>(), 0u);
         break;
       case FuzzFormat::DenseVec:
         R.Q = Erased<S, 1>(M.Dv.at(T->Name).stream(), 0u);
@@ -342,9 +366,11 @@ template <Semiring S, SearchPolicy P> struct StreamBuilder {
 template <Semiring S, SearchPolicy P>
 void runStreamLegs(const FuzzCase &C, const FuzzTyping &Ty, const Mats<S> &M,
                    ThreadPool &Pool, const KRelation<S> &Want,
-                   typename S::Value WantTotal, FuzzReport &Rep) {
-  std::string Tag = std::string("stream/") + policyName(P);
-  StreamBuilder<S, P> B{C, M};
+                   typename S::Value WantTotal, FuzzReport &Rep,
+                   bool Hashed1D = false) {
+  std::string Tag = std::string(Hashed1D ? "hstream/" : "stream/") +
+                    policyName(P);
+  StreamBuilder<S, P> B{C, M, Hashed1D};
   auto R = B.build(C.E);
   ETCH_ASSERT(R.Sig == Ty.Sig, "builder and validator signatures agree");
   uint32_t Mask = fuzzMaskOf(R.Sig);
@@ -423,9 +449,25 @@ const ScalarAlgebra *algebraFor(const std::string &Name) {
   return nullptr;
 }
 
-TensorBinding bindingFor(const FuzzTensor &T, SearchPolicy P) {
+/// How the formats matrix re-binds sparse-vector tensors: as stored
+/// (None), or overridden to a hashed, compressed, or dense level. All
+/// three overrides bind the same sorted snapshot data, so the compiled
+/// legs compute over identical inputs.
+enum class VecOverride { None, Hashed, Compressed, Dense };
+
+TensorBinding bindingFor(const FuzzTensor &T, SearchPolicy P,
+                         VecOverride Ov = VecOverride::None, size_t Nnz = 0) {
   switch (T.Fmt) {
   case FuzzFormat::SparseVec:
+    switch (Ov) {
+    case VecOverride::None:
+    case VecOverride::Compressed:
+      break;
+    case VecOverride::Hashed:
+      return hashedVecBinding(T.Name, T.Shp[0], hashedTabSizeFor(Nnz), P);
+    case VecOverride::Dense:
+      return denseVecBinding(T.Name, T.Shp[0]);
+    }
     return sparseVecBinding(T.Name, T.Shp[0], P);
   case FuzzFormat::DenseVec:
     return denseVecBinding(T.Name, T.Shp[0]);
@@ -440,7 +482,8 @@ TensorBinding bindingFor(const FuzzTensor &T, SearchPolicy P) {
 }
 
 template <Semiring S>
-void bindArrays(VmMemory &Mem, const FuzzTensor &T, const Mats<S> &M) {
+void bindArrays(VmMemory &Mem, const FuzzTensor &T, const Mats<S> &M,
+                VecOverride Ov = VecOverride::None) {
   using V = StoreT<S>;
   auto PutVals = [&Mem](const std::string &Name, const std::vector<V> &Data) {
     if constexpr (std::is_same_v<typename S::Value, bool>) {
@@ -463,6 +506,27 @@ void bindArrays(VmMemory &Mem, const FuzzTensor &T, const Mats<S> &M) {
   switch (T.Fmt) {
   case FuzzFormat::SparseVec: {
     const auto &X = M.Sv.at(T.Name);
+    if (Ov == VecOverride::Hashed) {
+      const auto &H = M.Hv.at(T.Name);
+      Mem.setArrayI64(T.Name + "_pos0",
+                      {0, static_cast<int64_t>(H.Crd.size())});
+      Mem.setArrayI64(T.Name + "_crd0", H.Crd);
+      PutVals(T.Name + "_vals", H.Val);
+      int64_t TabSize = hashedTabSizeFor(H.Crd.size());
+      auto [Key, Rank] = hashedProbeArrays(H.Crd, TabSize);
+      Mem.setArrayI64(T.Name + "_hkey0", Key);
+      Mem.setArrayI64(T.Name + "_hpos0", Rank);
+      break;
+    }
+    if (Ov == VecOverride::Dense) {
+      // Unset positions hold the semiring zero (+inf under (min,+)).
+      std::vector<V> D(static_cast<size_t>(X.Size),
+                       static_cast<V>(S::zero()));
+      for (size_t Q = 0; Q < X.Crd.size(); ++Q)
+        D[static_cast<size_t>(X.Crd[Q])] = X.Val[Q];
+      PutVals(T.Name + "_vals", D);
+      break;
+    }
     Mem.setArrayI64(T.Name + "_pos0",
                     {0, static_cast<int64_t>(X.Crd.size())});
     Mem.setArrayI64(T.Name + "_crd0", X.Crd);
@@ -564,10 +628,17 @@ std::optional<ImpValue> checkVmOut(const FuzzCase &C, VmMemory &Mem,
   return Out;
 }
 
+/// Runs the three compiled legs (O0/linear, O1/binary, O2/gallop) on tree
+/// and/or bytecode executors. \p Ov overrides every sparse-vector tensor's
+/// binding (formats matrix); \p FormTag prefixes the leg tags ("h"/"c"/"d"
+/// -> "hvm/O1", "hbvm/O1", ...). When \p OutByOpt is non-null, the output
+/// scalar of each opt level is stored there for cross-form bit comparison.
 template <Semiring S>
 void runVmLegs(const FuzzCase &C, const Mats<S> &M,
                typename S::Value WantTotal, VmBackend Backend,
-               FuzzReport &Rep) {
+               FuzzReport &Rep, VecOverride Ov = VecOverride::None,
+               const char *FormTag = "",
+               std::optional<ImpValue> *OutByOpt = nullptr) {
   const ScalarAlgebra *Alg = algebraFor(C.SemiringName);
   ETCH_ASSERT(Alg, "dispatch guarantees a known semiring");
   const struct {
@@ -585,8 +656,12 @@ void runVmLegs(const FuzzCase &C, const Mats<S> &M,
     Ctx.OptLevel = Leg.Opt;
     for (const auto &[A, N] : C.Dims)
       Ctx.setDim(A, N);
-    for (const FuzzTensor &T : C.Tensors)
-      Ctx.bind(bindingFor(T, Leg.P));
+    for (const FuzzTensor &T : C.Tensors) {
+      size_t Nnz = T.Fmt == FuzzFormat::SparseVec && Ov != VecOverride::None
+                       ? M.Hv.at(T.Name).nnz()
+                       : 0;
+      Ctx.bind(bindingFor(T, Leg.P, Ov, Nnz));
+    }
     PRef Prog = compileFullContraction(Ctx, C.E, "out");
 
     VmRunResult TreeR, BcR;
@@ -594,12 +669,13 @@ void runVmLegs(const FuzzCase &C, const Mats<S> &M,
     if (Tree) {
       VmMemory Mem;
       for (const FuzzTensor &T : C.Tensors)
-        bindArrays<S>(Mem, T, M);
+        bindArrays<S>(Mem, T, M, Ov);
       TreeR = vmRun(Prog, Mem);
-      TreeOut = checkVmOut<S>(C, Mem, TreeR, WantTotal, "vm/" + Level, Rep);
+      TreeOut = checkVmOut<S>(C, Mem, TreeR, WantTotal,
+                              FormTag + ("vm/" + Level), Rep);
     }
     if (Bc) {
-      std::string Tag = "bvm/" + Level;
+      std::string Tag = FormTag + ("bvm/" + Level);
       BytecodeProgram BC = compileBytecode(Prog);
       if (!BC.ok()) {
         reportDiv(Rep, C, Tag, "bytecode compile error: " + BC.CompileError);
@@ -607,15 +683,17 @@ void runVmLegs(const FuzzCase &C, const Mats<S> &M,
       }
       VmMemory Mem;
       for (const FuzzTensor &T : C.Tensors)
-        bindArrays<S>(Mem, T, M);
+        bindArrays<S>(Mem, T, M, Ov);
       BcR = bytecodeRun(BC, Mem);
       BcOut = checkVmOut<S>(C, Mem, BcR, WantTotal, Tag, Rep);
     }
+    if (OutByOpt)
+      OutByOpt[Leg.Opt] = Tree ? TreeOut : BcOut;
     // Direct tree ≡ bytecode cross-check, stricter than the oracle
     // comparison: identical steps, identical error text, bit-identical
     // output scalar.
     if (Tree && Bc) {
-      std::string Tag = "tree-vs-bvm/" + Level;
+      std::string Tag = FormTag + ("tree-vs-bvm/" + Level);
       if (TreeR.Steps != BcR.Steps)
         reportDiv(Rep, C, Tag,
                   "step counts differ: tree=" + std::to_string(TreeR.Steps) +
@@ -657,6 +735,58 @@ void runTyped(const FuzzCase &C, const FuzzTyping &Ty, ThreadPool &Pool,
   runStreamLegs<S, SearchPolicy::Gallop>(C, Ty, M, Pool, Want, WantTotal,
                                          Rep);
   runVmLegs<S>(C, M, WantTotal, Backend, Rep);
+}
+
+/// The dense override materializes the full extent; beyond this it is
+/// skipped (sparse vectors over huge index spaces are exactly the inputs
+/// hashing exists for).
+constexpr Idx MaxDenseOverrideExtent = Idx(1) << 16;
+
+template <Semiring S>
+void runFormatsTyped(const FuzzCase &C, const FuzzTyping &Ty,
+                     ThreadPool &Pool, VmBackend Backend, FuzzReport &Rep) {
+  ValueContext<S> Inputs;
+  for (const FuzzTensor &T : C.Tensors)
+    Inputs.emplace(T.Name, fuzzTensorRelation<S>(T));
+  KRelation<S> Want = densifyAll<S>(evalT<S>(C.E, Inputs), C);
+  typename S::Value WantTotal = S::zero();
+  for (const auto &[Tu, V] : Want.entries())
+    WantTotal = S::add(WantTotal, V);
+
+  Mats<S> M = materialize<S>(C);
+  addHashed<S>(M, C);
+
+  // Hashed runtime streams (sorted snapshot iterate, probe-first skip)
+  // against the oracle, per policy.
+  runStreamLegs<S, SearchPolicy::Linear>(C, Ty, M, Pool, Want, WantTotal,
+                                         Rep, /*Hashed1D=*/true);
+  runStreamLegs<S, SearchPolicy::Binary>(C, Ty, M, Pool, Want, WantTotal,
+                                         Rep, /*Hashed1D=*/true);
+  runStreamLegs<S, SearchPolicy::Gallop>(C, Ty, M, Pool, Want, WantTotal,
+                                         Rep, /*Hashed1D=*/true);
+
+  // Compiled legs with every sparse vector re-bound hashed / compressed /
+  // dense. Hashed and compressed iterate the same sorted snapshot, so
+  // their outputs must agree bit-for-bit; dense changes the loop structure
+  // and is held to the oracle tolerance only.
+  std::optional<ImpValue> HOut[3], COut[3];
+  runVmLegs<S>(C, M, WantTotal, Backend, Rep, VecOverride::Hashed, "h",
+               HOut);
+  runVmLegs<S>(C, M, WantTotal, Backend, Rep, VecOverride::Compressed, "c",
+               COut);
+  bool DenseOk = true;
+  for (const FuzzTensor &T : C.Tensors)
+    if (T.Fmt == FuzzFormat::SparseVec &&
+        C.dimOf(T.Shp[0]) > MaxDenseOverrideExtent)
+      DenseOk = false;
+  if (DenseOk)
+    runVmLegs<S>(C, M, WantTotal, Backend, Rep, VecOverride::Dense, "d");
+
+  for (int K = 0; K < 3; ++K)
+    if (HOut[K] && COut[K] && !impBitsEq(*HOut[K], *COut[K]))
+      reportDiv(Rep, C, "hashed-vs-compressed/O" + std::to_string(K),
+                "'out' differs bit-wise: hashed=" + impToStr(*HOut[K]) +
+                    " compressed=" + impToStr(*COut[K]));
 }
 
 } // namespace
@@ -730,9 +860,51 @@ std::optional<FuzzTotal> etch::fuzzOracleTotal(const FuzzCase &C) {
   return std::nullopt;
 }
 
-FuzzReport etch::runFuzzCase(const FuzzCase &C, VmBackend Backend) {
+FuzzReport etch::runFuzzFormats(const FuzzCase &C, ThreadPool &Pool,
+                                VmBackend Backend) {
+  FuzzReport Rep;
+  std::string Err;
+  auto Ty = fuzzValidate(C, &Err);
+  if (!Ty) {
+    Rep.Invalid = true;
+    Rep.ValidationError = Err;
+    return Rep;
+  }
+  bool AnySparseVec = false;
+  for (const FuzzTensor &T : C.Tensors)
+    AnySparseVec = AnySparseVec || T.Fmt == FuzzFormat::SparseVec;
+  if (!AnySparseVec)
+    return Rep;
+  if (C.SemiringName == "f64")
+    runFormatsTyped<F64Semiring>(C, *Ty, Pool, Backend, Rep);
+  else if (C.SemiringName == "i64")
+    runFormatsTyped<I64Semiring>(C, *Ty, Pool, Backend, Rep);
+  else if (C.SemiringName == "bool")
+    runFormatsTyped<BoolSemiring>(C, *Ty, Pool, Backend, Rep);
+  else if (C.SemiringName == "minplus")
+    runFormatsTyped<MinPlusSemiring>(C, *Ty, Pool, Backend, Rep);
+  else {
+    Rep.Invalid = true;
+    Rep.ValidationError = "unknown semiring '" + C.SemiringName + "'";
+  }
+  return Rep;
+}
+
+namespace {
+
+ThreadPool &sharedFuzzPool() {
   // Shared across calls: the shrinker invokes the executor hundreds of
   // times per campaign and must not pay thread spawn/join each time.
   static ThreadPool Pool(3);
-  return runFuzzCase(C, Pool, Backend);
+  return Pool;
+}
+
+} // namespace
+
+FuzzReport etch::runFuzzCase(const FuzzCase &C, VmBackend Backend) {
+  return runFuzzCase(C, sharedFuzzPool(), Backend);
+}
+
+FuzzReport etch::runFuzzFormats(const FuzzCase &C, VmBackend Backend) {
+  return runFuzzFormats(C, sharedFuzzPool(), Backend);
 }

@@ -72,6 +72,29 @@ FuzzReport runFuzzCase(const FuzzCase &C, ThreadPool &Pool,
 FuzzReport runFuzzCase(const FuzzCase &C,
                        VmBackend Backend = VmBackend::Both);
 
+/// The level-format cross-check matrix (`etch-fuzz --formats`): every
+/// sparse-vector tensor is re-materialized as a hashed coordinate level
+/// (formats/levels.h) and the case re-runs with
+///
+///   - hashed runtime streams per SearchPolicy ("hstream/<policy>/..."):
+///     sorted-snapshot iteration, probe-first skip, checked against the
+///     same oracle legs as the stored formats;
+///   - compiled legs with every sparse vector re-bound hashed /
+///     compressed / dense ("hvm"/"cvm"/"dvm" and bytecode
+///     "hbvm"/"cbvm"/"dbvm"): each against the oracle total, and hashed
+///     vs compressed additionally bit-for-bit (they iterate the same
+///     sorted snapshot, so even f64 must agree exactly). The dense
+///     override materializes the full extent and is skipped for huge
+///     index spaces.
+///
+/// Cases without a sparse-vector tensor report ok trivially.
+FuzzReport runFuzzFormats(const FuzzCase &C, ThreadPool &Pool,
+                          VmBackend Backend = VmBackend::Both);
+
+/// Convenience overload using the shared pool.
+FuzzReport runFuzzFormats(const FuzzCase &C,
+                          VmBackend Backend = VmBackend::Both);
+
 /// The oracle's fully contracted total for \p C, both as exact text and as
 /// a double (for the f64 tolerance). Used by the order sweep
 /// (fuzz/reorder.h) to check cross-order agreement. Nullopt if the case is

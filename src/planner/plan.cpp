@@ -9,6 +9,7 @@
 #include "support/assert.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <set>
 #include <sstream>
@@ -265,11 +266,31 @@ LevelSpec::Kind transposedOuterKind(const LevelStat &L) {
 }
 
 /// Search-policy heuristic: galloping pays off on large compressed levels,
-/// linear scanning wins on small ones.
+/// linear scanning wins on small ones. Hashed levels use the policy only
+/// for the probe-miss fallback search over the sorted snapshot, which has
+/// the same shape as a compressed scan.
 SearchPolicy policyFor(LevelSpec::Kind K, int64_t Extent) {
-  if (K == LevelSpec::Compressed && Extent >= 4096)
+  if ((K == LevelSpec::Compressed || K == LevelSpec::Hashed) &&
+      Extent >= 4096)
     return SearchPolicy::Gallop;
   return SearchPolicy::Linear;
+}
+
+/// Per-visit cost of locating (skipping) into a level that is not driving
+/// the intersection — the probe-vs-scan term: dense levels index directly,
+/// hashed levels probe in O(1), compressed levels search their fiber
+/// (log2 of the mean fill).
+double locateCost(LevelSpec::Kind K, const LevelStat &St,
+                  const PlanOptions &O) {
+  switch (K) {
+  case LevelSpec::Dense:
+    return 0.0;
+  case LevelSpec::Hashed:
+    return O.HashProbeCost;
+  case LevelSpec::Compressed:
+    break;
+  }
+  return std::log2(2.0 + std::max(St.AvgFill, 0.0));
 }
 
 } // namespace
@@ -317,6 +338,8 @@ std::optional<Plan> planForOrder(const PlanQuery &Q,
           Spec.K = St.Kind;
         else
           Spec.K = L == 0 ? transposedOuterKind(St) : LevelSpec::Compressed;
+        if (Spec.K == LevelSpec::Hashed)
+          Spec.TabSize = hashedTabSizeFor(static_cast<size_t>(S.Nnz));
         Spec.Policy = policyFor(Spec.K, St.Extent);
         A.Levels.push_back(Spec);
       }
@@ -325,67 +348,119 @@ std::optional<Plan> planForOrder(const PlanQuery &Q,
       P.Accesses.push_back(std::move(A));
     }
 
-  auto accessOf = [&P](const PlanFactor &F) -> const PlanAccess & {
-    for (const PlanAccess &A : P.Accesses)
-      if (A.Tensor == F.Tensor && A.Stored == F.Query)
-        return A;
-    ETCH_ASSERT(false, "factor without access");
-    return P.Accesses.front();
-  };
-
   // Cost every term under the order: at each level, the fused loop visits
   // roughly the smallest participating stream's conditional count; dense
   // levels enumerate their extent (they locate in O(1) but iterate all
-  // positions when driving).
-  for (const PlanTerm &T : Q.Terms) {
-    Shape TermAttrs = T.allAttrs();
-    std::vector<PlanLevel> Levels;
-    std::vector<std::vector<Attr>> Fixed(T.Factors.size()); // per factor
-    double Cum = 1.0, TermCost = 0.0;
-    for (Attr A : Order) {
-      if (!shapeContains(TermAttrs, A))
-        continue;
-      PlanLevel L;
-      L.A = A;
-      L.Extent = Q.dimOf(A);
-      L.Summed = contains(T.Summed, A);
-      double Best = -1.0;
-      for (size_t FI = 0; FI < T.Factors.size(); ++FI) {
-        const PlanFactor &F = T.Factors[FI];
-        if (!contains(F.Query, A))
+  // positions when driving). Every participating stream that is *not* the
+  // driving one additionally pays a per-visit locate charge (the
+  // probe-vs-scan term of locateCost above).
+  auto costTerms = [&](Plan &Pl) {
+    Pl.StreamCost = 0.0;
+    Pl.TermLevels.clear();
+    auto accessOf = [&Pl](const PlanFactor &F) -> const PlanAccess & {
+      for (const PlanAccess &A : Pl.Accesses)
+        if (A.Tensor == F.Tensor && A.Stored == F.Query)
+          return A;
+      ETCH_ASSERT(false, "factor without access");
+      return Pl.Accesses.front();
+    };
+    for (const PlanTerm &T : Q.Terms) {
+      Shape TermAttrs = T.allAttrs();
+      std::vector<PlanLevel> Levels;
+      std::vector<std::vector<Attr>> Fixed(T.Factors.size()); // per factor
+      double Cum = 1.0, TermCost = 0.0;
+      for (Attr A : Order) {
+        if (!shapeContains(TermAttrs, A))
           continue;
-        const PlanAccess &Acc = accessOf(F);
-        const TensorStats &S = Q.Stats.at(F.Tensor);
-        size_t Pos = 0;
-        while (Acc.Used[Pos] != A)
-          ++Pos;
-        double Cand;
-        if (Acc.Levels[Pos].K == LevelSpec::Dense) {
-          Cand = static_cast<double>(L.Extent);
-        } else {
-          std::vector<Attr> &Fx = Fixed[FI];
-          double Before = std::max(dpEstimate(S, F.Query, Fx), 1.0);
-          std::vector<Attr> With = Fx;
-          With.push_back(A);
-          Cand = dpEstimate(S, F.Query, With) / Before;
+        PlanLevel L;
+        L.A = A;
+        L.Extent = Q.dimOf(A);
+        L.Summed = contains(T.Summed, A);
+        double Best = -1.0;
+        size_t BestFI = T.Factors.size();
+        std::vector<std::pair<size_t, double>> Locates; // (factor, charge)
+        for (size_t FI = 0; FI < T.Factors.size(); ++FI) {
+          const PlanFactor &F = T.Factors[FI];
+          if (!contains(F.Query, A))
+            continue;
+          const PlanAccess &Acc = accessOf(F);
+          const TensorStats &S = Q.Stats.at(F.Tensor);
+          size_t Pos = 0;
+          while (Acc.Used[Pos] != A)
+            ++Pos;
+          double Cand;
+          if (Acc.Levels[Pos].K == LevelSpec::Dense) {
+            Cand = static_cast<double>(L.Extent);
+          } else {
+            std::vector<Attr> &Fx = Fixed[FI];
+            double Before = std::max(dpEstimate(S, F.Query, Fx), 1.0);
+            std::vector<Attr> With = Fx;
+            With.push_back(A);
+            Cand = dpEstimate(S, F.Query, With) / Before;
+          }
+          if (Best < 0.0 || Cand < Best) {
+            Best = Cand;
+            BestFI = FI;
+          }
+          Locates.emplace_back(
+              FI,
+              locateCost(Acc.Levels[Pos].K, levelFor(S, F.Query, A), O));
+          L.Drivers.push_back(Acc.bindName());
         }
-        if (Best < 0.0 || Cand < Best)
-          Best = Cand;
-        L.Drivers.push_back(Acc.bindName());
+        if (Best < 0.0)
+          Best = static_cast<double>(L.Extent); // ↑ only: full extent.
+        for (size_t FI = 0; FI < T.Factors.size(); ++FI)
+          if (contains(T.Factors[FI].Query, A))
+            Fixed[FI].push_back(A);
+        L.Iters = Best;
+        Cum *= Best;
+        L.CumIters = Cum;
+        TermCost += Cum;
+        for (const auto &[FI, Loc] : Locates)
+          if (FI != BestFI)
+            TermCost += Cum * Loc;
+        Levels.push_back(std::move(L));
       }
-      if (Best < 0.0)
-        Best = static_cast<double>(L.Extent); // ↑ only: full extent.
-      for (size_t FI = 0; FI < T.Factors.size(); ++FI)
-        if (contains(T.Factors[FI].Query, A))
-          Fixed[FI].push_back(A);
-      L.Iters = Best;
-      Cum *= Best;
-      L.CumIters = Cum;
-      TermCost += Cum;
-      Levels.push_back(std::move(L));
+      Pl.StreamCost += TermCost;
+      Pl.TermLevels.push_back(std::move(Levels));
     }
-    P.StreamCost += TermCost;
-    P.TermLevels.push_back(std::move(Levels));
+  };
+  costTerms(P);
+
+  // Hashed re-format enumeration: for every single-level as-stored
+  // compressed access whose statistics permit a hashed copy, try the
+  // hashed outer level and keep the cheapest combination. Masks ascend
+  // and the comparison is strict, so ties prefer fewer (and earlier)
+  // rehashes — fully deterministic.
+  std::vector<size_t> HashCand;
+  if (O.AllowHashed)
+    for (size_t I = 0; I < P.Accesses.size(); ++I) {
+      const PlanAccess &A = P.Accesses[I];
+      if (!A.Transposed && A.Used.size() == 1 &&
+          A.Levels[0].K == LevelSpec::Compressed &&
+          Q.Stats.at(A.Tensor).CanHash)
+        HashCand.push_back(I);
+    }
+  if (HashCand.size() > 4)
+    HashCand.resize(4); // Cap the subset enumeration.
+  for (size_t Mask = 1; Mask < (size_t(1) << HashCand.size()); ++Mask) {
+    Plan Alt = P;
+    Alt.RehashCost = 0.0;
+    for (size_t B = 0; B < HashCand.size(); ++B) {
+      if (!(Mask >> B & 1))
+        continue;
+      PlanAccess &A = Alt.Accesses[HashCand[B]];
+      const TensorStats &S = Q.Stats.at(A.Tensor);
+      A.Rehashed = true;
+      A.Levels[0].K = LevelSpec::Hashed;
+      A.Levels[0].TabSize = hashedTabSizeFor(static_cast<size_t>(S.Nnz));
+      A.Levels[0].Policy =
+          policyFor(LevelSpec::Hashed, S.Levels[0].Extent);
+      Alt.RehashCost += O.HashBuildCostPerNnz * static_cast<double>(S.Nnz);
+    }
+    costTerms(Alt);
+    if (Alt.cost() < P.cost())
+      P = std::move(Alt);
   }
   return P;
 }
@@ -520,7 +595,8 @@ std::string Plan::explain(const PlanQuery &Q) const {
     OS << (I ? " < " : " ") << Order[I].name();
   OS << "\n";
   OS << "cost: " << fmtNum(cost()) << " = " << fmtNum(StreamCost)
-     << " stream + " << fmtNum(TransposeCost) << " transpose\n";
+     << " stream + " << fmtNum(TransposeCost) << " transpose + "
+     << fmtNum(RehashCost) << " rehash\n";
   OS << "inputs:\n";
   for (const auto &[Name, S] : Q.Stats)
     OS << "  " << statsToString(S) << "\n";
@@ -558,16 +634,21 @@ std::string Plan::explain(const PlanQuery &Q) const {
     for (size_t L = 0; L < A.Used.size(); ++L) {
       const LevelSpec &Spec = A.Levels[L];
       OS << (L ? " -> " : "")
-         << (Spec.K == LevelSpec::Dense ? "dense" : "compressed") << "("
-         << A.Used[L].name();
-      if (Spec.K == LevelSpec::Compressed)
+         << (Spec.K == LevelSpec::Dense    ? "dense"
+             : Spec.K == LevelSpec::Hashed ? "hashed"
+                                           : "compressed")
+         << "(" << A.Used[L].name();
+      if (Spec.K != LevelSpec::Dense)
         OS << ", "
            << (Spec.Policy == SearchPolicy::Gallop   ? "gallop"
                : Spec.Policy == SearchPolicy::Binary ? "binary"
                                                      : "linear");
       OS << ")";
     }
-    OS << (A.Transposed ? "  [transposed copy]" : "  [as stored]") << "\n";
+    OS << (A.Transposed  ? "  [transposed copy]"
+           : A.Rehashed ? "  [hashed copy]"
+                         : "  [as stored]")
+       << "\n";
   }
   return OS.str();
 }

@@ -15,11 +15,13 @@
 /// order (Definition 5.7 keys every stream invariant to it), so a "plan"
 /// is a permutation of the query's attributes plus, per tensor access, the
 /// storage orientation (as stored, or a transposed copy) and per-level
-/// format choices. The enumerator only emits orders every access can
-/// realize; the cost model scores each with an asymptotic-plus-stats
-/// estimate of fused-loop iterations (Section 8.1's ~40x gap is exactly
-/// such an asymptotic difference), and `Plan::explain` renders the choice
-/// as a readable EXPLAIN report.
+/// format choices — including hashed coordinate levels (formats/levels.h)
+/// for accesses whose role is locate-dominated. The enumerator only emits
+/// orders every access can realize; the cost model scores each with an
+/// asymptotic-plus-stats estimate of fused-loop iterations (Section 8.1's
+/// ~40x gap is exactly such an asymptotic difference) plus a per-level
+/// probe-vs-scan locate term, and `Plan::explain` renders the choice as a
+/// readable EXPLAIN report.
 ///
 /// The cost model consumes only per-attribute distinct counts, extents,
 /// nnz, and level kinds — all invariant under renaming — so equal queries
@@ -96,6 +98,11 @@ struct PlanAccess {
   std::vector<Attr> Stored; ///< Query attrs in stored level order.
   std::vector<Attr> Used;   ///< Same attrs re-sorted by the plan order.
   bool Transposed = false;  ///< Used != Stored: needs a level-permuted copy.
+  /// The plan chose a hashed outer level for a compressed-stored access:
+  /// the caller binds a hashed copy (bindHashedVector) whose probe table
+  /// is one build pass over the entries. Stored-hashed accesses keep
+  /// Rehashed false — their table already exists.
+  bool Rehashed = false;
   std::vector<LevelSpec> Levels; ///< Chosen per-level formats for `Used`.
 
   /// Realized binding name: "<tensor>" as stored, "<tensor>_T" transposed.
@@ -111,6 +118,16 @@ struct PlanOptions {
   /// Charged per nonzero of every transposed access (one extra pass over
   /// the data to build the copy, amortized).
   double TransposeCostPerNnz = 4.0;
+  /// Permit re-formatting eligible accesses (stats say CanHash, single
+  /// level, as stored) with a hashed outer level when the probe-vs-scan
+  /// cost term favors O(1) locates over log-fill searches.
+  bool AllowHashed = true;
+  /// Charged per nonzero of every rehashed access (building the
+  /// coordinate probe table is one pass over the entries).
+  double HashBuildCostPerNnz = 2.0;
+  /// Estimated cost of one locate into a hashed level (an O(1) probe);
+  /// compressed levels instead pay log2(2 + fill) per locate.
+  double HashProbeCost = 1.0;
 };
 
 /// A validated execution plan for one global attribute order.
@@ -118,10 +135,12 @@ struct Plan {
   std::vector<Attr> Order; ///< The chosen global order, outermost first.
   std::vector<std::vector<PlanLevel>> TermLevels; ///< Levels per term.
   std::vector<PlanAccess> Accesses;
-  double StreamCost = 0.0;    ///< Estimated fused-loop iterations.
+  double StreamCost = 0.0;    ///< Estimated fused-loop iterations plus
+                              ///< per-level locate (probe-vs-scan) charges.
   double TransposeCost = 0.0; ///< Estimated copy cost for transposed inputs.
+  double RehashCost = 0.0;    ///< Estimated build cost for rehashed inputs.
 
-  double cost() const { return StreamCost + TransposeCost; }
+  double cost() const { return StreamCost + TransposeCost + RehashCost; }
 
   /// Renders the EXPLAIN report (deterministic; golden-tested).
   std::string explain(const PlanQuery &Q) const;

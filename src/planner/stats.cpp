@@ -77,7 +77,11 @@ std::string statsToString(const TensorStats &S) {
   std::ostringstream OS;
   OS << S.Name << ":";
   for (const LevelStat &L : S.Levels)
-    OS << " " << (L.Kind == LevelSpec::Dense ? "dense" : "compressed") << "("
+    OS << " "
+       << (L.Kind == LevelSpec::Dense    ? "dense"
+           : L.Kind == LevelSpec::Hashed ? "hashed"
+                                         : "compressed")
+       << "("
        << L.A.name() << ":" << L.Extent << ", distinct " << L.Distinct
        << ")";
   OS << " nnz " << S.Nnz;

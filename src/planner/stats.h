@@ -6,9 +6,10 @@
 ///
 /// \file
 /// Per-tensor statistics the cost model consumes: total nonzeros plus, for
-/// every storage level, the level's kind (dense/compressed), the attribute
-/// extent, the number of *distinct* coordinates observed at that attribute,
-/// and the average branching factor (children per distinct parent prefix).
+/// every storage level, the level's kind (dense/compressed/hashed), the
+/// attribute extent, the number of *distinct* coordinates observed at that
+/// attribute, and the average branching factor (children per distinct
+/// parent prefix).
 ///
 /// Distinct counts are per attribute, independent of the level's position
 /// in the hierarchy, which makes every cost derived from them invariant
@@ -28,6 +29,7 @@
 
 #include "compiler/frontend.h"
 #include "formats/csf.h"
+#include "formats/levels.h"
 #include "formats/matrices.h"
 #include "formats/vectors.h"
 
@@ -58,6 +60,12 @@ struct TensorStats {
   /// (CSR/DCSR, via `transpose` / `fromCoo`); deeper formats would need a
   /// re-pack the repo does not provide yet.
   bool CanTranspose = false;
+
+  /// Whether the planner may re-format this tensor's outer level as a
+  /// hashed level (formats/levels.h): building the coordinate probe table
+  /// is one pass over the entries. Set for single-level formats only
+  /// (hashed levels are outermost-only).
+  bool CanHash = false;
 
   /// Stored attribute sequence, outermost first.
   Shape shape() const;
@@ -118,8 +126,23 @@ TensorStats statsOfSparseVector(std::string Name, const SparseVector<V> &X,
   Tuples.reserve(X.Crd.size());
   for (Idx C : X.Crd)
     Tuples.push_back({C});
-  return statsFromTuples(std::move(Name), {A}, {LevelSpec::Compressed},
-                         {X.Size}, Tuples);
+  TensorStats S = statsFromTuples(std::move(Name), {A},
+                                  {LevelSpec::Compressed}, {X.Size}, Tuples);
+  S.CanHash = true;
+  return S;
+}
+
+template <typename V>
+TensorStats statsOfHashedVector(std::string Name, const HashedVector<V> &X,
+                                Attr A) {
+  std::vector<Tuple> Tuples;
+  Tuples.reserve(X.Crd.size());
+  for (Idx C : X.Crd)
+    Tuples.push_back({C});
+  TensorStats S = statsFromTuples(std::move(Name), {A}, {LevelSpec::Hashed},
+                                  {X.Size}, Tuples);
+  S.CanHash = true;
+  return S;
 }
 
 template <typename V>

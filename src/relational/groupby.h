@@ -1,0 +1,150 @@
+//===- relational/groupby.h - Dense and hashed group-by keys ---*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Group-by accumulators for the relational queries, formalising the choice
+/// DESIGN.md row 10 used to gloss over. The legacy pattern — a dense array
+/// indexed by group key — silently allocates O(key space); fine for TPC-H's
+/// 25 nations, catastrophic for sparse external identifiers. Here:
+///
+///   - DenseGroupBy keeps the dense array but *guards the extent*: asking
+///     for a key space beyond MaxDenseGroupByExtent aborts with a clear
+///     message instead of silently allocating gigabytes.
+///   - HashedGroupBy accumulates into a HashedVector (formats/levels.h):
+///     O(distinct groups) memory regardless of key space, O(1) per add.
+///   - GroupBy picks between them by extent, so callers default to the
+///     right structure: dense for genuinely small key spaces (TPC-H
+///     nations), hashed for sparse ones (the ROADMAP's user-ID workloads).
+///
+/// This is the runtime twin of the compiled `hashDest` lowering
+/// (compiler/codegen.h); both accumulate into the paper's hash-table
+/// output format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_RELATIONAL_GROUPBY_H
+#define ETCH_RELATIONAL_GROUPBY_H
+
+#include "formats/levels.h"
+#include "support/assert.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace etch {
+
+/// Largest key space the dense group-by path may allocate (2^20 slots,
+/// 8 MiB of doubles). Beyond this, use HashedGroupBy — or GroupBy, which
+/// switches automatically.
+inline constexpr Idx MaxDenseGroupByExtent = Idx(1) << 20;
+
+/// The legacy dense path: one slot per key in [0, Extent). Constructing
+/// one over a sparse key space is a bug, and now fails loudly.
+template <typename V> class DenseGroupBy {
+public:
+  explicit DenseGroupBy(Idx Extent) {
+    ETCH_ASSERT(Extent >= 0, "negative group-by extent");
+    ETCH_ASSERT(Extent <= MaxDenseGroupByExtent,
+                "dense group-by over a sparse key space (extent exceeds "
+                "MaxDenseGroupByExtent): use a hashed group-by");
+    Slots.assign(static_cast<size_t>(Extent), V());
+  }
+
+  void add(Idx Key, V X) { slot(Key) += X; }
+
+  /// Direct slot access for hot loops that hoist the group's accumulator.
+  V &slot(Idx Key) { return Slots[static_cast<size_t>(Key)]; }
+
+  /// Nonzero groups in key order.
+  std::vector<std::pair<Idx, V>> sortedEntries() const {
+    std::vector<std::pair<Idx, V>> Out;
+    for (size_t K = 0; K < Slots.size(); ++K)
+      if (!(Slots[K] == V()))
+        Out.push_back({static_cast<Idx>(K), Slots[K]});
+    return Out;
+  }
+
+  size_t memoryBytes() const { return Slots.capacity() * sizeof(V); }
+
+  const std::vector<V> &dense() const { return Slots; }
+
+private:
+  std::vector<V> Slots;
+};
+
+/// Hash-table group-by: O(distinct groups) memory however large the key
+/// space. Accumulation is unordered; sortedEntries() freezes the snapshot.
+template <typename V> class HashedGroupBy {
+public:
+  explicit HashedGroupBy(Idx Extent, size_t ExpectedGroups = 0)
+      : Vec(Extent, ExpectedGroups) {}
+
+  void add(Idx Key, V X) { Vec.accumulate(Key, X); }
+
+  /// The group's accumulator, created zero on first touch. The reference
+  /// is valid until the next add/slot with a *different* new key.
+  V &slot(Idx Key) { return Vec.slot(Key); }
+
+  size_t groups() const { return Vec.nnz(); }
+
+  /// All groups in key order (freezes the underlying vector).
+  std::vector<std::pair<Idx, V>> sortedEntries() {
+    Vec.freeze();
+    std::vector<std::pair<Idx, V>> Out;
+    Out.reserve(Vec.nnz());
+    for (size_t P = 0; P < Vec.nnz(); ++P)
+      Out.push_back({Vec.Crd[P], Vec.Val[P]});
+    return Out;
+  }
+
+  size_t memoryBytes() const {
+    return Vec.Crd.capacity() * sizeof(Idx) + Vec.Val.capacity() * sizeof(V) +
+           Vec.table().buckets() * (sizeof(int64_t) + sizeof(size_t));
+  }
+
+  HashedVector<V> &vector() { return Vec; }
+
+private:
+  HashedVector<V> Vec;
+};
+
+/// The default: dense for small key spaces, hashed for sparse ones.
+template <typename V> class GroupBy {
+public:
+  /// Key spaces up to this extent stay dense (cheap, cache-friendly, no
+  /// hashing); larger ones go hashed regardless of MaxDenseGroupByExtent.
+  static constexpr Idx DenseCutoff = Idx(1) << 16;
+
+  explicit GroupBy(Idx Extent, size_t ExpectedGroups = 0) {
+    if (Extent <= DenseCutoff)
+      D = std::make_unique<DenseGroupBy<V>>(Extent);
+    else
+      H = std::make_unique<HashedGroupBy<V>>(Extent, ExpectedGroups);
+  }
+
+  bool isDense() const { return D != nullptr; }
+
+  void add(Idx Key, V X) { D ? D->add(Key, X) : H->add(Key, X); }
+
+  V &slot(Idx Key) { return D ? D->slot(Key) : H->slot(Key); }
+
+  std::vector<std::pair<Idx, V>> sortedEntries() {
+    return D ? D->sortedEntries() : H->sortedEntries();
+  }
+
+  size_t memoryBytes() const {
+    return D ? D->memoryBytes() : H->memoryBytes();
+  }
+
+private:
+  std::unique_ptr<DenseGroupBy<V>> D;
+  std::unique_ptr<HashedGroupBy<V>> H;
+};
+
+} // namespace etch
+
+#endif // ETCH_RELATIONAL_GROUPBY_H

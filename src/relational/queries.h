@@ -37,6 +37,7 @@
 
 #include <array>
 #include <memory>
+#include <utility>
 
 namespace etch {
 
@@ -75,6 +76,29 @@ Q9Result q9Reference(const TpchDb &Db);
 
 Q9Result q9Fused(const TpchDb &Db);
 Q9Result q9RowStore(const TpchDb &Db);
+
+//===----------------------------------------------------------------------===//
+// Revenue over a sparse key space (the hashed-destination workload)
+//===----------------------------------------------------------------------===//
+
+/// The external (sparse) identifier of a customer: custkey scattered
+/// injectively into a 2^40 ID space, modelling un-dictionary-encoded user
+/// IDs (the ROADMAP's sparse-keyed workload). Injective because the
+/// multiplier is odd (invertible mod 2^40).
+inline Idx sparseCustomerId(Idx CustKey) {
+  return (CustKey * 0x9E3779B1LL + 7) & ((Idx(1) << 40) - 1);
+}
+
+/// Revenue per customer, grouped by sparseCustomerId: the TPC-H `revenue`
+/// view keyed by external IDs. A dense group-by array would need O(2^40)
+/// slots; this accumulates into a hashed destination with O(customers)
+/// memory. Returns (sparse id, revenue) pairs in id order.
+std::vector<std::pair<Idx, double>> revenueBySparseKey(const TpchDb &Db);
+
+/// Nested-loop oracle for revenueBySparseKey (dense over the *dictionary*
+/// key space, remapped; never benchmarked).
+std::vector<std::pair<Idx, double>>
+revenueBySparseKeyReference(const TpchDb &Db);
 
 /// An edge list over integer vertices; the triangle query takes three.
 struct EdgeList {

@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "relational/groupby.h"
 #include "relational/prepared.h"
 #include "streams/combinators.h"
 #include "streams/eval.h"
@@ -70,12 +71,15 @@ Q5Result etch::q5Fused(const TpchDb &Db, const Q5Prepared &P) {
   // before their orders are touched (hierarchical iteration); the date
   // predicate prunes orders before their lineitems; the supplier join is a
   // functional lookup with the residual predicate s_nation == c_nation.
-  Q5Result Out{};
+  // Nation keys are a genuinely dense space (25), so the group-by
+  // selector keeps the dense path; a sparse key space would switch to the
+  // hashed destination (see queries_revenue.cpp).
+  GroupBy<double> Groups(static_cast<Idx>(std::tuple_size_v<Q5Result>));
   forEach(P.Ord.stream(), [&](Idx C, auto OLevel) {
     Idx N = Db.CustNation[static_cast<size_t>(C)];
     if (Db.NationRegion[static_cast<size_t>(N)] != TpchDb::asiaRegion())
       return;
-    double &Acc = Out[static_cast<size_t>(N)];
+    double &Acc = Groups.slot(N);
     forEach(std::move(OLevel), [&](Idx O, double) {
       if (Db.OrdDate[static_cast<size_t>(O)] < TpchDb::q5DateLo() ||
           Db.OrdDate[static_cast<size_t>(O)] >= TpchDb::q5DateHi())
@@ -86,6 +90,9 @@ Q5Result etch::q5Fused(const TpchDb &Db, const Q5Prepared &P) {
           Acc += P.LiRev[Q];
     });
   });
+  Q5Result Out{};
+  for (auto [N, Rev] : Groups.sortedEntries())
+    Out[static_cast<size_t>(N)] = Rev;
   return Out;
 }
 

@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "relational/groupby.h"
 #include "relational/prepared.h"
 #include "streams/combinators.h"
 #include "streams/eval.h"
@@ -98,7 +99,9 @@ Q9Result etch::q9Fused(const TpchDb &Db, const Q9Prepared &P) {
   auto Profit = joinStreams(ProfitCombine{}, P.Line.stream(),
                             P.Ps.stream());
 
-  Q9Result Out{};
+  // (nation, year) cells are a dense space (25 * 7), so the group-by
+  // selector keeps the dense path.
+  GroupBy<double> Groups(static_cast<Idx>(std::tuple_size_v<Q9Result>));
   forEach(std::move(Profit), [&](Idx Part, auto SLevel) {
     if (!Db.PartGreen[static_cast<size_t>(Part)])
       return;
@@ -106,10 +109,13 @@ Q9Result etch::q9Fused(const TpchDb &Db, const Q9Prepared &P) {
       Idx Nation = Db.SuppNation[static_cast<size_t>(S)];
       forEach(std::move(OLevel), [&](Idx O, double Amount) {
         int Year = TpchDb::yearOfDate(Db.OrdDate[static_cast<size_t>(O)]);
-        Out[cell(Nation, Year)] += Amount;
+        Groups.add(static_cast<Idx>(cell(Nation, Year)), Amount);
       });
     });
   });
+  Q9Result Out{};
+  for (auto [Cell, Profit2] : Groups.sortedEntries())
+    Out[static_cast<size_t>(Cell)] = Profit2;
   return Out;
 }
 

@@ -19,6 +19,9 @@
 ///   - RepeatStream: the expansion operator ↑a (Section 5.1.3) — always
 ///     ready, same value at every index.
 ///   - SingletonStream: a one-entry stream, useful in tests.
+///   - HashedStream: a hashed level (formats/levels.h) — iterates the
+///     sorted snapshot like SparseStream, but `skip` probes the
+///     coordinate->rank table first, locating exact hits in O(1).
 ///
 /// Primitive streams hold raw pointers into storage owned elsewhere (the
 /// `formats` library or the caller); they are trivially copyable cursors.
@@ -31,7 +34,9 @@
 #include "streams/stream.h"
 #include "support/assert.h"
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 
 namespace etch {
@@ -244,6 +249,83 @@ private:
   bool Done;
   V Val;
 };
+
+/// A hashed level (formats/levels.h) as a stream: iterates the *sorted
+/// snapshot* (positions Pos..End of Crd), so monotonicity and the stream
+/// laws hold exactly as for SparseStream — but `skip` first probes the
+/// open-addressing coordinate->rank table. An exact coordinate hit locates
+/// its rank in O(1) (strict skips land one past it); only misses fall back
+/// to the \p Policy search over the snapshot. TabKey holds the table's
+/// keys (-1 empty), TabPos the sorted rank per key, TabSize the bucket
+/// count (a power of two).
+template <typename ValueFn, SearchPolicy Policy = SearchPolicy::Linear>
+class HashedStream {
+public:
+  using ValueType = std::invoke_result_t<ValueFn, size_t>;
+  static constexpr bool Contracted = false;
+
+  HashedStream()
+      : Crd(nullptr), Pos(0), End(0), MakeValue(), TabKey(nullptr),
+        TabPos(nullptr), TabSize(0) {}
+  HashedStream(const Idx *Crd, size_t Begin, size_t End, ValueFn MakeValue,
+               const int64_t *TabKey, const size_t *TabPos, size_t TabSize)
+      : Crd(Crd), Pos(Begin), End(End), MakeValue(MakeValue), TabKey(TabKey),
+        TabPos(TabPos), TabSize(TabSize) {}
+
+  bool valid() const { return Pos < End; }
+  Idx index() const { return Crd[Pos]; }
+  bool ready() const { return Pos < End; }
+  ValueType value() const { return MakeValue(Pos); }
+
+  void skip(Idx I, bool Strict) {
+    if (Pos >= End)
+      return;
+    // Probe: Fibonacci hash, linear wraparound (the same sequence the
+    // CoordHashTable writer used, so an existing key is always found).
+    size_t Mask = TabSize - 1;
+    size_t H = static_cast<size_t>(
+        (static_cast<uint64_t>(I) * 0x9e3779b97f4a7c15ULL) >>
+        (64 - std::countr_zero(static_cast<uint64_t>(TabSize))));
+    while (TabKey[H] != -1 && TabKey[H] != I)
+      H = (H + 1) & Mask;
+    if (TabKey[H] == I) {
+      // Exact hit: the snapshot rank is stored in the table. Non-strict
+      // lands on it; strict lands one past. max() keeps skip monotone.
+      size_t Target = TabPos[H] + (Strict ? 1 : 0);
+      if (Target > Pos)
+        Pos = Target;
+      return;
+    }
+    Pos = detail::searchFrom<Policy>(Crd, Pos, End, I, Strict);
+  }
+
+  /// Fast δ from a ready state: the snapshot is sorted, so the successor
+  /// is the next rank.
+  void next() { ++Pos; }
+
+  size_t position() const { return Pos; }
+  size_t positionEnd() const { return End; }
+  Idx coordAt(size_t P) const { return Crd[P]; }
+
+private:
+  const Idx *Crd;
+  size_t Pos, End;
+  ValueFn MakeValue;
+  const int64_t *TabKey;
+  const size_t *TabPos;
+  size_t TabSize;
+};
+
+/// Helper: a leaf hashed-vector stream over a sorted (Crd, Vals) snapshot
+/// plus its coordinate->rank probe table.
+template <typename V, SearchPolicy Policy = SearchPolicy::Linear>
+auto hashedVecStream(const Idx *Crd, const V *Vals, size_t Len,
+                     const int64_t *TabKey, const size_t *TabPos,
+                     size_t TabSize) {
+  auto Get = [Vals](size_t P) { return Vals[P]; };
+  return HashedStream<decltype(Get), Policy>(Crd, 0, Len, Get, TabKey,
+                                             TabPos, TabSize);
+}
 
 /// Helper: a leaf sparse-vector stream over parallel (Crd, Vals) arrays.
 template <typename V, SearchPolicy Policy = SearchPolicy::Linear>

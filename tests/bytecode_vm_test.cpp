@@ -82,8 +82,9 @@ void expectSuccessParity(const BothRuns &R,
   for (const std::string &S : Scalars) {
     auto A = R.TreeMem.getScalar(S), B = R.BcMem.getScalar(S);
     ASSERT_EQ(A.has_value(), B.has_value()) << "scalar " << S;
-    if (A)
+    if (A) {
       EXPECT_TRUE(bitsEq(*A, *B)) << "scalar " << S;
+    }
   }
   for (const std::string &Name : Arrays) {
     const auto *A = R.TreeMem.getArray(Name);

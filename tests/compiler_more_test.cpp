@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <fstream>
 
@@ -331,6 +332,218 @@ TEST(CGolden, SpmvIntoArrayMatchesVm) {
     EXPECT_NE(Out.find(Want), std::string::npos)
         << "missing " << Want << " in:\n" << Out;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Hashed destinations (compiled group-by) and hashed source bindings
+//===----------------------------------------------------------------------===//
+
+TEST(HashDest, ColumnGroupByMatchesDenseSums) {
+  // Σ_i A(i,j) accumulated into a hash-table destination keyed by j — the
+  // compiled group-by. Every column with a stored entry must own exactly
+  // one slot, and each slot must hold the dense column sum.
+  Rng R(41);
+  auto A = randomCsr(R, 12, 40, 60);
+
+  LowerCtx Ctx;
+  Ctx.setDim(AI(), 12);
+  Ctx.setDim(AJ(), 40);
+  Ctx.bind(csrBinding("A", AI(), AJ()));
+  VmMemory M;
+  bindCsr(M, "A", A);
+
+  const int64_t TabSize = 128;
+  M.setArrayI64("gkey", std::vector<int64_t>(TabSize, -1));
+  M.setArrayF64("gval", std::vector<double>(TabSize, 0.0));
+  PRef Prog = PStmt::seq2(
+      PStmt::declVar("gcnt", ImpType::I64, eConstI(0)),
+      compileExpr(Ctx, Expr::sum(AI(), Expr::var("A")),
+                  hashDest(f64Algebra(), "gkey", "gval", "gcnt", TabSize)));
+  ASSERT_FALSE(vmExecute(Prog, M).has_value());
+
+  std::vector<double> Want(40, 0.0);
+  std::vector<bool> Touched(40, false);
+  for (size_t I = 0; I < 12; ++I)
+    for (size_t P = static_cast<size_t>(A.Pos[I]);
+         P < static_cast<size_t>(A.Pos[I + 1]); ++P) {
+      Want[static_cast<size_t>(A.Crd[P])] += A.Val[P];
+      Touched[static_cast<size_t>(A.Crd[P])] = true;
+    }
+  int64_t WantGroups = 0;
+  for (bool T : Touched)
+    WantGroups += T;
+
+  EXPECT_EQ(std::get<int64_t>(*M.getScalar("gcnt")), WantGroups);
+  const auto *Key = M.getArray("gkey");
+  const auto *Val = M.getArray("gval");
+  std::vector<bool> SeenSlot(40, false);
+  for (int64_t H = 0; H < TabSize; ++H) {
+    int64_t K = std::get<int64_t>((*Key)[static_cast<size_t>(H)]);
+    if (K == -1)
+      continue;
+    ASSERT_GE(K, 0);
+    ASSERT_LT(K, 40);
+    EXPECT_TRUE(Touched[static_cast<size_t>(K)]) << "phantom key " << K;
+    EXPECT_FALSE(SeenSlot[static_cast<size_t>(K)]) << "duplicate key " << K;
+    SeenSlot[static_cast<size_t>(K)] = true;
+    EXPECT_NEAR(std::get<double>((*Val)[static_cast<size_t>(H)]),
+                Want[static_cast<size_t>(K)], 1e-9)
+        << "key " << K;
+  }
+  for (Idx J = 0; J < 40; ++J)
+    EXPECT_EQ(SeenSlot[static_cast<size_t>(J)],
+              Touched[static_cast<size_t>(J)])
+        << "column " << J;
+}
+
+TEST(CGolden, HashDestGroupByMatchesVm) {
+  // The same compiled group-by, emitted as C: the probe/insert loop is
+  // plain P code, so every slot of the hash table must match the VM's
+  // bit for bit (identical insertion order => identical layout).
+  Rng R(43);
+  auto A = randomCsr(R, 10, 30, 45);
+
+  LowerCtx Ctx;
+  Ctx.setDim(AI(), 10);
+  Ctx.setDim(AJ(), 30);
+  Ctx.bind(csrBinding("A", AI(), AJ()));
+
+  const int64_t TabSize = 64;
+  PRef Prog = PStmt::seq2(
+      PStmt::declVar("gcnt", ImpType::I64, eConstI(0)),
+      compileExpr(Ctx, Expr::sum(AI(), Expr::var("A")),
+                  hashDest(f64Algebra(), "gkey", "gval", "gcnt", TabSize)));
+
+  VmMemory M;
+  bindCsr(M, "A", A);
+  M.setArrayI64("gkey", std::vector<int64_t>(TabSize, -1));
+  M.setArrayF64("gval", std::vector<double>(TabSize, 0.0));
+  ASSERT_FALSE(vmExecute(Prog, M).has_value());
+  const auto *Key = M.getArray("gkey");
+  const auto *Val = M.getArray("gval");
+
+  VmMemory Inputs;
+  bindCsr(Inputs, "A", A);
+  Inputs.setArrayI64("gkey", std::vector<int64_t>(TabSize, -1));
+  Inputs.setArrayF64("gval", std::vector<double>(TabSize, 0.0));
+  std::string Out = compileAndRun(
+      emitCProgram(Prog, Inputs,
+                   {{"gcnt"}, {{"gkey", TabSize}, {"gval", TabSize}}}),
+      "etch_hashdest_golden");
+  EXPECT_NE(Out.find("gcnt=" + std::to_string(std::get<int64_t>(
+                                   *M.getScalar("gcnt")))),
+            std::string::npos)
+      << Out;
+  for (int64_t H = 0; H < TabSize; ++H) {
+    char Line[96];
+    std::snprintf(Line, sizeof(Line), "gkey[%lld]=%lld",
+                  static_cast<long long>(H),
+                  static_cast<long long>(std::get<int64_t>(
+                      (*Key)[static_cast<size_t>(H)])));
+    EXPECT_NE(Out.find(Line), std::string::npos)
+        << "missing " << Line << " in:\n" << Out;
+    std::snprintf(Line, sizeof(Line), "gval[%lld]=%.17g",
+                  static_cast<long long>(H),
+                  std::get<double>((*Val)[static_cast<size_t>(H)]));
+    EXPECT_NE(Out.find(Line), std::string::npos)
+        << "missing " << Line << " in:\n" << Out;
+  }
+}
+
+TEST(HashedBinding, HugeExtentIntersectionAgainstOracle) {
+  // x stored hashed over a 2^40 coordinate space (a dense or even
+  // compressed-with-binary-search binding would be unusable there for a
+  // build; the probe table costs O(nnz)); y compressed. The contraction
+  // Σ x*y runs the synHashed probe-then-fallback skip under every policy.
+  const Idx Extent = Idx(1) << 40;
+  std::vector<Idx> Shared = {17, 99991, 1048576, (Idx(1) << 35) + 5};
+  std::vector<Idx> OnlyX = {3, (Idx(1) << 30) + 1};
+  std::vector<Idx> OnlyY = {18, 99990, (Idx(1) << 39)};
+
+  HashedVector<double> X(Extent, Shared.size() + OnlyX.size());
+  double Want = 0.0;
+  double V = 1.0;
+  for (Idx C : Shared) {
+    X.accumulate(C, V);
+    Want += V * (V + 0.5);
+    V += 1.0;
+  }
+  for (Idx C : OnlyX)
+    X.accumulate(C, 100.0);
+  X.freeze();
+
+  SparseVector<double> Y;
+  Y.Size = Extent;
+  V = 1.0;
+  for (Idx C : Shared) {
+    Y.Crd.push_back(C);
+    Y.Val.push_back(V + 0.5);
+    V += 1.0;
+  }
+  for (Idx C : OnlyY) {
+    Y.Crd.push_back(C);
+    Y.Val.push_back(7.0);
+  }
+  std::sort(Y.Crd.begin(), Y.Crd.end());
+  // Re-derive values in sorted coordinate order.
+  for (size_t K = 0; K < Y.Crd.size(); ++K) {
+    bool IsShared = false;
+    for (size_t S = 0; S < Shared.size(); ++S)
+      if (Shared[S] == Y.Crd[K]) {
+        Y.Val[K] = static_cast<double>(S + 1) + 0.5;
+        IsShared = true;
+      }
+    if (!IsShared)
+      Y.Val[K] = 7.0;
+  }
+
+  for (SearchPolicy P :
+       {SearchPolicy::Linear, SearchPolicy::Binary, SearchPolicy::Gallop}) {
+    LowerCtx Ctx;
+    Ctx.setDim(AI(), Extent);
+    VmMemory M;
+    int64_t TabSize = bindHashedVector(M, "x", X);
+    Ctx.bind(hashedVecBinding("x", AI(), TabSize, P));
+    Ctx.bind(sparseVecBinding("y", AI(), P));
+    bindSparseVector(M, "y", Y);
+    double Got = scalarResult(Ctx, Expr::var("x") * Expr::var("y"), M);
+    EXPECT_NEAR(Got, Want, 1e-9) << "policy " << static_cast<int>(P);
+  }
+}
+
+TEST(CGolden, HashedBindingIntersectionMatchesVm) {
+  // A hashed source binding through the C backend: the emitted probe code
+  // (mod + linear wraparound over the baked _hkey0/_hpos0 arrays) must
+  // reproduce the VM's scalar exactly.
+  Rng R(44);
+  auto XS = randomSparseVector(R, 4000, 50);
+  auto Y = randomSparseVector(R, 4000, 300);
+  HashedVector<double> X(4000, XS.Crd.size());
+  for (size_t K = XS.Crd.size(); K-- > 0;)
+    X.accumulate(XS.Crd[K], XS.Val[K]);
+  X.freeze();
+
+  LowerCtx Ctx;
+  Ctx.setDim(AI(), 4000);
+  VmMemory M;
+  int64_t TabSize = bindHashedVector(M, "x", X);
+  Ctx.bind(hashedVecBinding("x", AI(), TabSize, SearchPolicy::Gallop));
+  Ctx.bind(sparseVecBinding("y", AI()));
+  bindSparseVector(M, "y", Y);
+
+  PRef Prog = compileFullContraction(
+      Ctx, Expr::var("x") * Expr::var("y"), "out");
+  ASSERT_FALSE(vmExecute(Prog, M).has_value());
+  double Want = std::get<double>(*M.getScalar("out"));
+
+  VmMemory Inputs;
+  bindHashedVector(Inputs, "x", X);
+  bindSparseVector(Inputs, "y", Y);
+  std::string Out = compileAndRun(
+      emitCProgram(Prog, Inputs, {{"out"}, {}}), "etch_hashed_golden");
+  char Line[64];
+  std::snprintf(Line, sizeof(Line), "out=%.17g", Want);
+  EXPECT_NE(Out.find(Line), std::string::npos) << Out;
 }
 
 TEST(CGolden, BinarySearchSkipCompiles) {

@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "formats/levels.h"
 #include "formats/random.h"
 #include "streams/eval.h"
 
@@ -201,6 +202,100 @@ TEST(Csr, TransposeHandlesEmptyMatrix) {
   EXPECT_EQ(T.NumCols, 4);
   EXPECT_EQ(T.nnz(), 0u);
   EXPECT_EQ(T.Pos, (std::vector<size_t>(7, 0)));
+}
+
+TEST(PackLevels, DenseOverCompressedMatchesCsr) {
+  // {Dense, Compressed} is exactly the CSR composition: pos1 segments the
+  // column fibers of every row, including empty ones.
+  std::vector<std::pair<std::array<Idx, 2>, double>> Sorted = {
+      {{0, 1}, 1.0}, {{3, 0}, 2.0}};
+  auto P = packLevels<double, 2>({LevelKind::Dense, LevelKind::Compressed},
+                                 {4, 4}, Sorted);
+  EXPECT_TRUE(P.Crd[0].empty()); // Dense levels carry no arrays.
+  EXPECT_EQ(P.Pos[1], (std::vector<size_t>{0, 1, 1, 1, 2}));
+  EXPECT_EQ(P.Crd[1], (std::vector<Idx>{1, 0}));
+  EXPECT_EQ(P.Val, (std::vector<double>{1.0, 2.0}));
+  // The CsrMatrix builder routes through the same packing.
+  auto M = CsrMatrix<double>::fromCoo(4, 4, {{0, 1, 1.0}, {3, 0, 2.0}});
+  EXPECT_EQ(M.Pos, P.Pos[1]);
+  EXPECT_EQ(M.Crd, P.Crd[1]);
+}
+
+TEST(PackLevels, CompressedOverCompressedMatchesDcsr) {
+  std::vector<std::pair<std::array<Idx, 2>, double>> Sorted = {
+      {{5, 1}, 1.0}, {{5, 7}, 2.0}, {{90, 2}, 3.0}};
+  auto P = packLevels<double, 2>(
+      {LevelKind::Compressed, LevelKind::Compressed}, {100, 100}, Sorted);
+  EXPECT_EQ(P.Crd[0], (std::vector<Idx>{5, 90}));
+  EXPECT_EQ(P.Pos[0], (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(P.Pos[1], (std::vector<size_t>{0, 2, 3}));
+  EXPECT_EQ(P.Crd[1], (std::vector<Idx>{1, 7, 2}));
+  auto M = DcsrMatrix<double>::fromCoo(100, 100,
+                                       {{5, 1, 1.0}, {5, 7, 2.0}, {90, 2, 3.0}});
+  EXPECT_EQ(M.RowCrd, P.Crd[0]);
+  EXPECT_EQ(M.Pos, P.Pos[1]);
+}
+
+TEST(PackLevels, RejectsUnsortedAndOutOfRange) {
+  std::vector<std::pair<std::array<Idx, 1>, double>> Dup = {{{2}, 1.0},
+                                                            {{2}, 2.0}};
+  EXPECT_DEATH((packLevels<double, 1>({LevelKind::Compressed}, {4}, Dup)),
+               "sorted, duplicate-free");
+  std::vector<std::pair<std::array<Idx, 1>, double>> Big = {{{9}, 1.0}};
+  EXPECT_DEATH((packLevels<double, 1>({LevelKind::Compressed}, {4}, Big)),
+               "out of range");
+}
+
+TEST(CoordHash, InsertLookupGrowAndUpdate) {
+  CoordHashTable T(0); // 16 buckets: growth must trigger below.
+  const size_t Initial = T.buckets();
+  for (Idx I = 0; I < 100; ++I)
+    EXPECT_EQ(T.insert(I * 1000003 + 7, static_cast<size_t>(I)),
+              static_cast<size_t>(I));
+  EXPECT_EQ(T.size(), 100u);
+  EXPECT_GT(T.buckets(), Initial); // Grew past 2/3 load.
+  for (Idx I = 0; I < 100; ++I)
+    EXPECT_EQ(T.lookup(I * 1000003 + 7), static_cast<size_t>(I));
+  EXPECT_EQ(T.lookup(12345), static_cast<size_t>(-1));
+  // Duplicate insert returns the stored position, not the new one.
+  EXPECT_EQ(T.insert(7, 999), 0u);
+  EXPECT_EQ(T.size(), 100u);
+  T.update(7, 42);
+  EXPECT_EQ(T.lookup(7), 42u);
+}
+
+TEST(HashedVectorFmt, AccumulateMergesAndFreezeSorts) {
+  HashedVector<double> H(1 << 20);
+  H.accumulate(777, 1.0);
+  H.accumulate(3, 2.0);
+  H.accumulate(777, 0.5); // Duplicate coordinate merges in place.
+  H.slot(100000) = 4.0;
+  EXPECT_EQ(H.nnz(), 3u);
+  EXPECT_FALSE(H.frozen());
+  H.freeze();
+  EXPECT_TRUE(H.frozen());
+  EXPECT_EQ(H.Crd, (std::vector<Idx>{3, 777, 100000}));
+  EXPECT_EQ(H.Val, (std::vector<double>{2.0, 1.5, 4.0}));
+  // The table now maps coordinates to sorted ranks.
+  EXPECT_EQ(H.table().lookup(777), 1u);
+  EXPECT_EQ(H.table().lookup(100000), 2u);
+  // Frozen vectors are immutable accumulators.
+  EXPECT_DEATH(H.accumulate(5, 1.0), "after freeze");
+}
+
+TEST(HashedVectorFmt, StreamAgreesWithSparseLayout) {
+  // Same data inserted unsorted into a hashed level and sorted into a
+  // sparse vector: identical relations under evaluation.
+  Rng R(21);
+  auto V = randomSparseVector(R, 5000, 120);
+  HashedVector<double> H(5000, V.nnz());
+  for (size_t P = V.nnz(); P-- > 0;) // Reverse order: freeze must sort.
+    H.accumulate(V.Crd[P], V.Val[P]);
+  H.freeze();
+  auto Want = evalStream<F64Semiring>(V.stream(), {AI()});
+  EXPECT_TRUE(
+      evalStream<F64Semiring>(H.stream(), {AI()}).approxEquals(Want));
+  EXPECT_TRUE(H.toKRelation<F64Semiring>(AI()).approxEquals(Want));
 }
 
 TEST(DenseVectorFmt, StreamVisitsEverySlot) {

@@ -109,6 +109,28 @@ TEST(FuzzShrink, ContractsUnderToyPredicate) {
   EXPECT_LE(fuzzCaseSize(Min), fuzzCaseSize(C));
 }
 
+TEST(FuzzExec, FormatsMatrixAgrees) {
+  // Deterministic slice of `etch-fuzz --formats`: every sparse vector
+  // re-materialized hashed must agree with the oracle on the stream legs,
+  // and hashed vs compressed compiled legs must agree bit-for-bit.
+  ThreadPool Pool(3);
+  int WithSparseVec = 0;
+  for (uint64_t Seed = 0; Seed < 150; ++Seed) {
+    FuzzCase C = genCase(Seed);
+    for (const FuzzTensor &T : C.Tensors)
+      if (T.Fmt == FuzzFormat::SparseVec) {
+        ++WithSparseVec;
+        break;
+      }
+    FuzzReport Rep = runFuzzFormats(C, Pool);
+    EXPECT_TRUE(Rep.ok()) << "seed " << Seed << ":\n"
+                          << Rep.toString() << "\n"
+                          << serializeCase(C);
+  }
+  // The slice must actually exercise the matrix, not vacuously skip it.
+  EXPECT_GT(WithSparseVec, 20) << "generator stopped emitting sparse vectors";
+}
+
 TEST(FuzzExec, TwoHundredSeedMatrixAgrees) {
   // The deterministic slice of the full campaign: every leg of the
   // executor matrix (oracle x stream policies x parallel drivers x VM

@@ -104,6 +104,23 @@ TEST(PlannerStats, CsrBuilderMatchesTuples) {
   EXPECT_EQ(S.Levels[1].Distinct, static_cast<int64_t>(Cols.size()));
 }
 
+TEST(PlannerStats, HashedVectorBuilderReportsHashedKind) {
+  HashedVector<double> X(Idx(1) << 20);
+  X.accumulate(7, 1.0);
+  X.accumulate(1000000, 2.0);
+  X.accumulate(7, 0.5); // Duplicate accumulation: still one entry.
+  X.freeze();
+  TensorStats S = statsOfHashedVector("h", X, plI());
+  EXPECT_EQ(S.Nnz, 2);
+  ASSERT_EQ(S.Levels.size(), 1u);
+  EXPECT_EQ(S.Levels[0].Kind, LevelSpec::Hashed);
+  EXPECT_EQ(S.Levels[0].Extent, Idx(1) << 20);
+  EXPECT_EQ(S.Levels[0].Distinct, 2);
+  EXPECT_TRUE(S.CanHash);
+  EXPECT_FALSE(S.CanTranspose);
+  EXPECT_NE(statsToString(S).find("hashed(pl_i:"), std::string::npos);
+}
+
 //===----------------------------------------------------------------------===//
 // Extraction
 //===----------------------------------------------------------------------===//
@@ -333,7 +350,7 @@ TEST(PlannerExplain, MatmulGolden) {
   ASSERT_TRUE(Best);
   EXPECT_EQ(Best->explain(M.Q),
             "order: pl_i < pl_j < pl_k\n"
-            "cost: 9.5 = 9.5 stream + 0 transpose\n"
+            "cost: 9.5 = 9.5 stream + 0 transpose + 0 rehash\n"
             "inputs:\n"
             "  A: dense(pl_i:2, distinct 2) compressed(pl_j:3, distinct 3)"
             " nnz 3\n"
@@ -378,7 +395,7 @@ TEST(PlannerExplain, TriangleGolden) {
   ASSERT_TRUE(Best);
   EXPECT_EQ(Best->explain(*Q),
             "order: pl_ga < pl_gb < pl_gc\n"
-            "cost: 16.3 = 16.3 stream + 0 transpose\n"
+            "cost: 50.5 = 50.5 stream + 0 transpose + 0 rehash\n"
             "inputs:\n"
             "  R: compressed(pl_ga:4, distinct 3) compressed(pl_gb:4,"
             " distinct 3) nnz 5\n"
@@ -398,6 +415,93 @@ TEST(PlannerExplain, TriangleGolden) {
             "  [as stored]\n"
             "  T: compressed(pl_ga, linear) -> compressed(pl_gc, linear)"
             "  [as stored]\n");
+}
+
+namespace {
+
+/// Hand-built single-level sparse-vector statistics over a huge key space,
+/// so every number in the hashed-selection goldens is checkable by hand.
+TensorStats sparseKeyStats(const char *Name, Attr A, int64_t Extent,
+                           int64_t Nnz) {
+  TensorStats S;
+  S.Name = Name;
+  S.Nnz = Nnz;
+  S.Levels = {{A, LevelSpec::Compressed, Extent, Nnz,
+               static_cast<double>(Nnz)}};
+  S.CanHash = true;
+  return S;
+}
+
+/// Σ_h s(h)·x(h) over a 2^40 key space: s drives with 5000 entries, x is
+/// probed and holds 20000.
+PlanQuery sparseKeyQuery() {
+  Attr Ah = Attr::named("pl_h");
+  const int64_t Extent = int64_t(1) << 40;
+  TypeContext Ctx;
+  Ctx["s"] = Shape{Ah};
+  Ctx["x"] = Shape{Ah};
+  ExprPtr Prod = mulExpand(Expr::var("s"), Expr::var("x"), Ctx);
+  EXPECT_TRUE(Prod);
+  ExprPtr E = Expr::sum(Ah, std::move(Prod));
+  std::map<std::string, TensorStats> Stats;
+  Stats["s"] = sparseKeyStats("s", Ah, Extent, 5000);
+  Stats["x"] = sparseKeyStats("x", Ah, Extent, 20000);
+  std::string Err;
+  auto Q = extractQuery(E, Ctx, Stats, {}, &Err);
+  EXPECT_TRUE(Q) << Err;
+  return *Q;
+}
+
+} // namespace
+
+TEST(PlannerCost, PicksHashedWhenProbesDominate) {
+  // Probe-vs-scan arithmetic: the driver visits x 5000 times. Compressed,
+  // each visit scans log2(2 + 20000) ≈ 14.3 — ≈ 7.1e4 total; hashed, each
+  // visit probes once (5e3) plus a 4e4 one-pass table build. Hashed wins;
+  // rehashing s (the driver, which pays no locates) never does.
+  PlanQuery Q = sparseKeyQuery();
+  auto Best = bestPlan(Q);
+  ASSERT_TRUE(Best);
+  ASSERT_EQ(Best->Accesses.size(), 2u);
+  const PlanAccess &S = Best->Accesses[0], &X = Best->Accesses[1];
+  EXPECT_EQ(S.Tensor, "s");
+  EXPECT_EQ(S.Levels[0].K, LevelSpec::Compressed);
+  EXPECT_FALSE(S.Rehashed);
+  EXPECT_EQ(X.Tensor, "x");
+  EXPECT_EQ(X.Levels[0].K, LevelSpec::Hashed);
+  EXPECT_TRUE(X.Rehashed);
+  // The probe table the caller must build: 2^ceil(log2(2*20000)).
+  EXPECT_EQ(X.Levels[0].TabSize, 65536);
+  EXPECT_DOUBLE_EQ(Best->RehashCost, 2.0 * 20000);
+
+  // The same plan under AllowHashed = false keeps both compressed and
+  // pays the scan charge instead.
+  PlanOptions NoHash;
+  NoHash.AllowHashed = false;
+  auto Stored = bestPlan(Q, NoHash);
+  ASSERT_TRUE(Stored);
+  for (const PlanAccess &A : Stored->Accesses)
+    EXPECT_EQ(A.Levels[0].K, LevelSpec::Compressed);
+  EXPECT_GT(Stored->cost(), Best->cost());
+}
+
+TEST(PlannerExplain, SparseKeyHashedGolden) {
+  PlanQuery Q = sparseKeyQuery();
+  auto Best = bestPlan(Q);
+  ASSERT_TRUE(Best);
+  EXPECT_EQ(Best->explain(Q),
+            "order: pl_h\n"
+            "cost: 5e+04 = 1e+04 stream + 0 transpose + 4e+04 rehash\n"
+            "inputs:\n"
+            "  s: compressed(pl_h:1099511627776, distinct 5000) nnz 5000\n"
+            "  x: compressed(pl_h:1099511627776, distinct 20000) nnz"
+            " 20000\n"
+            "term 1: Σpl_h s(pl_h) · x(pl_h)\n"
+            "  Σ pl_h [1099511627776]: iters 5e+03, visits 5e+03, drivers"
+            " s x\n"
+            "accesses:\n"
+            "  s: compressed(pl_h, gallop)  [as stored]\n"
+            "  x: hashed(pl_h, gallop)  [hashed copy]\n");
 }
 
 //===----------------------------------------------------------------------===//
@@ -462,6 +566,73 @@ TEST(PlannerRealize, PlannedMatmulMatchesOracleAllOrders) {
   }
   // The sweep exercised both storage orientations.
   EXPECT_GT(Transposed, 0u);
+}
+
+TEST(PlannerRealize, PlannedHashedAccessMatchesOracle) {
+  // Σ_h s(h)·x(h) over a 2^40 key space with real data: x holds 4000
+  // entries, s the 1000 entries at every 4th coordinate of x. The saving
+  // (1000 probes replacing 1000 log2(4002)-deep scans) beats the 8000
+  // table-build charge, so the best plan re-formats x as hashed; the test
+  // then binds the hashed copy and runs the planned kernel.
+  Attr Ah = Attr::named("pl_e2h");
+  const Idx Space = Idx(1) << 40;
+  SparseVector<double> Xv(Space), Sv(Space);
+  double Want = 0.0;
+  for (Idx I = 0; I < 4000; ++I) {
+    Idx C = I * 1000003 + 17;
+    double V = 1.0 + 0.25 * static_cast<double>(I % 7);
+    Xv.push(C, V);
+    if (I % 4 == 0) {
+      double W = 2.0 - 0.125 * static_cast<double>(I % 5);
+      Sv.push(C, W);
+      Want += V * W;
+    }
+  }
+
+  TypeContext Ctx;
+  Ctx["s"] = Shape{Ah};
+  Ctx["x"] = Shape{Ah};
+  ExprPtr Prod = mulExpand(Expr::var("s"), Expr::var("x"), Ctx);
+  ASSERT_TRUE(Prod);
+  ExprPtr E = Expr::sum(Ah, std::move(Prod));
+  std::map<std::string, TensorStats> Stats;
+  Stats["s"] = statsOfSparseVector("s", Sv, Ah);
+  Stats["x"] = statsOfSparseVector("x", Xv, Ah);
+  std::string Err;
+  auto Q = extractQuery(E, Ctx, Stats, {}, &Err);
+  ASSERT_TRUE(Q) << Err;
+  auto Best = bestPlan(*Q);
+  ASSERT_TRUE(Best);
+
+  RealizedPlan RP = realizePlan(*Q, *Best, "pt_hash");
+  LowerCtx LCtx;
+  installPlan(LCtx, RP);
+  VmMemory M;
+  size_t Hashed = 0;
+  for (const PlanAccess &Acc : RP.Accesses) {
+    const SparseVector<double> &Src = Acc.Tensor == "x" ? Xv : Sv;
+    if (Acc.Levels[0].K == LevelSpec::Hashed) {
+      ++Hashed;
+      HashedVector<double> H(Src.Size, Src.nnz());
+      for (size_t I = 0; I < Src.nnz(); ++I)
+        H.accumulate(Src.Crd[I], Src.Val[I]);
+      H.freeze();
+      int64_t TabSize = bindHashedVector(M, Acc.bindName(), H);
+      // The data-derived table size must match what the plan promised the
+      // lowering (the emitted probes index arrays of exactly this size).
+      EXPECT_EQ(TabSize, Acc.Levels[0].TabSize);
+    } else {
+      bindSparseVector(M, Acc.bindName(), Src);
+    }
+  }
+  EXPECT_EQ(Hashed, 1u) << "the cost model should rehash exactly x";
+
+  PRef Prog = compileFullContraction(LCtx, RP.E, "out");
+  auto VmErr = vmExecute(Prog, M);
+  ASSERT_FALSE(VmErr.has_value()) << *VmErr;
+  auto V = M.getScalar("out");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_NEAR(std::get<double>(*V), Want, 1e-9 * std::abs(Want));
 }
 
 TEST(PlannerRealize, InstallPlanSetsBindingsAndDims) {

@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "relational/groupby.h"
 #include "relational/joinplan.h"
 #include "relational/queries.h"
 
@@ -67,8 +68,9 @@ TEST(Q5, AllEnginesAgree) {
   double Total = std::accumulate(Ref.begin(), Ref.end(), 0.0);
   EXPECT_GT(Total, 0.0);
   for (size_t N = 0; N < 25; ++N)
-    if (Db.NationRegion[N] != TpchDb::asiaRegion())
+    if (Db.NationRegion[N] != TpchDb::asiaRegion()) {
       EXPECT_EQ(Ref[N], 0.0) << "nation " << N;
+    }
 }
 
 TEST(Q9, AllEnginesAgree) {
@@ -85,6 +87,55 @@ TEST(Q9, AllEnginesAgree) {
                                    return A + std::fabs(B);
                                  });
   EXPECT_GT(Total, 0.0);
+}
+
+TEST(SparseKeyRevenue, MatchesReference) {
+  // Revenue grouped by the 2^40-sparse external customer id: the hashed
+  // group-by path against the dense-over-dictionary-keys oracle.
+  TpchDb Db = generateTpch(0.02);
+  auto Got = revenueBySparseKey(Db);
+  auto Want = revenueBySparseKeyReference(Db);
+  ASSERT_EQ(Got.size(), Want.size());
+  ASSERT_GT(Got.size(), 0u);
+  for (size_t K = 0; K < Got.size(); ++K) {
+    EXPECT_EQ(Got[K].first, Want[K].first) << "row " << K;
+    double Scale = std::max(1.0, std::fabs(Want[K].second));
+    EXPECT_NEAR(Got[K].second, Want[K].second, 1e-6 * Scale) << "row " << K;
+  }
+  // Results are in id order over the sparse space, not custkey order.
+  for (size_t K = 1; K < Got.size(); ++K)
+    EXPECT_LT(Got[K - 1].first, Got[K].first);
+}
+
+TEST(GroupByGuardDeathTest, DenseOverSparseKeySpaceDies) {
+  EXPECT_DEATH(DenseGroupBy<double>(MaxDenseGroupByExtent + 1),
+               "dense group-by over a sparse key space");
+}
+
+TEST(GroupBySelect, CutoffPicksLayoutAndAgrees) {
+  GroupBy<double> Small(GroupBy<double>::DenseCutoff);
+  EXPECT_TRUE(Small.isDense());
+  GroupBy<double> Big(Idx(1) << 40, 8);
+  EXPECT_FALSE(Big.isDense());
+  EXPECT_FALSE(GroupBy<double>(GroupBy<double>::DenseCutoff + 1).isDense());
+  // Same adds into both layouts (keys clamped to the small extent) must
+  // produce the same sorted entries.
+  for (Idx K : {Idx(3), Idx(700), Idx(3), Idx(41)}) {
+    Small.add(K, 1.5);
+    Big.add(K, 1.5);
+  }
+  Big.add(Idx(1) << 39, 2.5); // Far outside any dense extent.
+  auto SE = Small.sortedEntries();
+  auto BE = Big.sortedEntries();
+  ASSERT_EQ(BE.size(), SE.size() + 1);
+  for (size_t K = 0; K < SE.size(); ++K) {
+    EXPECT_EQ(BE[K].first, SE[K].first);
+    EXPECT_DOUBLE_EQ(BE[K].second, SE[K].second);
+  }
+  EXPECT_EQ(BE.back().first, Idx(1) << 39);
+  EXPECT_DOUBLE_EQ(BE.back().second, 2.5);
+  // The hashed pick stays O(groups): far below one slot per key.
+  EXPECT_LT(Big.memoryBytes(), size_t(64) << 10);
 }
 
 TEST(Triangle, WorstCaseCountIsLinear) {

@@ -17,6 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "formats/levels.h"
 #include "formats/matrices.h"
 #include "formats/random.h"
 #include "formats/vectors.h"
@@ -137,6 +138,113 @@ TEST_P(StreamLaws, MulOfAddComposite) {
     EXPECT_TRUE(checkSkipLawful<F64Semiring>(Q, Shape{attrL()}, I, B));
 }
 
+/// The same support as \p X, inserted in reverse order into a hashed
+/// level (freeze must re-sort for the laws to have a chance).
+HashedVector<double> hashedFrom(const SparseVector<double> &X) {
+  HashedVector<double> H(X.Size, X.nnz());
+  for (size_t P = X.nnz(); P-- > 0;)
+    H.accumulate(X.Crd[P], X.Val[P]);
+  H.freeze();
+  return H;
+}
+
+TEST_P(StreamLaws, HashedPrimitiveAllPolicies) {
+  // A hashed level's stream iterates the sorted snapshot, so it owes the
+  // same proof obligations as any compressed primitive — including under
+  // skips that hit the probe table's O(1) path.
+  Rng R(GetParam() + 900);
+  const Idx N = 80;
+  auto X = randomSparseVector(R, N, R.nextBelow(40) + 1);
+  HashedVector<double> H = hashedFrom(X);
+  auto Probes = probesFor(R, N, 16);
+  auto Check = [&](auto Q) {
+    EXPECT_TRUE(checkStrictMonotone(Q));
+    EXPECT_TRUE(checkSkipMonotone(Q, Probes));
+    for (auto [I, B] : Probes)
+      EXPECT_TRUE(checkSkipLawful<F64Semiring>(Q, Shape{attrL()}, I, B))
+          << "probe (" << I << ", " << B << ")";
+  };
+  Check(H.stream<SearchPolicy::Linear>());
+  Check(H.stream<SearchPolicy::Binary>());
+  Check(H.stream<SearchPolicy::Gallop>());
+}
+
+TEST_P(StreamLaws, HashedObservationallyEqualsSparse) {
+  // Same data, either layout: evaluation agrees for every policy, and the
+  // hashed stream walks the exact same (index, ready, value) trajectory
+  // as the sparse one.
+  Rng R(GetParam() + 1000);
+  const Idx N = 200;
+  auto X = randomSparseVector(R, N, R.nextBelow(60) + 1);
+  HashedVector<double> H = hashedFrom(X);
+  Shape Sh{attrL()};
+  auto Want = evalStream<F64Semiring>(X.stream(), Sh);
+  EXPECT_TRUE(
+      evalStream<F64Semiring>(H.stream<SearchPolicy::Linear>(), Sh)
+          .equals(Want));
+  EXPECT_TRUE(
+      evalStream<F64Semiring>(H.stream<SearchPolicy::Binary>(), Sh)
+          .equals(Want));
+  EXPECT_TRUE(
+      evalStream<F64Semiring>(H.stream<SearchPolicy::Gallop>(), Sh)
+          .equals(Want));
+}
+
+TEST_P(StreamLaws, HashedInMulComposite) {
+  // Intersections drive the probe-first skip: a hashed factor zipped with
+  // a sparse one must satisfy the laws and match the all-sparse product.
+  Rng R(GetParam() + 1100);
+  const Idx N = 120;
+  auto X = randomSparseVector(R, N, R.nextBelow(50) + 1);
+  auto Y = randomSparseVector(R, N, R.nextBelow(50) + 1);
+  HashedVector<double> H = hashedFrom(Y);
+  auto Q = mulStreams<F64Semiring>(X.stream(),
+                                   H.stream<SearchPolicy::Gallop>());
+  EXPECT_TRUE(checkStrictMonotone(Q));
+  auto Probes = probesFor(R, N, 12);
+  EXPECT_TRUE(checkSkipMonotone(Q, Probes));
+  for (auto [I, B] : Probes)
+    EXPECT_TRUE(checkSkipLawful<F64Semiring>(Q, Shape{attrL()}, I, B));
+  Shape Sh{attrL()};
+  EXPECT_TRUE(evalStream<F64Semiring>(Q, Sh).equals(evalStream<F64Semiring>(
+      mulStreams<F64Semiring>(X.stream(), Y.stream()), Sh)));
+}
+
+TEST(StreamLawsEdge, HashedStrictSkipSaturates) {
+  HashedVector<double> H(100);
+  for (Idx I : {10, 20, 30, 40})
+    H.accumulate(I, static_cast<double>(I));
+  H.freeze();
+  auto Q = H.stream();
+  Q.skip(40, true); // Strictly past the last coordinate: terminal.
+  EXPECT_FALSE(Q.valid());
+  Q.skip(0, false); // Terminal state is fixed.
+  EXPECT_FALSE(Q.valid());
+}
+
+TEST(StreamLawsEdge, HashedProbeHitLandsExactly) {
+  // A skip to a stored coordinate takes the O(1) probe path and must land
+  // on it ready; a probe miss falls back to the policy search and lands
+  // on the successor.
+  HashedVector<double> H(Idx(1) << 20, 8);
+  for (Idx I : {3, 1000, 65536, 999999})
+    H.accumulate(I, 1.5);
+  H.freeze();
+  auto Q = H.stream<SearchPolicy::Linear>();
+  Q.skip(65536, false);
+  ASSERT_TRUE(Q.valid());
+  EXPECT_EQ(Q.index(), 65536);
+  EXPECT_TRUE(Q.ready());
+  EXPECT_EQ(Q.value(), 1.5);
+  auto Q2 = H.stream<SearchPolicy::Gallop>();
+  Q2.skip(65537, false);
+  ASSERT_TRUE(Q2.valid());
+  EXPECT_EQ(Q2.index(), 999999);
+  // Probe hits never move the stream backwards (lawfulness would break).
+  Q2.skip(3, false);
+  EXPECT_EQ(Q2.index(), 999999);
+}
+
 TEST(StreamLawsEdge, TerminalStateIsFixed) {
   SparseVector<double> X(10);
   X.push(4, 1.0);
@@ -211,6 +319,15 @@ template <typename A, typename B> void expectLockstep(A Fast, B Slow) {
   }
   EXPECT_FALSE(Fast.valid());
   EXPECT_FALSE(Slow.valid());
+}
+
+TEST_P(StreamLaws, HashedLockstepWithSparse) {
+  // The hashed stream walks the exact same (valid, index, ready, value)
+  // trajectory as a sparse stream over the same data.
+  Rng R(GetParam() + 1200);
+  auto X = randomSparseVector(R, 200, R.nextBelow(60) + 1);
+  HashedVector<double> H = hashedFrom(X);
+  expectLockstep(X.stream(), H.stream());
 }
 
 TEST_P(StreamLaws, AddNextMatchesStrictSkipFlat) {

@@ -47,6 +47,7 @@ struct Options {
   std::string ReplayPath;
   bool NoShrink = false;
   bool Verbose = false;
+  bool Formats = false; // also run the level-format cross-check matrix
   double HugeProb = 0.10;
   size_t Orders = 1; // legal attribute orders per case; 1 = original only
   VmBackend Backend = VmBackend::Both;
@@ -57,7 +58,7 @@ struct Options {
       stderr,
       "usage: %s [--seeds N] [--start S] [--time-budget SEC]\n"
       "          [--corpus DIR] [--replay FILE|DIR] [--no-shrink]\n"
-      "          [--orders N] [--huge-prob P] [--verbose]\n"
+      "          [--orders N] [--huge-prob P] [--formats] [--verbose]\n"
       "          [--backend tree|bytecode|both]\n",
       Argv0);
   std::exit(2);
@@ -84,6 +85,8 @@ Options parseArgs(int Argc, char **Argv) {
       O.ReplayPath = Next();
     else if (A == "--no-shrink")
       O.NoShrink = true;
+    else if (A == "--formats")
+      O.Formats = true;
     else if (A == "--verbose")
       O.Verbose = true;
     else if (A == "--huge-prob")
@@ -104,6 +107,17 @@ Options parseArgs(int Argc, char **Argv) {
       usage(Argv[0]);
   }
   return O;
+}
+
+/// The executor matrix, plus the level-format matrix under --formats (its
+/// divergences are appended, so shrinking and repro comments see both).
+FuzzReport runMatrix(const FuzzCase &C, const Options &O) {
+  FuzzReport Rep = runFuzzCase(C, O.Backend);
+  if (O.Formats && !Rep.Invalid) {
+    FuzzReport FRep = runFuzzFormats(C, O.Backend);
+    Rep.Divs.insert(Rep.Divs.end(), FRep.Divs.begin(), FRep.Divs.end());
+  }
+  return Rep;
 }
 
 /// The legs a report diverged on, comma-joined (for the repro comment).
@@ -142,7 +156,7 @@ int replay(const Options &O) {
       ++Bad;
       continue;
     }
-    FuzzReport Rep = runFuzzCase(*C, O.Backend);
+    FuzzReport Rep = runMatrix(*C, O);
     if (Rep.ok()) {
       // A clean matrix run still has to agree under alternative attribute
       // orders, so harvested cases guard regressions regardless of which
@@ -185,7 +199,7 @@ int fuzz(const Options &O) {
       break;
     }
     FuzzCase C = genCase(Seed, GO);
-    FuzzReport Rep = runFuzzCase(C, O.Backend);
+    FuzzReport Rep = runMatrix(C, O);
     ++Ran;
     if (O.Verbose && Ran % 100 == 0)
       std::printf("... %llu seeds, %llu divergence(s), %.1fs\n",
@@ -218,7 +232,7 @@ int fuzz(const Options &O) {
     // A matrix divergence shrinks under the plain matrix; an order-only
     // divergence must keep failing the sweep, or shrinking loses the bug.
     auto StillFails = [&O, MatrixFail](const FuzzCase &Cand) {
-      return MatrixFail ? runFuzzCase(Cand, O.Backend).failing()
+      return MatrixFail ? runMatrix(Cand, O).failing()
                         : runFuzzCaseOrders(Cand, O.Orders, O.Backend).failing();
     };
     FuzzCase Min = C;
@@ -230,7 +244,7 @@ int fuzz(const Options &O) {
     }
     std::string Comment = "seed " + std::to_string(Seed);
     if (MatrixFail)
-      Comment += "; diverging legs: " + legList(runFuzzCase(Min, O.Backend));
+      Comment += "; diverging legs: " + legList(runMatrix(Min, O));
     else
       Comment += "; diverges under an attribute-order sweep (--orders)";
     if (!O.CorpusDir.empty()) {
