@@ -1,0 +1,937 @@
+//===- compiler/jit.cpp - JIT-to-native backend ---------------------------===//
+
+#include "compiler/jit.h"
+
+#include "compiler/bytecode.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+using namespace etch;
+namespace fs = std::filesystem;
+
+//===----------------------------------------------------------------------===//
+// SHA-256 (content addressing)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Sha256 {
+public:
+  void update(const void *Data, size_t N) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    Total += N;
+    while (N) {
+      size_t Take = std::min(N, sizeof(Buf) - BufLen);
+      std::memcpy(Buf + BufLen, P, Take);
+      BufLen += Take;
+      P += Take;
+      N -= Take;
+      if (BufLen == sizeof(Buf)) {
+        block(Buf);
+        BufLen = 0;
+      }
+    }
+  }
+
+  std::string hex() {
+    uint64_t BitLen = Total * 8;
+    uint8_t Pad = 0x80;
+    update(&Pad, 1);
+    uint8_t Zero = 0;
+    while (BufLen != 56)
+      update(&Zero, 1);
+    // BitLen was latched before the padding, so the extra update()s below
+    // cannot distort the encoded message length.
+    uint8_t LenBE[8];
+    for (int I = 0; I < 8; ++I)
+      LenBE[I] = static_cast<uint8_t>(BitLen >> (56 - 8 * I));
+    update(LenBE, 8);
+    static const char *Digits = "0123456789abcdef";
+    std::string Out;
+    Out.reserve(64);
+    for (uint32_t W : H)
+      for (int I = 28; I >= 0; I -= 4)
+        Out += Digits[(W >> I) & 0xF];
+    return Out;
+  }
+
+private:
+  static uint32_t rotr(uint32_t X, int N) { return (X >> N) | (X << (32 - N)); }
+
+  void block(const uint8_t *P) {
+    static const uint32_t K[64] = {
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+        0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+        0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+        0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+        0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+        0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+        0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+        0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+        0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+        0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+        0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+        0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+    uint32_t W[64];
+    for (int I = 0; I < 16; ++I)
+      W[I] = static_cast<uint32_t>(P[4 * I]) << 24 |
+             static_cast<uint32_t>(P[4 * I + 1]) << 16 |
+             static_cast<uint32_t>(P[4 * I + 2]) << 8 |
+             static_cast<uint32_t>(P[4 * I + 3]);
+    for (int I = 16; I < 64; ++I) {
+      uint32_t S0 = rotr(W[I - 15], 7) ^ rotr(W[I - 15], 18) ^ (W[I - 15] >> 3);
+      uint32_t S1 = rotr(W[I - 2], 17) ^ rotr(W[I - 2], 19) ^ (W[I - 2] >> 10);
+      W[I] = W[I - 16] + S0 + W[I - 7] + S1;
+    }
+    uint32_t A = H[0], B = H[1], C = H[2], D = H[3], E = H[4], F = H[5],
+             G = H[6], Hh = H[7];
+    for (int I = 0; I < 64; ++I) {
+      uint32_t S1 = rotr(E, 6) ^ rotr(E, 11) ^ rotr(E, 25);
+      uint32_t Ch = (E & F) ^ (~E & G);
+      uint32_t T1 = Hh + S1 + Ch + K[I] + W[I];
+      uint32_t S0 = rotr(A, 2) ^ rotr(A, 13) ^ rotr(A, 22);
+      uint32_t Maj = (A & B) ^ (A & C) ^ (B & C);
+      uint32_t T2 = S0 + Maj;
+      Hh = G;
+      G = F;
+      F = E;
+      E = D + T1;
+      D = C;
+      C = B;
+      B = A;
+      A = T1 + T2;
+    }
+    H[0] += A;
+    H[1] += B;
+    H[2] += C;
+    H[3] += D;
+    H[4] += E;
+    H[5] += F;
+    H[6] += G;
+    H[7] += Hh;
+  }
+
+  uint32_t H[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                   0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  uint64_t Total = 0;
+  uint8_t Buf[64];
+  size_t BufLen = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Shelling out
+//===----------------------------------------------------------------------===//
+
+std::string shellQuote(const std::string &S) {
+  std::string Out = "'";
+  for (char C : S) {
+    if (C == '\'')
+      Out += "'\\''";
+    else
+      Out += C;
+  }
+  Out += "'";
+  return Out;
+}
+
+/// Runs \p Cmd (stderr folded into stdout), capturing output. Returns the
+/// exit status, or -1 when the shell could not be spawned.
+int runCommand(const std::string &Cmd, std::string *Output) {
+  FILE *P = popen((Cmd + " 2>&1").c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  std::string Out;
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  int St = pclose(P);
+  if (Output)
+    *Output = std::move(Out);
+  return St;
+}
+
+std::string firstLine(const std::string &S) {
+  size_t Nl = S.find('\n');
+  return Nl == std::string::npos ? S : S.substr(0, Nl);
+}
+
+constexpr const char *JitFlags = "-O2 -fPIC -shared";
+
+std::atomic<uint64_t> TmpCounter{0};
+
+/// Writes \p Data to \p Path atomically (temp in the same dir + rename).
+bool atomicWrite(const fs::path &Path, const std::string &Data,
+                 std::string *Err) {
+  fs::path Tmp = Path;
+  Tmp += ".tmp" + std::to_string(getpid()) + "." +
+         std::to_string(TmpCounter.fetch_add(1));
+  {
+    std::ofstream Os(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Os || !(Os << Data)) {
+      if (Err)
+        *Err = "cannot write " + Tmp.string();
+      return false;
+    }
+  }
+  std::error_code Ec;
+  fs::rename(Tmp, Path, Ec);
+  if (Ec) {
+    if (Err)
+      *Err = "cannot rename " + Tmp.string() + ": " + Ec.message();
+    fs::remove(Tmp, Ec);
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Toolchain probe and caches
+//===----------------------------------------------------------------------===//
+
+struct JitState {
+  std::mutex Mu;
+  bool Probed = false;
+  JitToolchain Tc;
+  JitCacheStats Stats;
+  std::unordered_map<std::string, NativeKernelRef> Handles;
+};
+
+JitState &state() {
+  static JitState S;
+  return S;
+}
+
+/// Compiles \p Src to \p SoPath with the probed toolchain. The object is
+/// built next to its final name and renamed in, so concurrent compiles of
+/// the same key are benign.
+bool compileTo(const JitToolchain &Tc, const fs::path &SrcPath,
+               const fs::path &SoPath, std::string *Err) {
+  fs::path Tmp = SoPath;
+  Tmp += ".tmp" + std::to_string(getpid()) + "." +
+         std::to_string(TmpCounter.fetch_add(1));
+  std::string Out;
+  int St = runCommand(Tc.Cmd + " " + Tc.Flags + " -o " +
+                          shellQuote(Tmp.string()) + " " +
+                          shellQuote(SrcPath.string()),
+                      &Out);
+  if (St != 0) {
+    if (Err) {
+      while (!Out.empty() && (Out.back() == '\n' || Out.back() == '\r'))
+        Out.pop_back();
+      if (Out.size() > 800)
+        Out = Out.substr(0, 800) + "...";
+      *Err = "compile failed (status " + std::to_string(St) + "): " + Out;
+    }
+    std::error_code Ec;
+    fs::remove(Tmp, Ec);
+    return false;
+  }
+  std::error_code Ec;
+  fs::rename(Tmp, SoPath, Ec);
+  if (Ec) {
+    if (Err)
+      *Err = "cannot rename " + Tmp.string() + ": " + Ec.message();
+    fs::remove(Tmp, Ec);
+    return false;
+  }
+  return true;
+}
+
+/// dlopens \p SoPath and resolves the entry point, checking the baked ABI
+/// version. Any failure reads as cache corruption / staleness.
+bool loadKernel(const fs::path &SoPath, void **Handle, EtchJitEntryFn *Entry,
+                std::string *Err) {
+  void *H = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!H) {
+    if (Err)
+      *Err = std::string("dlopen failed: ") + dlerror();
+    return false;
+  }
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    dlclose(H);
+    return false;
+  };
+  void *AbiSym = dlsym(H, "etch_jit_abi");
+  if (!AbiSym)
+    return Fail("kernel lacks the etch_jit_abi symbol");
+  if (*static_cast<int32_t *>(AbiSym) != EtchJitAbi)
+    return Fail("kernel ABI version mismatch");
+  void *EntrySym = dlsym(H, EtchJitEntrySymbol);
+  if (!EntrySym)
+    return Fail(std::string("kernel lacks the ") + EtchJitEntrySymbol +
+                " symbol");
+  *Handle = H;
+  *Entry = reinterpret_cast<EtchJitEntryFn>(EntrySym);
+  return true;
+}
+
+/// A minimal end-to-end probe: compile and load a trivial translation
+/// unit, proving both the compiler and dlopen work before any real kernel
+/// trusts them.
+void probeLocked(JitState &S) {
+  if (S.Probed)
+    return;
+  S.Probed = true;
+  JitToolchain &Tc = S.Tc;
+  const char *Env = std::getenv("ETCH_CC");
+  if (!Env || !*Env)
+    Env = std::getenv("CC");
+  Tc.Cmd = Env && *Env ? Env : "cc";
+  Tc.Flags = JitFlags;
+
+  std::string VerOut;
+  if (runCommand(Tc.Cmd + " --version", &VerOut) == 0)
+    Tc.VersionLine = firstLine(VerOut);
+  else
+    Tc.VersionLine = "unknown";
+
+  std::string Dir = jitCacheDir();
+  fs::path Src = fs::path(Dir) / ("probe" + std::to_string(getpid()) + ".c");
+  fs::path So = fs::path(Dir) / ("probe" + std::to_string(getpid()) + ".so");
+  std::string Err;
+  Tc.Available = false;
+  if (!atomicWrite(Src, "int etch_jit_probe(void) { return 7; }\n", &Err)) {
+    Tc.Diag = "cache dir not writable: " + Err;
+  } else if (!compileTo(Tc, Src, So, &Err)) {
+    Tc.Diag = "probe " + Err;
+  } else {
+    void *H = dlopen(So.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!H) {
+      Tc.Diag = std::string("probe dlopen failed: ") + dlerror();
+    } else {
+      using ProbeFn = int (*)(void);
+      auto Fn = reinterpret_cast<ProbeFn>(dlsym(H, "etch_jit_probe"));
+      if (Fn && Fn() == 7)
+        Tc.Available = true;
+      else
+        Tc.Diag = "probe kernel misbehaved";
+      dlclose(H);
+    }
+  }
+  std::error_code Ec;
+  fs::remove(Src, Ec);
+  fs::remove(So, Ec);
+}
+
+} // namespace
+
+const JitToolchain &etch::jitToolchain() {
+  JitState &S = state();
+  std::lock_guard<std::mutex> L(S.Mu);
+  probeLocked(S);
+  return S.Tc;
+}
+
+void etch::jitResetToolchainForTest() {
+  JitState &S = state();
+  std::lock_guard<std::mutex> L(S.Mu);
+  S.Probed = false;
+  S.Tc = JitToolchain();
+  S.Handles.clear();
+}
+
+JitCacheStats etch::jitCacheStats() {
+  JitState &S = state();
+  std::lock_guard<std::mutex> L(S.Mu);
+  return S.Stats;
+}
+
+void etch::jitResetCacheStatsForTest() {
+  JitState &S = state();
+  std::lock_guard<std::mutex> L(S.Mu);
+  S.Stats = JitCacheStats();
+  S.Handles.clear();
+}
+
+std::string etch::jitCacheDir(const std::string &Override) {
+  std::string Dir = Override;
+  if (Dir.empty())
+    if (const char *E = std::getenv("ETCH_JIT_CACHE"); E && *E)
+      Dir = E;
+  if (Dir.empty()) {
+    if (const char *X = std::getenv("XDG_CACHE_HOME"); X && *X)
+      Dir = std::string(X) + "/etch-jit-cache";
+    else if (const char *Home = std::getenv("HOME"); Home && *Home)
+      Dir = std::string(Home) + "/.cache/etch-jit-cache";
+    else
+      Dir = "/tmp/etch-jit-cache-" + std::to_string(getuid());
+  }
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  return Dir;
+}
+
+int etch::jitEvictCache(const std::string &Dir, uint64_t MaxBytes) {
+  struct Entry {
+    std::string Stem;
+    fs::file_time_type Newest{};
+    uint64_t Bytes = 0;
+    std::vector<fs::path> Files;
+  };
+  std::unordered_map<std::string, Entry> ByStem;
+  uint64_t Total = 0;
+  std::error_code Ec;
+  for (fs::directory_iterator It(Dir, Ec), End; !Ec && It != End;
+       It.increment(Ec)) {
+    if (!It->is_regular_file(Ec))
+      continue;
+    const fs::path &P = It->path();
+    Entry &E = ByStem[P.stem().string()];
+    E.Stem = P.stem().string();
+    uint64_t Sz = It->file_size(Ec);
+    auto Mt = fs::last_write_time(P, Ec);
+    E.Bytes += Sz;
+    E.Newest = std::max(E.Newest, Mt);
+    E.Files.push_back(P);
+    Total += Sz;
+  }
+  if (Total <= MaxBytes)
+    return 0;
+  std::vector<const Entry *> Order;
+  Order.reserve(ByStem.size());
+  for (const auto &[_, E] : ByStem)
+    Order.push_back(&E);
+  std::sort(Order.begin(), Order.end(), [](const Entry *A, const Entry *B) {
+    return A->Newest < B->Newest;
+  });
+  int Evicted = 0;
+  for (const Entry *E : Order) {
+    if (Total <= MaxBytes)
+      break;
+    for (const fs::path &P : E->Files)
+      fs::remove(P, Ec);
+    Total -= std::min(Total, E->Bytes);
+    ++Evicted;
+  }
+  return Evicted;
+}
+
+//===----------------------------------------------------------------------===//
+// jitCompile
+//===----------------------------------------------------------------------===//
+
+std::string etch::jitSha256Hex(const std::string &Data) {
+  Sha256 S;
+  S.update(Data.data(), Data.size());
+  return S.hex();
+}
+
+NativeKernelRef etch::jitCompile(const PRef &Body, const JitOptions &Opts,
+                                 std::string *Err) {
+  std::string ManifestErr;
+  auto Manifest = deriveKernelManifest(Body, &ManifestErr);
+  if (!Manifest) {
+    if (Err)
+      *Err = "program outside the kernel fragment: " + ManifestErr;
+    return nullptr;
+  }
+
+  const JitToolchain &Tc = jitToolchain();
+  if (!Tc.Available) {
+    if (Err)
+      *Err = "no native toolchain: " + Tc.Diag;
+    return nullptr;
+  }
+
+  CKernelOptions KO;
+  KO.CountSteps = Opts.CountSteps;
+  std::string Source = emitCKernel(Body, *Manifest, KO);
+
+  if (Opts.MaxSourceBytes && Source.size() > Opts.MaxSourceBytes) {
+    if (Err)
+      *Err = std::string(JitSourceTooLargePrefix) + ": " +
+             std::to_string(Source.size()) + " bytes of C (cap " +
+             std::to_string(Opts.MaxSourceBytes) +
+             "); using the bytecode VM";
+    return nullptr;
+  }
+
+  // The content-address pins everything that affects the object: the full
+  // generated source (hence the optimized P IR and format layout), the
+  // compiler identity and flags, the ABI, and the caller's extra tag.
+  std::string Key = jitSha256Hex(
+      "cc=" + Tc.Cmd + "\nver=" + Tc.VersionLine + "\nflags=" + Tc.Flags +
+      "\nabi=" + std::to_string(EtchJitAbi) + "\nextra=" + Opts.ExtraKey +
+      "\n---\n" + Source);
+
+  JitState &S = state();
+  {
+    std::lock_guard<std::mutex> L(S.Mu);
+    auto It = S.Handles.find(Key);
+    if (It != S.Handles.end()) {
+      ++S.Stats.MemHits;
+      return It->second;
+    }
+  }
+
+  std::string Dir = jitCacheDir(Opts.CacheDir);
+  fs::path SrcPath = fs::path(Dir) / (Key + ".c");
+  fs::path SoPath = fs::path(Dir) / (Key + ".so");
+
+  void *Handle = nullptr;
+  EtchJitEntryFn Entry = nullptr;
+  bool DiskHit = false;
+  std::error_code Ec;
+  if (fs::exists(SoPath, Ec)) {
+    std::string LoadErr;
+    if (loadKernel(SoPath, &Handle, &Entry, &LoadErr)) {
+      DiskHit = true;
+    } else {
+      // Corrupted / stale entry: treat as a miss and rebuild it.
+      fs::remove(SoPath, Ec);
+      std::lock_guard<std::mutex> L(S.Mu);
+      ++S.Stats.Recompiles;
+    }
+  }
+
+  if (!Handle) {
+    std::string IoErr;
+    if (!atomicWrite(SrcPath, Source, &IoErr)) {
+      if (Err)
+        *Err = IoErr;
+      return nullptr;
+    }
+    std::string CcErr;
+    if (!compileTo(Tc, SrcPath, SoPath, &CcErr)) {
+      if (Err)
+        *Err = CcErr;
+      return nullptr;
+    }
+    {
+      std::lock_guard<std::mutex> L(S.Mu);
+      ++S.Stats.Compiles;
+    }
+    std::string LoadErr;
+    if (!loadKernel(SoPath, &Handle, &Entry, &LoadErr)) {
+      if (Err)
+        *Err = LoadErr;
+      return nullptr;
+    }
+    if (Opts.Evict)
+      jitEvictCache(Dir, JitCacheDefaultMaxBytes);
+  }
+
+  auto K = std::shared_ptr<NativeKernel>(new NativeKernel());
+  K->Manifest = std::move(*Manifest);
+  K->CountSteps = Opts.CountSteps;
+  K->Key = Key;
+  K->Handle = Handle;
+  K->Entry = Entry;
+
+  std::lock_guard<std::mutex> L(S.Mu);
+  if (DiskHit)
+    ++S.Stats.DiskHits;
+  auto [It, New] = S.Handles.emplace(Key, K);
+  if (!New)
+    return It->second; // Another thread won the race; ours unloads.
+  return K;
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+NativeKernel::~NativeKernel() {
+  if (Handle)
+    dlclose(Handle);
+}
+
+namespace {
+
+/// Marshaled inputs + output slots for one dispatch, bound to a manifest.
+struct CallFrame {
+  std::vector<std::vector<int64_t>> ArrI;
+  std::vector<std::vector<double>> ArrF;
+  std::vector<std::vector<uint8_t>> ArrB;
+  std::vector<void *> ArrData;
+  std::vector<int64_t> ArrLen;
+  std::vector<uint8_t> ArrDef;
+  std::vector<int64_t> ScI;
+  std::vector<double> ScF;
+  std::vector<uint8_t> ScB;
+  std::vector<uint8_t> ScDef;
+  std::vector<void *> OutArrData;
+  std::vector<int64_t> OutArrLen;
+  std::vector<uint8_t> OutArrDef;
+  std::vector<uint8_t> OutArrOwned;
+  std::vector<int64_t> OutScI;
+  std::vector<double> OutScF;
+  std::vector<uint8_t> OutScB;
+  std::vector<uint8_t> OutScDef;
+  EtchJitCtx Ctx{};
+
+  void size(const CKernelManifest &M) {
+    size_t NA = M.Arrays.size(), NS = M.Scalars.size();
+    ArrI.resize(NA);
+    ArrF.resize(NA);
+    ArrB.resize(NA);
+    ArrData.assign(NA, nullptr);
+    ArrLen.assign(NA, 0);
+    ArrDef.assign(NA, 0);
+    ScI.assign(NS, 0);
+    ScF.assign(NS, 0.0);
+    ScB.assign(NS, 0);
+    ScDef.assign(NS, 0);
+    OutArrData.assign(NA, nullptr);
+    OutArrLen.assign(NA, 0);
+    OutArrDef.assign(NA, 0);
+    OutArrOwned.assign(NA, 0);
+    OutScI.assign(NS, 0);
+    OutScF.assign(NS, 0.0);
+    OutScB.assign(NS, 0);
+    OutScDef.assign(NS, 0);
+  }
+
+  /// Loads inputs from \p Memory with bytecodeRun's binding-type errors.
+  bool marshal(const CKernelManifest &M, const VmMemory &Memory,
+               std::string *Err) {
+    for (size_t I = 0; I < M.Scalars.size(); ++I) {
+      const CKernelScalar &Sc = M.Scalars[I];
+      auto V = Memory.getScalar(Sc.Name);
+      if (!V)
+        continue;
+      if (impTypeOf(*V) != Sc.Ty) {
+        if (Err)
+          *Err = "scalar '" + Sc.Name + "' is bound as " +
+                 impTypeName(impTypeOf(*V)) + " but used as " +
+                 impTypeName(Sc.Ty);
+        return false;
+      }
+      switch (Sc.Ty) {
+      case ImpType::I64:
+        ScI[I] = std::get<int64_t>(*V);
+        break;
+      case ImpType::F64:
+        ScF[I] = std::get<double>(*V);
+        break;
+      case ImpType::Bool:
+        ScB[I] = std::get<bool>(*V) ? 1 : 0;
+        break;
+      }
+      ScDef[I] = 1;
+    }
+    for (size_t I = 0; I < M.Arrays.size(); ++I) {
+      const CKernelArray &A = M.Arrays[I];
+      const std::vector<ImpValue> *Src = Memory.getArray(A.Name);
+      if (!Src)
+        continue;
+      for (const ImpValue &V : *Src)
+        if (impTypeOf(V) != A.Elem) {
+          if (Err)
+            *Err = "array '" + A.Name + "' holds a " +
+                   impTypeName(impTypeOf(V)) + " element but is used as " +
+                   impTypeName(A.Elem);
+          return false;
+        }
+      switch (A.Elem) {
+      case ImpType::I64: {
+        auto &D = ArrI[I];
+        D.reserve(Src->size());
+        for (const ImpValue &V : *Src)
+          D.push_back(std::get<int64_t>(V));
+        ArrData[I] = D.data();
+        break;
+      }
+      case ImpType::F64: {
+        auto &D = ArrF[I];
+        D.reserve(Src->size());
+        for (const ImpValue &V : *Src)
+          D.push_back(std::get<double>(V));
+        ArrData[I] = D.data();
+        break;
+      }
+      case ImpType::Bool: {
+        auto &D = ArrB[I];
+        D.reserve(Src->size());
+        for (const ImpValue &V : *Src)
+          D.push_back(std::get<bool>(V) ? 1 : 0);
+        ArrData[I] = D.data();
+        break;
+      }
+      }
+      ArrLen[I] = static_cast<int64_t>(Src->size());
+      ArrDef[I] = 1;
+    }
+    return true;
+  }
+
+  void wire(int64_t MaxSteps) {
+    Ctx.arr_data = ArrData.data();
+    Ctx.arr_len = ArrLen.data();
+    Ctx.arr_def = ArrDef.data();
+    Ctx.sc_i = ScI.data();
+    Ctx.sc_f = ScF.data();
+    Ctx.sc_b = ScB.data();
+    Ctx.sc_def = ScDef.data();
+    Ctx.steps_budget = MaxSteps;
+    Ctx.steps_used = 0;
+    Ctx.out_arr_data = OutArrData.data();
+    Ctx.out_arr_len = OutArrLen.data();
+    Ctx.out_arr_def = OutArrDef.data();
+    Ctx.out_arr_owned = OutArrOwned.data();
+    Ctx.out_sc_i = OutScI.data();
+    Ctx.out_sc_f = OutScF.data();
+    Ctx.out_sc_b = OutScB.data();
+    Ctx.out_sc_def = OutScDef.data();
+  }
+
+  ImpValue outScalar(const CKernelScalar &S, size_t I) const {
+    switch (S.Ty) {
+    case ImpType::I64:
+      return OutScI[I];
+    case ImpType::F64:
+      return OutScF[I];
+    case ImpType::Bool:
+      return OutScB[I] != 0;
+    }
+    ETCH_UNREACHABLE("unknown ImpType");
+  }
+
+  /// Frees kernel-owned output buffers (success path only; the kernel
+  /// frees them itself on error).
+  void freeOwned(const CKernelManifest &M) {
+    for (size_t I = 0; I < M.Arrays.size(); ++I)
+      if (OutArrOwned[I]) {
+        std::free(OutArrData[I]);
+        OutArrOwned[I] = 0;
+        OutArrData[I] = nullptr;
+      }
+  }
+};
+
+} // namespace
+
+VmRunResult NativeKernel::run(VmMemory &Memory, int64_t MaxSteps) const {
+  VmRunResult R;
+  CallFrame F;
+  F.size(Manifest);
+  std::string Err;
+  if (!F.marshal(Manifest, Memory, &Err)) {
+    R.Error = Err;
+    return R;
+  }
+  F.wire(MaxSteps);
+  int32_t St = Entry(&F.Ctx);
+  R.Steps = F.Ctx.steps_used;
+  if (St != 0) {
+    R.Error = std::string(F.Ctx.err);
+    return R; // Memory untouched on error (the bytecode VM's contract).
+  }
+  // Success: write every defined name back.
+  for (size_t I = 0; I < Manifest.Scalars.size(); ++I)
+    if (F.OutScDef[I])
+      Memory.setScalar(Manifest.Scalars[I].Name,
+                       F.outScalar(Manifest.Scalars[I], I));
+  for (size_t I = 0; I < Manifest.Arrays.size(); ++I) {
+    if (!F.OutArrDef[I])
+      continue;
+    const CKernelArray &A = Manifest.Arrays[I];
+    size_t N = static_cast<size_t>(F.OutArrLen[I]);
+    std::vector<ImpValue> Data;
+    Data.reserve(N);
+    switch (A.Elem) {
+    case ImpType::I64: {
+      const int64_t *P = static_cast<const int64_t *>(F.OutArrData[I]);
+      for (size_t J = 0; J < N; ++J)
+        Data.emplace_back(P[J]);
+      break;
+    }
+    case ImpType::F64: {
+      const double *P = static_cast<const double *>(F.OutArrData[I]);
+      for (size_t J = 0; J < N; ++J)
+        Data.emplace_back(P[J]);
+      break;
+    }
+    case ImpType::Bool: {
+      const uint8_t *P = static_cast<const uint8_t *>(F.OutArrData[I]);
+      for (size_t J = 0; J < N; ++J)
+        Data.emplace_back(P[J] != 0);
+      break;
+    }
+    }
+    Memory.setArray(A.Name, std::move(Data));
+  }
+  F.freeOwned(Manifest);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// NativeCall (prepared, resident-buffer dispatch)
+//===----------------------------------------------------------------------===//
+
+NativeCall::NativeCall(NativeKernelRef Kernel) : K(std::move(Kernel)) {
+  ETCH_ASSERT(K, "null kernel");
+  const CKernelManifest &M = K->manifest();
+  size_t NA = M.Arrays.size(), NS = M.Scalars.size();
+  ArrI.resize(NA);
+  ArrF.resize(NA);
+  ArrB.resize(NA);
+  ArrData.assign(NA, nullptr);
+  ArrLen.assign(NA, 0);
+  ArrDef.assign(NA, 0);
+  ScI.assign(NS, 0);
+  ScF.assign(NS, 0.0);
+  ScB.assign(NS, 0);
+  ScDef.assign(NS, 0);
+  OutScI.assign(NS, 0);
+  OutScF.assign(NS, 0.0);
+  OutScB.assign(NS, 0);
+  OutScDef.assign(NS, 0);
+}
+
+bool NativeCall::bind(const VmMemory &Memory, std::string *Err) {
+  const CKernelManifest &M = K->manifest();
+  CallFrame F;
+  F.size(M);
+  if (!F.marshal(M, Memory, Err))
+    return false;
+  ArrI = std::move(F.ArrI);
+  ArrF = std::move(F.ArrF);
+  ArrB = std::move(F.ArrB);
+  ArrLen = std::move(F.ArrLen);
+  ArrDef = std::move(F.ArrDef);
+  ScI = std::move(F.ScI);
+  ScF = std::move(F.ScF);
+  ScB = std::move(F.ScB);
+  ScDef = std::move(F.ScDef);
+  RestoreI.clear();
+  RestoreF.clear();
+  RestoreB.clear();
+  for (size_t I = 0; I < M.Arrays.size(); ++I) {
+    ArrData[I] = nullptr;
+    if (!ArrDef[I])
+      continue;
+    switch (M.Arrays[I].Elem) {
+    case ImpType::I64:
+      ArrData[I] = ArrI[I].data();
+      break;
+    case ImpType::F64:
+      ArrData[I] = ArrF[I].data();
+      break;
+    case ImpType::Bool:
+      ArrData[I] = ArrB[I].data();
+      break;
+    }
+    // The kernel writes bound written-back arrays in place; keep a
+    // pristine copy so every invoke starts from the same memory.
+    if (M.Arrays[I].WrittenBack) {
+      switch (M.Arrays[I].Elem) {
+      case ImpType::I64:
+        RestoreI.emplace_back(I, ArrI[I]);
+        break;
+      case ImpType::F64:
+        RestoreF.emplace_back(I, ArrF[I]);
+        break;
+      case ImpType::Bool:
+        RestoreB.emplace_back(I, ArrB[I]);
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+VmRunResult NativeCall::invoke(int64_t MaxSteps) {
+  const CKernelManifest &M = K->manifest();
+  for (auto &[I, Data] : RestoreI)
+    std::copy(Data.begin(), Data.end(), ArrI[I].begin());
+  for (auto &[I, Data] : RestoreF)
+    std::copy(Data.begin(), Data.end(), ArrF[I].begin());
+  for (auto &[I, Data] : RestoreB)
+    std::copy(Data.begin(), Data.end(), ArrB[I].begin());
+
+  std::vector<void *> OutArrData(M.Arrays.size(), nullptr);
+  std::vector<int64_t> OutArrLen(M.Arrays.size(), 0);
+  std::vector<uint8_t> OutArrDef(M.Arrays.size(), 0);
+  std::vector<uint8_t> OutArrOwned(M.Arrays.size(), 0);
+
+  EtchJitCtx Ctx{};
+  Ctx.arr_data = ArrData.data();
+  Ctx.arr_len = ArrLen.data();
+  Ctx.arr_def = ArrDef.data();
+  Ctx.sc_i = ScI.data();
+  Ctx.sc_f = ScF.data();
+  Ctx.sc_b = ScB.data();
+  Ctx.sc_def = ScDef.data();
+  Ctx.steps_budget = MaxSteps;
+  Ctx.out_arr_data = OutArrData.data();
+  Ctx.out_arr_len = OutArrLen.data();
+  Ctx.out_arr_def = OutArrDef.data();
+  Ctx.out_arr_owned = OutArrOwned.data();
+  Ctx.out_sc_i = OutScI.data();
+  Ctx.out_sc_f = OutScF.data();
+  Ctx.out_sc_b = OutScB.data();
+  Ctx.out_sc_def = OutScDef.data();
+
+  VmRunResult R;
+  int32_t St = K->Entry(&Ctx);
+  R.Steps = Ctx.steps_used;
+  if (St != 0) {
+    R.Error = std::string(Ctx.err);
+    std::fill(OutScDef.begin(), OutScDef.end(), 0);
+    return R;
+  }
+  for (size_t I = 0; I < M.Arrays.size(); ++I)
+    if (OutArrOwned[I])
+      std::free(OutArrData[I]);
+  return R;
+}
+
+std::optional<ImpValue> NativeCall::scalar(const std::string &Name) const {
+  const CKernelManifest &M = K->manifest();
+  int I = M.scalarIndex(Name);
+  if (I < 0 || !OutScDef[static_cast<size_t>(I)])
+    return std::nullopt;
+  size_t Idx = static_cast<size_t>(I);
+  switch (M.Scalars[Idx].Ty) {
+  case ImpType::I64:
+    return OutScI[Idx];
+  case ImpType::F64:
+    return OutScF[Idx];
+  case ImpType::Bool:
+    return OutScB[Idx] != 0;
+  }
+  ETCH_UNREACHABLE("unknown ImpType");
+}
+
+//===----------------------------------------------------------------------===//
+// nativeRunWithFallback
+//===----------------------------------------------------------------------===//
+
+VmRunResult etch::nativeRunWithFallback(const PRef &Body, VmMemory &Memory,
+                                        int64_t MaxSteps,
+                                        const JitOptions &Opts) {
+  JitOptions O = Opts;
+  O.CountSteps = true; // Keep VmRunResult::Steps meaningful either way.
+  std::string Err;
+  if (NativeKernelRef K = jitCompile(Body, O, &Err))
+    return K->run(Memory, MaxSteps);
+
+  static std::once_flag WarnedOnce;
+  std::call_once(WarnedOnce, [&Err] {
+    std::fprintf(stderr,
+                 "etch-jit: native backend unavailable (%s); "
+                 "falling back to the bytecode VM\n",
+                 Err.c_str());
+  });
+
+  BytecodeProgram BC = compileBytecode(Body);
+  if (BC.ok())
+    return bytecodeRun(BC, Memory, MaxSteps);
+  return vmRun(Body, Memory, MaxSteps);
+}

@@ -9,6 +9,7 @@
 #include "compiler/bytecode.h"
 #include "compiler/frontend.h"
 #include "compiler/imp.h"
+#include "compiler/jit.h"
 #include "compiler/vm.h"
 #include "core/eval.h"
 #include "core/semiring.h"
@@ -648,7 +649,8 @@ void runVmLegs(const FuzzCase &C, const Mats<S> &M,
               {1, SearchPolicy::Binary},
               {2, SearchPolicy::Gallop}};
   bool Tree = Backend != VmBackend::Bytecode;
-  bool Bc = Backend != VmBackend::Tree;
+  bool Bc = Backend == VmBackend::Bytecode || Backend == VmBackend::Both;
+  bool Nat = Backend == VmBackend::Native;
   for (const auto &Leg : Legs) {
     std::string Level = "O" + std::to_string(Leg.Opt);
     LowerCtx Ctx;
@@ -687,6 +689,30 @@ void runVmLegs(const FuzzCase &C, const Mats<S> &M,
       BcR = bytecodeRun(BC, Mem);
       BcOut = checkVmOut<S>(C, Mem, BcR, WantTotal, Tag, Rep);
     }
+    VmRunResult NatR;
+    std::optional<ImpValue> NatOut;
+    if (Nat) {
+      std::string Tag = FormTag + ("nvm/" + Level);
+      // Step-counting kernels so the strict cross-check below covers the
+      // budget semantics too. The driver has already verified a toolchain
+      // exists, so any failure here is an emitter/jit gap worth reporting.
+      JitOptions JO;
+      JO.CountSteps = true;
+      std::string JitErr;
+      NativeKernelRef K = jitCompile(Prog, JO, &JitErr);
+      if (!K) {
+        // The source-size cap is a designed decline (production falls
+        // back to the bytecode VM), not an emitter gap — skip the leg.
+        if (JitErr.rfind(JitSourceTooLargePrefix, 0) != 0)
+          reportDiv(Rep, C, Tag, "jit compile error: " + JitErr);
+        continue;
+      }
+      VmMemory Mem;
+      for (const FuzzTensor &T : C.Tensors)
+        bindArrays<S>(Mem, T, M, Ov);
+      NatR = K->run(Mem);
+      NatOut = checkVmOut<S>(C, Mem, NatR, WantTotal, Tag, Rep);
+    }
     if (OutByOpt)
       OutByOpt[Leg.Opt] = Tree ? TreeOut : BcOut;
     // Direct tree ≡ bytecode cross-check, stricter than the oracle
@@ -708,6 +734,25 @@ void runVmLegs(const FuzzCase &C, const Mats<S> &M,
         reportDiv(Rep, C, Tag,
                   "'out' differs bit-wise: tree=" + impToStr(*TreeOut) +
                       " bytecode=" + impToStr(*BcOut));
+    }
+    // Same strictness for the native backend: identical steps, identical
+    // error text, bit-identical output scalar versus the tree VM.
+    if (Tree && Nat) {
+      std::string Tag = FormTag + ("tree-vs-nvm/" + Level);
+      if (TreeR.Steps != NatR.Steps)
+        reportDiv(Rep, C, Tag,
+                  "step counts differ: tree=" + std::to_string(TreeR.Steps) +
+                      " native=" + std::to_string(NatR.Steps));
+      std::string TreeErr = TreeR.Error ? *TreeR.Error : "";
+      std::string NatErr = NatR.Error ? *NatR.Error : "";
+      if (TreeErr != NatErr)
+        reportDiv(Rep, C, Tag,
+                  "errors differ: tree='" + TreeErr + "' native='" + NatErr +
+                      "'");
+      if (TreeOut && NatOut && !impBitsEq(*TreeOut, *NatOut))
+        reportDiv(Rep, C, Tag,
+                  "'out' differs bit-wise: tree=" + impToStr(*TreeOut) +
+                      " native=" + impToStr(*NatOut));
     }
   }
 }

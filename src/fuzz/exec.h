@@ -61,7 +61,14 @@ struct FuzzReport {
 /// `Both` additionally cross-checks the two directly (bit-identical
 /// outputs, identical step counts, identical error text) — stricter than
 /// each leg's oracle comparison, which tolerates f64 re-association.
-enum class VmBackend { Tree, Bytecode, Both };
+/// `Native` runs the tree VM plus the JIT-to-native backend
+/// (compiler/jit.h) with the same strict cross-check; kernels are
+/// compiled step-counting so even budget exhaustion must agree. A jit
+/// compile failure inside the matrix is reported as a divergence — it
+/// marks an emitter gap, and the driver (etch-fuzz) verifies toolchain
+/// availability up front, skipping with a distinct exit code when the
+/// machine simply has no compiler.
+enum class VmBackend { Tree, Bytecode, Both, Native };
 
 /// Runs the full executor matrix on \p C, using \p Pool for the parallel
 /// legs.

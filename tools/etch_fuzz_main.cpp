@@ -20,6 +20,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "compiler/jit.h"
 #include "fuzz/corpus.h"
 #include "fuzz/exec.h"
 #include "fuzz/gen.h"
@@ -51,7 +52,13 @@ struct Options {
   double HugeProb = 0.10;
   size_t Orders = 1; // legal attribute orders per case; 1 = original only
   VmBackend Backend = VmBackend::Both;
+  std::string JitCacheDir; // --jit-cache-dir (native backend)
 };
+
+/// Exit status for "the native backend cannot run here" (no system C
+/// compiler) — the automake SKIP convention, distinct from pass (0) and
+/// divergence (1) so CI can tell a skip from a green run.
+constexpr int ExitSkip = 77;
 
 [[noreturn]] void usage(const char *Argv0) {
   std::fprintf(
@@ -59,7 +66,8 @@ struct Options {
       "usage: %s [--seeds N] [--start S] [--time-budget SEC]\n"
       "          [--corpus DIR] [--replay FILE|DIR] [--no-shrink]\n"
       "          [--orders N] [--huge-prob P] [--formats] [--verbose]\n"
-      "          [--backend tree|bytecode|both]\n",
+      "          [--backend tree|bytecode|both|native]\n"
+      "          [--jit-cache-dir DIR]\n",
       Argv0);
   std::exit(2);
 }
@@ -101,9 +109,13 @@ Options parseArgs(int Argc, char **Argv) {
         O.Backend = VmBackend::Bytecode;
       else if (B == "both")
         O.Backend = VmBackend::Both;
+      else if (B == "native")
+        O.Backend = VmBackend::Native;
       else
         usage(Argv[0]);
-    } else
+    } else if (A == "--jit-cache-dir")
+      O.JitCacheDir = Next();
+    else
       usage(Argv[0]);
   }
   return O;
@@ -271,6 +283,22 @@ int fuzz(const Options &O) {
 
 int main(int Argc, char **Argv) {
   Options O = parseArgs(Argc, Argv);
+  if (O.Backend == VmBackend::Native) {
+    // The executor matrix resolves its cache dir through the environment.
+    if (!O.JitCacheDir.empty())
+      setenv("ETCH_JIT_CACHE", O.JitCacheDir.c_str(), 1);
+    const JitToolchain &Tc = jitToolchain();
+    if (!Tc.Available) {
+      // A skip, loudly logged — NOT a pass: the native legs did not run.
+      std::fprintf(stderr,
+                   "etch-fuzz: SKIP --backend native: no usable system C "
+                   "compiler (%s)\n",
+                   Tc.Diag.c_str());
+      return ExitSkip;
+    }
+    std::fprintf(stderr, "etch-fuzz: native backend via %s (%s)\n",
+                 Tc.Cmd.c_str(), Tc.VersionLine.c_str());
+  }
   if (!O.ReplayPath.empty())
     return replay(O);
   return fuzz(O);

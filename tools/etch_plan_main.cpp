@@ -12,15 +12,29 @@
 ///   etch-plan --demo matmul [--n N] [--nnz NNZ] [--seed S]
 ///   etch-plan --demo triangle [--n N] [--edges E] [--seed S] [--worst-case]
 ///   etch-plan --demo matmul --all        # EXPLAIN every enumerated plan
+///   etch-plan --demo matmul --execute --backend native
+///                                        # run the winning plan
+///
+/// `--execute` realizes the winning plan, binds the demo data (transposed
+/// where the plan says so), compiles it, and runs it on the chosen
+/// executor: the tree VM, the bytecode VM, or the JIT-to-native backend.
+/// The native backend goes through nativeRunWithFallback — a machine
+/// without a C compiler still executes (bytecode, with a warning) — and
+/// runs the kernel twice to show the content-addressed cache at work,
+/// reporting the jit cache counters.
 ///
 /// Exit status is nonzero on planner failure — the CI smoke invocation
 /// relies on this.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "compiler/bytecode.h"
+#include "compiler/jit.h"
 #include "formats/random.h"
 #include "planner/plan.h"
+#include "planner/realize.h"
 #include "relational/joinplan.h"
+#include "support/timer.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,12 +53,15 @@ struct Options {
   uint64_t Seed = 11;
   bool WorstCase = false;
   bool All = false;
+  bool Execute = false;
+  std::string Backend = "tree";
 };
 
 [[noreturn]] void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s --demo matmul|triangle [--n N] [--nnz NNZ]\n"
-               "          [--edges E] [--seed S] [--worst-case] [--all]\n",
+               "          [--edges E] [--seed S] [--worst-case] [--all]\n"
+               "          [--execute [--backend tree|bytecode|native]]\n",
                Argv0);
   std::exit(2);
 }
@@ -72,10 +89,16 @@ Options parseArgs(int Argc, char **Argv) {
       O.WorstCase = true;
     else if (A == "--all")
       O.All = true;
+    else if (A == "--execute")
+      O.Execute = true;
+    else if (A == "--backend")
+      O.Backend = Next();
     else
       usage(Argv[0]);
   }
   if (O.N < 1 || O.Nnz < 0 || O.Edges < 0)
+    usage(Argv[0]);
+  if (O.Backend != "tree" && O.Backend != "bytecode" && O.Backend != "native")
     usage(Argv[0]);
   return O;
 }
@@ -105,6 +128,75 @@ void printRanking(const std::vector<Plan> &Plans, const PlanQuery &Q,
     std::fputs(Plans[I].explain(Q).c_str(), stdout);
     std::puts("");
   }
+}
+
+/// Realizes and runs the winning matmul plan on the requested backend.
+/// The planner's EXPLAIN already chose the attribute order and the
+/// storage orientation of each access; here the choice becomes a wall
+/// clock number.
+int executeMatmulPlan(const Plan &P, const PlanQuery &Q,
+                      const CsrMatrix<double> &A, const CsrMatrix<double> &B,
+                      const Options &O) {
+  RealizedPlan RP = realizePlan(Q, P, "ep_exec");
+  LowerCtx Ctx;
+  installPlan(Ctx, RP);
+  auto Bind = [&](VmMemory &M) {
+    for (const PlanAccess &Acc : RP.Accesses) {
+      const CsrMatrix<double> &Src = Acc.Tensor == "A" ? A : B;
+      if (Acc.Transposed)
+        bindCsr(M, Acc.bindName(), transpose(Src));
+      else
+        bindCsr(M, Acc.bindName(), Src);
+    }
+  };
+  PRef Prog = compileFullContraction(Ctx, RP.E, "out");
+
+  auto RunOnce = [&](VmMemory &M, VmRunResult &R) {
+    Timer T;
+    if (O.Backend == "tree")
+      R = vmRun(Prog, M);
+    else if (O.Backend == "bytecode")
+      R = bytecodeCompileAndRun(Prog, M);
+    else
+      R = nativeRunWithFallback(Prog, M);
+    return T.seconds();
+  };
+
+  VmMemory M;
+  Bind(M);
+  VmRunResult R;
+  double Sec = RunOnce(M, R);
+  if (R.Error) {
+    std::fprintf(stderr, "etch-plan: execution failed: %s\n",
+                 R.Error->c_str());
+    return 1;
+  }
+  std::printf("executed winner on the %s backend: out = %.17g   "
+              "(%lld steps, %.3f ms)\n",
+              O.Backend.c_str(), std::get<double>(*M.getScalar("out")),
+              static_cast<long long>(R.Steps), Sec * 1e3);
+  if (O.Backend == "native") {
+    // A second execution of the same plan: the content-addressed cache
+    // serves the kernel without touching the C compiler again.
+    VmMemory M2;
+    Bind(M2);
+    VmRunResult R2;
+    double Sec2 = RunOnce(M2, R2);
+    if (R2.Error) {
+      std::fprintf(stderr, "etch-plan: re-execution failed: %s\n",
+                   R2.Error->c_str());
+      return 1;
+    }
+    std::printf("re-executed (cached kernel): %.3f ms\n", Sec2 * 1e3);
+    JitCacheStats St = jitCacheStats();
+    std::printf("jit cache: %llu compile(s), %llu in-process hit(s), "
+                "%llu disk hit(s), %llu recompile(s)\n",
+                static_cast<unsigned long long>(St.Compiles),
+                static_cast<unsigned long long>(St.MemHits),
+                static_cast<unsigned long long>(St.DiskHits),
+                static_cast<unsigned long long>(St.Recompiles));
+  }
+  return 0;
 }
 
 int demoMatmul(const Options &O) {
@@ -137,6 +229,8 @@ int demoMatmul(const Options &O) {
     return 1;
   }
   printRanking(Plans, *Q, O.All);
+  if (O.Execute)
+    return executeMatmulPlan(Plans[0], *Q, A, B, O);
   return 0;
 }
 
@@ -173,6 +267,11 @@ int demoTriangle(const Options &O) {
 
 int main(int Argc, char **Argv) {
   Options O = parseArgs(Argc, Argv);
+  if (O.Execute && O.Demo != "matmul") {
+    std::fprintf(stderr, "etch-plan: --execute supports the matmul demo "
+                         "only\n");
+    return 2;
+  }
   if (O.Demo == "matmul")
     return demoMatmul(O);
   if (O.Demo == "triangle")
