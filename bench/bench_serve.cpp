@@ -1,0 +1,301 @@
+//===- bench/bench_serve.cpp - Serving-layer throughput and latency -------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// A closed-loop load generator against the concurrent contraction service
+// (serve/service.h): N client threads issue a fixed mixed workload of
+// four query shapes round-robin, each thread timing every request, and
+// the driver reports throughput plus p50/p95/p99 latency per client
+// count. Before any timing it gates on correctness: every shape's served
+// value is checked against a dense reference, and a 64-query batch must
+// be bit-identical, index for index, to per-request serial execution on
+// an identically loaded single-threaded service.
+//
+// After the sweep the run is counter-verified: the plan-cache hit rate
+// (the fraction of requests that performed no planner enumeration —
+// PlannerRuns is asserted equal to Misses) must exceed 90%, or the
+// driver exits nonzero. That makes the CI smoke run a regression gate on
+// the serving amortization story, not just a timer.
+//
+// Timings prefer the JIT-to-native backend and degrade to the bytecode
+// VM when no C compiler is available; the report says which one ran.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/service.h"
+
+#include "formats/random.h"
+#include "support/benchjson.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace etch;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Attr attrI() { return Attr::named("bsrv_i"); }
+Attr attrJ() { return Attr::named("bsrv_j"); }
+
+bool bitsEq(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+struct Workload {
+  CsrMatrix<double> A;
+  SparseVector<double> X{2000}, Y{2000}, Z{2000}, W{2000};
+  DenseVector<double> D{2000};
+  std::vector<ServeQuery> Shapes;
+
+  Workload() {
+    Rng R(131);
+    A = randomCsr(R, 2000, 2000, 40000);
+    X = randomSparseVector(R, 2000, 400);
+    Y = randomSparseVector(R, 2000, 600);
+    Z = randomSparseVector(R, 2000, 600);
+    W = randomSparseVector(R, 2000, 600);
+    for (Idx I = 0; I < D.Size; ++I)
+      D.Val[static_cast<size_t>(I)] = randomValue(R);
+    Shapes = {ServeQuery{{"A", "x"}}, ServeQuery{{"y", "z", "w"}},
+              ServeQuery{{"A", "d"}}, ServeQuery{{"x", "d"}}};
+  }
+
+  void load(ContractionService &S) const {
+    attrI();
+    S.loadCsr("A", A, attrI(), attrJ());
+    S.loadSparse("x", X, attrJ());
+    S.loadSparse("y", Y, attrI());
+    S.loadSparse("z", Z, attrI());
+    S.loadSparse("w", W, attrI());
+    S.loadDense("d", D, attrJ());
+  }
+
+  /// Dense references for each shape, computed straight off the data.
+  std::vector<double> references() const {
+    std::vector<double> XD(2000, 0.0), YD(2000, 0.0), ZD(2000, 0.0),
+        WD(2000, 0.0);
+    for (size_t K = 0; K < X.Crd.size(); ++K)
+      XD[static_cast<size_t>(X.Crd[K])] = X.Val[K];
+    for (size_t K = 0; K < Y.Crd.size(); ++K)
+      YD[static_cast<size_t>(Y.Crd[K])] = Y.Val[K];
+    for (size_t K = 0; K < Z.Crd.size(); ++K)
+      ZD[static_cast<size_t>(Z.Crd[K])] = Z.Val[K];
+    for (size_t K = 0; K < W.Crd.size(); ++K)
+      WD[static_cast<size_t>(W.Crd[K])] = W.Val[K];
+    double Spmv = 0.0, MatDense = 0.0;
+    for (size_t P = 0; P < A.Val.size(); ++P) {
+      Spmv += A.Val[P] * XD[static_cast<size_t>(A.Crd[P])];
+      MatDense += A.Val[P] * D.Val[static_cast<size_t>(A.Crd[P])];
+    }
+    double Triple = 0.0, VecDense = 0.0;
+    for (size_t I = 0; I < 2000; ++I) {
+      Triple += YD[I] * ZD[I] * WD[I];
+      VecDense += XD[I] * D.Val[I];
+    }
+    return {Spmv, Triple, MatDense, VecDense};
+  }
+};
+
+double percentile(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t I = static_cast<size_t>(Q * static_cast<double>(Sorted.size() - 1));
+  return Sorted[I];
+}
+
+struct SweepResult {
+  double WallSeconds = 0.0;
+  size_t Requests = 0;
+  double P50 = 0.0, P95 = 0.0, P99 = 0.0, Mean = 0.0;
+  double qps() const { return double(Requests) / WallSeconds; }
+};
+
+/// One closed-loop run: \p Clients threads, \p Iters requests each,
+/// round-robin over the workload shapes, per-request latencies recorded.
+SweepResult runClosedLoop(ContractionService &Svc, const Workload &WL,
+                          int Clients, int Iters) {
+  std::vector<std::vector<double>> Lat(static_cast<size_t>(Clients));
+  Timer Wall;
+  {
+    std::vector<std::thread> Ts;
+    for (int C = 0; C < Clients; ++C)
+      Ts.emplace_back([&, C] {
+        std::vector<double> &My = Lat[static_cast<size_t>(C)];
+        My.reserve(static_cast<size_t>(Iters));
+        for (int I = 0; I < Iters; ++I) {
+          const ServeQuery &Q =
+              WL.Shapes[static_cast<size_t>(C + I) % WL.Shapes.size()];
+          Timer T;
+          ServeResult R = Svc.query(Q);
+          My.push_back(T.seconds());
+          if (!R.Ok) {
+            std::fprintf(stderr, "bench_serve: query failed: %s\n",
+                         R.Error.c_str());
+            std::abort();
+          }
+        }
+      });
+    for (std::thread &T : Ts)
+      T.join();
+  }
+  SweepResult S;
+  S.WallSeconds = Wall.seconds();
+  std::vector<double> All;
+  for (const std::vector<double> &L : Lat)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+  S.Requests = All.size();
+  for (double L : All)
+    S.Mean += L;
+  S.Mean /= double(std::max<size_t>(1, All.size()));
+  S.P50 = percentile(All, 0.50);
+  S.P95 = percentile(All, 0.95);
+  S.P99 = percentile(All, 0.99);
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchArgs(Argc, Argv);
+  const int Iters = 300;
+
+  std::string CacheDir =
+      (fs::temp_directory_path() /
+       ("etch-bench-serve-" + std::to_string(getpid())))
+          .string();
+
+  Workload WL;
+  ServeOptions SO;
+  SO.JitCacheDir = CacheDir;
+  ContractionService Svc(SO);
+  WL.load(Svc);
+
+  int Failures = 0;
+
+  //===--------------------------------------------------------------------===//
+  // Correctness gate 1: served values vs dense references
+  //===--------------------------------------------------------------------===//
+  std::vector<double> Refs = WL.references();
+  std::vector<double> Served(WL.Shapes.size());
+  std::string Backend;
+  for (size_t I = 0; I < WL.Shapes.size(); ++I) {
+    ServeResult R = Svc.query(WL.Shapes[I]);
+    if (!R.Ok) {
+      std::fprintf(stderr, "shape %zu failed: %s\n", I, R.Error.c_str());
+      return 1;
+    }
+    Served[I] = R.Value;
+    Backend = R.Backend;
+    double Tol = 1e-9 * std::max(1.0, std::abs(Refs[I]));
+    if (std::abs(R.Value - Refs[I]) > Tol) {
+      std::fprintf(stderr, "shape %zu: served %.17g, reference %.17g\n", I,
+                   R.Value, Refs[I]);
+      ++Failures;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Correctness gate 2: batch vs per-request serial, bit for bit
+  //===--------------------------------------------------------------------===//
+  {
+    ServeOptions SerialOpts = SO;
+    SerialOpts.Threads = 1;
+    ContractionService Serial(SerialOpts);
+    WL.load(Serial);
+    std::vector<ServeQuery> Batch;
+    for (int I = 0; I < 64; ++I)
+      Batch.push_back(WL.Shapes[static_cast<size_t>(I) % WL.Shapes.size()]);
+    std::vector<ServeResult> Got = Svc.queryBatch(Batch);
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      ServeResult Want = Serial.query(Batch[I]);
+      if (!Got[I].Ok || !Want.Ok ||
+          !bitsEq(Got[I].Value, Want.Value)) {
+        std::fprintf(stderr,
+                     "batch[%zu]: batched %.17g != serial %.17g\n", I,
+                     Got[I].Value, Want.Value);
+        ++Failures;
+      }
+    }
+  }
+  if (Failures) {
+    std::fprintf(stderr, "bench_serve: %d correctness failures\n", Failures);
+    return 1;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Closed-loop sweep over client counts
+  //===--------------------------------------------------------------------===//
+  BenchJson Json;
+  ResultTable T({"clients", "qps", "p50_ms", "p95_ms", "p99_ms", "mean_ms"});
+  for (int Clients : Opts.Threads) {
+    SweepResult Best;
+    for (int Rep = 0; Rep < Opts.Reps; ++Rep) {
+      SweepResult S = runClosedLoop(Svc, WL, Clients, Iters);
+      if (Best.Requests == 0 || S.qps() > Best.qps())
+        Best = S;
+    }
+    std::string Cfg = "clients=" + std::to_string(Clients) +
+                      ";backend=" + Backend +
+                      ";requests=" + std::to_string(Best.Requests);
+    Json.add("serve_mixed", Cfg + ";metric=wall", Clients, Best.WallSeconds);
+    Json.add("serve_mixed", Cfg + ";metric=p50", Clients, Best.P50);
+    Json.add("serve_mixed", Cfg + ";metric=p95", Clients, Best.P95);
+    Json.add("serve_mixed", Cfg + ";metric=p99", Clients, Best.P99);
+    Json.add("serve_mixed", Cfg + ";metric=mean", Clients, Best.Mean);
+    T.addRow({ResultTable::num(int64_t(Clients)),
+              ResultTable::num(Best.qps(), 0),
+              ResultTable::num(Best.P50 * 1e3),
+              ResultTable::num(Best.P95 * 1e3),
+              ResultTable::num(Best.P99 * 1e3),
+              ResultTable::num(Best.Mean * 1e3)});
+  }
+  T.print();
+
+  //===--------------------------------------------------------------------===//
+  // Counter-verified amortization: >90% of requests plan-free
+  //===--------------------------------------------------------------------===//
+  PlanCacheStats PS = Svc.planStats();
+  ServiceStats SS = Svc.stats();
+  double HitRate = 1.0 - double(PS.Misses) / double(SS.Queries);
+  std::printf("\nbackend=%s queries=%llu executions=%llu coalesced=%llu\n",
+              Backend.c_str(), (unsigned long long)SS.Queries,
+              (unsigned long long)SS.Executions,
+              (unsigned long long)SS.Coalesced);
+  std::printf("plan cache: hits=%llu misses=%llu planner_runs=%llu "
+              "hit_rate=%.4f\n",
+              (unsigned long long)PS.Hits, (unsigned long long)PS.Misses,
+              (unsigned long long)PS.PlannerRuns, HitRate);
+  if (PS.PlannerRuns != PS.Misses) {
+    std::fprintf(stderr,
+                 "bench_serve: planner ran %llu times for %llu misses — a "
+                 "hit must perform no enumeration\n",
+                 (unsigned long long)PS.PlannerRuns,
+                 (unsigned long long)PS.Misses);
+    return 1;
+  }
+  if (HitRate <= 0.9) {
+    std::fprintf(stderr, "bench_serve: steady-state hit rate %.4f <= 0.9\n",
+                 HitRate);
+    return 1;
+  }
+
+  std::error_code Ec;
+  fs::remove_all(CacheDir, Ec);
+
+  if (!Opts.JsonPath.empty() && !Json.writeFile(Opts.JsonPath))
+    return 1;
+  return 0;
+}

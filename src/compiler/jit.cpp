@@ -11,6 +11,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 
@@ -206,7 +207,40 @@ struct JitState {
   bool Probed = false;
   JitToolchain Tc;
   JitCacheStats Stats;
-  std::unordered_map<std::string, NativeKernelRef> Handles;
+  /// In-process handle cache, LRU-bounded by HandleCap: `Lru` is ordered
+  /// most-recent-first and each map entry points at its list node. The
+  /// map holds shared_ptrs, so eviction never dlcloses a kernel some
+  /// NativeKernelRef / NativeCall still pins.
+  struct HandleEntry {
+    NativeKernelRef K;
+    std::list<std::string>::iterator LruIt;
+  };
+  std::unordered_map<std::string, HandleEntry> Handles;
+  std::list<std::string> Lru;
+  size_t HandleCap = JitHandleCacheDefaultCap;
+
+  void touchLocked(HandleEntry &E) {
+    Lru.splice(Lru.begin(), Lru, E.LruIt);
+  }
+
+  void evictToCapLocked() {
+    while (Handles.size() > HandleCap && !Lru.empty()) {
+      Handles.erase(Lru.back());
+      Lru.pop_back();
+      ++Stats.HandleEvictions;
+    }
+  }
+
+  void insertHandleLocked(const std::string &Key, NativeKernelRef K) {
+    Lru.push_front(Key);
+    Handles.emplace(Key, HandleEntry{std::move(K), Lru.begin()});
+    evictToCapLocked();
+  }
+
+  void clearHandlesLocked() {
+    Handles.clear();
+    Lru.clear();
+  }
 };
 
 JitState &state() {
@@ -342,20 +376,36 @@ void etch::jitResetToolchainForTest() {
   std::lock_guard<std::mutex> L(S.Mu);
   S.Probed = false;
   S.Tc = JitToolchain();
-  S.Handles.clear();
+  S.clearHandlesLocked();
 }
 
 JitCacheStats etch::jitCacheStats() {
   JitState &S = state();
   std::lock_guard<std::mutex> L(S.Mu);
-  return S.Stats;
+  JitCacheStats St = S.Stats;
+  St.HandlesResident = S.Handles.size();
+  return St;
 }
 
 void etch::jitResetCacheStatsForTest() {
   JitState &S = state();
   std::lock_guard<std::mutex> L(S.Mu);
   S.Stats = JitCacheStats();
-  S.Handles.clear();
+  S.clearHandlesLocked();
+  S.HandleCap = JitHandleCacheDefaultCap;
+}
+
+void etch::jitSetHandleCacheCap(size_t Cap) {
+  JitState &S = state();
+  std::lock_guard<std::mutex> L(S.Mu);
+  S.HandleCap = std::max<size_t>(1, Cap);
+  S.evictToCapLocked();
+}
+
+size_t etch::jitHandleCacheCap() {
+  JitState &S = state();
+  std::lock_guard<std::mutex> L(S.Mu);
+  return S.HandleCap;
 }
 
 std::string etch::jitCacheDir(const std::string &Override) {
@@ -388,13 +438,23 @@ int etch::jitEvictCache(const std::string &Dir, uint64_t MaxBytes) {
   std::error_code Ec;
   for (fs::directory_iterator It(Dir, Ec), End; !Ec && It != End;
        It.increment(Ec)) {
-    if (!It->is_regular_file(Ec))
+    std::error_code StatEc;
+    if (!It->is_regular_file(StatEc) || StatEc)
       continue;
     const fs::path &P = It->path();
+    // A concurrent process (another server sharing the cache, or its own
+    // eviction pass) may remove the file between readdir and stat. A
+    // failed stat must NOT be counted: file_size's error value is
+    // uintmax_t(-1), which would inflate Total past any budget and evict
+    // the entire cache. Skip the entry — it is not on disk to count.
+    uint64_t Sz = It->file_size(StatEc);
+    if (StatEc)
+      continue;
+    auto Mt = fs::last_write_time(P, StatEc);
+    if (StatEc)
+      continue;
     Entry &E = ByStem[P.stem().string()];
     E.Stem = P.stem().string();
-    uint64_t Sz = It->file_size(Ec);
-    auto Mt = fs::last_write_time(P, Ec);
     E.Bytes += Sz;
     E.Newest = std::max(E.Newest, Mt);
     E.Files.push_back(P);
@@ -475,7 +535,8 @@ NativeKernelRef etch::jitCompile(const PRef &Body, const JitOptions &Opts,
     auto It = S.Handles.find(Key);
     if (It != S.Handles.end()) {
       ++S.Stats.MemHits;
-      return It->second;
+      S.touchLocked(It->second);
+      return It->second.K;
     }
   }
 
@@ -536,9 +597,12 @@ NativeKernelRef etch::jitCompile(const PRef &Body, const JitOptions &Opts,
   std::lock_guard<std::mutex> L(S.Mu);
   if (DiskHit)
     ++S.Stats.DiskHits;
-  auto [It, New] = S.Handles.emplace(Key, K);
-  if (!New)
-    return It->second; // Another thread won the race; ours unloads.
+  auto It = S.Handles.find(Key);
+  if (It != S.Handles.end()) {
+    S.touchLocked(It->second);
+    return It->second.K; // Another thread won the race; ours unloads.
+  }
+  S.insertHandleLocked(Key, K);
   return K;
 }
 

@@ -68,9 +68,23 @@ struct JitCacheStats {
   uint64_t DiskHits = 0;  ///< Loaded an existing .so from the cache dir.
   uint64_t Compiles = 0;  ///< Invoked the C compiler.
   uint64_t Recompiles = 0; ///< A cached .so failed to load (corruption).
+  uint64_t HandleEvictions = 0; ///< LRU-dropped from the in-process map.
+  uint64_t HandlesResident = 0; ///< Entries currently in the in-process map.
 };
 JitCacheStats jitCacheStats();
 void jitResetCacheStatsForTest();
+
+/// The in-process dlopen-handle map is LRU-bounded so a long-lived server
+/// compiling many distinct kernels does not accumulate one handle per key
+/// forever. Eviction drops only the map's reference: a kernel stays loaded
+/// (and its `NativeCall`s stay valid) while any NativeKernelRef pins it;
+/// dlclose happens when the last reference dies.
+inline constexpr size_t JitHandleCacheDefaultCap = 256;
+
+/// Sets the handle-map cap (clamped to >= 1). Entries past the new cap are
+/// evicted immediately, oldest first.
+void jitSetHandleCacheCap(size_t Cap);
+size_t jitHandleCacheCap();
 
 /// Resolves the cache directory: \p Override if nonempty, else
 /// $ETCH_JIT_CACHE, else $XDG_CACHE_HOME/etch-jit-cache, else

@@ -5,6 +5,8 @@
 #include "support/assert.h"
 
 #include <algorithm>
+#include <deque>
+#include <mutex>
 #include <unordered_map>
 
 using namespace etch;
@@ -12,9 +14,13 @@ using namespace etch;
 namespace {
 
 /// The process-wide attribute interner. Function-local statics avoid static
-/// constructor ordering issues.
+/// constructor ordering issues. Interning is mutex-guarded so concurrent
+/// planners (the serve layer realizes plans from request threads) can
+/// intern fresh attributes safely; `Names` is a deque because `name()`
+/// hands out references that must survive later insertions.
 struct Interner {
-  std::vector<std::string> Names;
+  std::mutex Mu;
+  std::deque<std::string> Names;
   std::unordered_map<std::string, uint32_t> Index;
 };
 
@@ -27,6 +33,7 @@ Interner &interner() {
 
 Attr Attr::named(const std::string &Name) {
   Interner &I = interner();
+  std::lock_guard<std::mutex> L(I.Mu);
   auto It = I.Index.find(Name);
   if (It != I.Index.end())
     return Attr(It->second);
@@ -38,6 +45,7 @@ Attr Attr::named(const std::string &Name) {
 
 const std::string &Attr::name() const {
   Interner &I = interner();
+  std::lock_guard<std::mutex> L(I.Mu);
   ETCH_ASSERT(Id < I.Names.size(), "invalid attribute");
   return I.Names[Id];
 }

@@ -1,0 +1,150 @@
+//===- serve/catalog.cpp - Versioned tensor catalog with snapshots --------===//
+
+#include "serve/catalog.h"
+
+#include "support/assert.h"
+
+#include <algorithm>
+
+using namespace etch;
+
+size_t CatalogTensor::nnz() const {
+  switch (K) {
+  case Kind::Csr:
+    return Csr.nnz();
+  case Kind::Sparse:
+    return Sparse.nnz();
+  case Kind::Dense:
+    return Dense.Val.size();
+  }
+  ETCH_UNREACHABLE("unknown catalog tensor kind");
+}
+
+CatalogTensorRef CatalogSnapshot::find(const std::string &Name) const {
+  auto It = Tensors.find(Name);
+  return It == Tensors.end() ? nullptr : It->second;
+}
+
+TensorCatalog::TensorCatalog() : Snap(std::make_shared<CatalogSnapshot>()) {}
+
+CatalogSnapshotRef TensorCatalog::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Snap;
+}
+
+uint64_t TensorCatalog::installLocked(std::shared_ptr<CatalogTensor> T) {
+  // Callers hold WriterMu; build the successor snapshot from the current
+  // one (map copy, tensors shared) and swap it in under Mu.
+  CatalogSnapshotRef Cur = snapshot();
+  auto Next = std::make_shared<CatalogSnapshot>(*Cur);
+  Next->Epoch = Cur->epoch() + 1;
+  T->Version = Next->Epoch;
+  Next->Tensors[T->Name] = std::move(T);
+  std::lock_guard<std::mutex> L(Mu);
+  Snap = std::move(Next);
+  return Snap->epoch();
+}
+
+uint64_t TensorCatalog::putCsr(const std::string &Name, CsrMatrix<double> M,
+                               Attr Row, Attr Col) {
+  ETCH_ASSERT(Row < Col, "attributes must follow the global order");
+  std::lock_guard<std::mutex> W(WriterMu);
+  auto T = std::make_shared<CatalogTensor>();
+  T->Name = Name;
+  T->K = CatalogTensor::Kind::Csr;
+  T->Shp = {Row, Col};
+  T->Stats = statsOfCsr(Name, M, Row, Col);
+  T->Csr = std::move(M);
+  return installLocked(std::move(T));
+}
+
+uint64_t TensorCatalog::putSparse(const std::string &Name,
+                                  SparseVector<double> V, Attr A) {
+  std::lock_guard<std::mutex> W(WriterMu);
+  auto T = std::make_shared<CatalogTensor>();
+  T->Name = Name;
+  T->K = CatalogTensor::Kind::Sparse;
+  T->Shp = {A};
+  T->Stats = statsOfSparseVector(Name, V, A);
+  T->Sparse = std::move(V);
+  return installLocked(std::move(T));
+}
+
+uint64_t TensorCatalog::putDense(const std::string &Name,
+                                 DenseVector<double> V, Attr A) {
+  std::lock_guard<std::mutex> W(WriterMu);
+  auto T = std::make_shared<CatalogTensor>();
+  T->Name = Name;
+  T->K = CatalogTensor::Kind::Dense;
+  T->Shp = {A};
+  T->Stats = statsOfDenseVector(Name, V, A);
+  T->Dense = std::move(V);
+  return installLocked(std::move(T));
+}
+
+uint64_t TensorCatalog::appendCsr(const std::string &Name,
+                                  const std::vector<CooEntry<double>> &Delta) {
+  std::lock_guard<std::mutex> W(WriterMu);
+  CatalogTensorRef Old = snapshot()->find(Name);
+  if (!Old || Old->K != CatalogTensor::Kind::Csr)
+    return 0;
+  const CsrMatrix<double> &M = Old->Csr;
+  std::vector<CooEntry<double>> Coo;
+  Coo.reserve(M.nnz() + Delta.size());
+  for (Idx R = 0; R < M.NumRows; ++R)
+    for (size_t Q = M.Pos[static_cast<size_t>(R)];
+         Q < M.Pos[static_cast<size_t>(R) + 1]; ++Q)
+      Coo.push_back({R, M.Crd[Q], M.Val[Q]});
+  for (const CooEntry<double> &E : Delta) {
+    ETCH_ASSERT(E.Row >= 0 && E.Row < M.NumRows && E.Col >= 0 &&
+                    E.Col < M.NumCols,
+                "append entry out of range");
+    Coo.push_back(E);
+  }
+  auto T = std::make_shared<CatalogTensor>();
+  T->Name = Name;
+  T->K = CatalogTensor::Kind::Csr;
+  T->Shp = Old->Shp;
+  T->Csr = CsrMatrix<double>::fromCoo(M.NumRows, M.NumCols, std::move(Coo));
+  T->Stats = statsOfCsr(Name, T->Csr, Old->Shp[0], Old->Shp[1]);
+  return installLocked(std::move(T));
+}
+
+uint64_t
+TensorCatalog::appendSparse(const std::string &Name,
+                            const std::vector<std::pair<Idx, double>> &Delta) {
+  std::lock_guard<std::mutex> W(WriterMu);
+  CatalogTensorRef Old = snapshot()->find(Name);
+  if (!Old || Old->K != CatalogTensor::Kind::Sparse)
+    return 0;
+  const SparseVector<double> &V = Old->Sparse;
+  std::map<Idx, double> Merged;
+  for (size_t I = 0; I < V.Crd.size(); ++I)
+    Merged[V.Crd[I]] = V.Val[I];
+  for (const auto &[C, X] : Delta) {
+    ETCH_ASSERT(C >= 0 && C < V.Size, "append coordinate out of range");
+    Merged[C] += X;
+  }
+  SparseVector<double> Next(V.Size);
+  for (const auto &[C, X] : Merged)
+    if (X != 0.0)
+      Next.push(C, X);
+  auto T = std::make_shared<CatalogTensor>();
+  T->Name = Name;
+  T->K = CatalogTensor::Kind::Sparse;
+  T->Shp = Old->Shp;
+  T->Stats = statsOfSparseVector(Name, Next, Old->Shp[0]);
+  T->Sparse = std::move(Next);
+  return installLocked(std::move(T));
+}
+
+uint64_t TensorCatalog::erase(const std::string &Name) {
+  std::lock_guard<std::mutex> W(WriterMu);
+  CatalogSnapshotRef Cur = snapshot();
+  auto Next = std::make_shared<CatalogSnapshot>(*Cur);
+  Next->Epoch = Cur->epoch() + 1;
+  Next->Tensors.erase(Name);
+  std::lock_guard<std::mutex> L(Mu);
+  Snap = std::move(Next);
+  return Snap->epoch();
+}

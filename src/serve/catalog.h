@@ -1,0 +1,122 @@
+//===- serve/catalog.h - Versioned tensor catalog with snapshots -*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve layer's tensor store: a read-mostly catalog of named tensors
+/// with copy-on-write snapshots. Readers call `snapshot()` and hold an
+/// immutable, internally consistent view — every tensor in it carries the
+/// version (epoch) that installed it and the planner statistics computed
+/// at install time — while writers build the next epoch off to the side
+/// and swap it in atomically. A query that planned and executed against
+/// epoch E is unaffected by a concurrent load or append installing E+1;
+/// the tensors themselves are shared (`shared_ptr<const CatalogTensor>`),
+/// so a snapshot copy is one map copy, never a data copy.
+///
+/// Appends are COW at tensor granularity: `appendCsr` / `appendSparse`
+/// rebuild the named tensor with the delta summed in (K-relation
+/// addition: a batch of appends is itself a K-relation) and install the
+/// result as a new version. Old versions stay alive for as long as some
+/// snapshot (or plan-cache entry) references them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_SERVE_CATALOG_H
+#define ETCH_SERVE_CATALOG_H
+
+#include "formats/matrices.h"
+#include "formats/vectors.h"
+#include "planner/stats.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace etch {
+
+/// One immutable version of one catalog tensor. Exactly one of the
+/// payload members is populated, per `K`; `Stats` is derived from the
+/// payload at install time so planning never rescans data.
+struct CatalogTensor {
+  enum class Kind { Csr, Sparse, Dense };
+
+  std::string Name;
+  Kind K = Kind::Sparse;
+  uint64_t Version = 0; ///< Epoch that installed this version.
+  Shape Shp;            ///< Attributes, outermost first.
+
+  CsrMatrix<double> Csr;
+  SparseVector<double> Sparse;
+  DenseVector<double> Dense;
+
+  TensorStats Stats;
+
+  size_t nnz() const;
+};
+
+using CatalogTensorRef = std::shared_ptr<const CatalogTensor>;
+
+/// An immutable view of the catalog at one epoch.
+class CatalogSnapshot {
+public:
+  uint64_t epoch() const { return Epoch; }
+
+  /// The tensor named \p Name, or null.
+  CatalogTensorRef find(const std::string &Name) const;
+
+  const std::map<std::string, CatalogTensorRef> &tensors() const {
+    return Tensors;
+  }
+
+private:
+  friend class TensorCatalog;
+  uint64_t Epoch = 0;
+  std::map<std::string, CatalogTensorRef> Tensors;
+};
+
+using CatalogSnapshotRef = std::shared_ptr<const CatalogSnapshot>;
+
+/// The mutable catalog. Writers serialize against each other and publish
+/// whole snapshots; readers never block writers beyond the pointer swap.
+class TensorCatalog {
+public:
+  TensorCatalog();
+
+  /// The current snapshot. O(1); the returned view never changes.
+  CatalogSnapshotRef snapshot() const;
+
+  /// The current epoch (monotonically increasing; bumped per mutation).
+  uint64_t epoch() const { return snapshot()->epoch(); }
+
+  /// Installs (or replaces) a tensor; returns the new epoch.
+  uint64_t putCsr(const std::string &Name, CsrMatrix<double> M, Attr Row,
+                  Attr Col);
+  uint64_t putSparse(const std::string &Name, SparseVector<double> V, Attr A);
+  uint64_t putDense(const std::string &Name, DenseVector<double> V, Attr A);
+
+  /// COW append: rebuilds \p Name with \p Delta summed in (semiring
+  /// addition on colliding coordinates) and installs it as a new version.
+  /// Returns 0 if \p Name is absent or not of the matching kind.
+  uint64_t appendCsr(const std::string &Name,
+                     const std::vector<CooEntry<double>> &Delta);
+  uint64_t appendSparse(const std::string &Name,
+                        const std::vector<std::pair<Idx, double>> &Delta);
+
+  /// Removes \p Name (no-op if absent). Returns the new epoch.
+  uint64_t erase(const std::string &Name);
+
+private:
+  uint64_t installLocked(std::shared_ptr<CatalogTensor> T);
+
+  mutable std::mutex Mu; ///< Guards the snapshot pointer swap.
+  std::mutex WriterMu;   ///< Serializes writers; builds happen under it.
+  CatalogSnapshotRef Snap;
+};
+
+} // namespace etch
+
+#endif // ETCH_SERVE_CATALOG_H

@@ -1,0 +1,119 @@
+//===- serve/plancache.h - LRU cache of planned, compiled queries -*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve layer's plan cache. A key pins everything a cached execution
+/// depends on: the query shape (factor names and their attribute
+/// structure), each factor's per-level storage format, and each factor's
+/// tensor *version* (the stats epoch that installed it) — so a hit is
+/// correct by construction and performs no planner enumeration, no
+/// compilation, and no rebinding. The value is the fully prepared
+/// execution state: the realized plan's compiled `P` program, its
+/// bytecode, the JIT'd native kernel with a marshaled-once `NativeCall`,
+/// and the input bindings from the snapshot the plan was built against.
+///
+/// Keying on per-tensor versions (instead of the global epoch) keeps the
+/// hit rate high under mixed traffic: a write to tensor `A` invalidates
+/// only plans that read `A`; plans over other tensors keep hitting.
+/// Superseded entries are also dropped eagerly (`invalidateTensor`,
+/// counted as Invalidations) so they do not occupy LRU capacity.
+///
+/// Correctness contract: Kovach et al.'s semantics guarantee every
+/// enumerated plan computes the same contraction, so serving a cached
+/// plan is an optimization choice, never a semantic one — the serve tests
+/// hold cached-hit results bit-identical to cold per-request execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_SERVE_PLANCACHE_H
+#define ETCH_SERVE_PLANCACHE_H
+
+#include "compiler/bytecode.h"
+#include "compiler/jit.h"
+#include "planner/realize.h"
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace etch {
+
+/// Counters for the serving amortization story (and the >90%-hit-rate
+/// acceptance gate). PlannerRuns counts actual `enumeratePlans` calls —
+/// the "a hit performs no planner enumeration" verification hangs off it.
+struct PlanCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;     ///< LRU-dropped past the capacity bound.
+  uint64_t Invalidations = 0; ///< Dropped because a read tensor changed.
+  uint64_t PlannerRuns = 0;   ///< enumeratePlans invocations (miss path).
+  uint64_t Resident = 0;      ///< Entries currently cached.
+};
+
+/// One planned + compiled + bound query. Immutable after construction
+/// except for the executor state (`Call` / `BoundMem`), which `ExecMu`
+/// serializes: a NativeCall's resident buffers are single-dispatch.
+struct CachedPlan {
+  std::string Key;
+  std::vector<std::string> Tensors; ///< Factor names (for invalidation).
+  uint64_t Epoch = 0;               ///< Snapshot epoch the plan was built at.
+  double PlannerCost = 0.0;
+  std::string Explain;
+  std::string OutVar;
+
+  PRef Prog;
+  BytecodeProgram Bc;
+  NativeKernelRef Kernel;           ///< Null: execute on the bytecode VM.
+  std::unique_ptr<NativeCall> Call; ///< Prepared native dispatch.
+  VmMemory BoundMem;                ///< Inputs bound for the bytecode VM.
+  std::mutex ExecMu;                ///< One dispatch at a time per entry.
+};
+
+using CachedPlanRef = std::shared_ptr<CachedPlan>;
+
+/// Thread-safe LRU map from plan key to prepared execution state.
+class PlanCache {
+public:
+  explicit PlanCache(size_t Cap = 128);
+
+  /// The cached plan for \p Key, or null; counts Hits / Misses.
+  CachedPlanRef lookup(const std::string &Key);
+
+  /// Inserts \p P (keyed by P->Key), evicting past capacity. A racing
+  /// insert of the same key keeps the incumbent and returns it, so all
+  /// callers converge on one executor per key.
+  CachedPlanRef insert(CachedPlanRef P);
+
+  /// Drops every plan reading \p Tensor (counted as Invalidations).
+  void invalidateTensor(const std::string &Tensor);
+
+  /// Counts one planner enumeration (called by the miss path only).
+  void countPlannerRun();
+
+  PlanCacheStats stats() const;
+  void clear();
+
+private:
+  struct Slot {
+    CachedPlanRef P;
+    std::list<std::string>::iterator LruIt;
+  };
+  void touchLocked(Slot &S);
+  void evictToCapLocked();
+
+  mutable std::mutex Mu;
+  size_t Cap;
+  std::unordered_map<std::string, Slot> Map;
+  std::list<std::string> Lru; ///< Most recent first.
+  PlanCacheStats Stats;
+};
+
+} // namespace etch
+
+#endif // ETCH_SERVE_PLANCACHE_H

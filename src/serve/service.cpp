@@ -1,0 +1,408 @@
+//===- serve/service.cpp - Concurrent contraction service -----------------===//
+
+#include "serve/service.h"
+
+#include "compiler/frontend.h"
+#include "planner/plan.h"
+#include "support/assert.h"
+
+#include <algorithm>
+
+using namespace etch;
+
+ContractionService::ContractionService(ServeOptions O)
+    : Opts(std::move(O)), Plans(Opts.PlanCacheCap), Exec(Opts.Threads) {}
+
+//===----------------------------------------------------------------------===//
+// Write-through mutations
+//===----------------------------------------------------------------------===//
+
+uint64_t ContractionService::loadCsr(const std::string &Name,
+                                     CsrMatrix<double> M, Attr Row,
+                                     Attr Col) {
+  uint64_t E = Catalog.putCsr(Name, std::move(M), Row, Col);
+  Plans.invalidateTensor(Name);
+  return E;
+}
+
+uint64_t ContractionService::loadSparse(const std::string &Name,
+                                        SparseVector<double> V, Attr A) {
+  uint64_t E = Catalog.putSparse(Name, std::move(V), A);
+  Plans.invalidateTensor(Name);
+  return E;
+}
+
+uint64_t ContractionService::loadDense(const std::string &Name,
+                                       DenseVector<double> V, Attr A) {
+  uint64_t E = Catalog.putDense(Name, std::move(V), A);
+  Plans.invalidateTensor(Name);
+  return E;
+}
+
+uint64_t
+ContractionService::appendCsr(const std::string &Name,
+                              const std::vector<CooEntry<double>> &Delta) {
+  uint64_t E = Catalog.appendCsr(Name, Delta);
+  if (E)
+    Plans.invalidateTensor(Name);
+  return E;
+}
+
+uint64_t ContractionService::appendSparse(
+    const std::string &Name,
+    const std::vector<std::pair<Idx, double>> &Delta) {
+  uint64_t E = Catalog.appendSparse(Name, Delta);
+  if (E)
+    Plans.invalidateTensor(Name);
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Keys
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string>
+ContractionService::makeKey(const ServeQuery &Q, const CatalogSnapshot &Snap,
+                            std::string *Err) const {
+  if (Q.Tensors.empty()) {
+    if (Err)
+      *Err = "empty query";
+    return std::nullopt;
+  }
+  // Canonical factor order: f64 multiplication commutes bit-exactly, so
+  // permuted requests may share one plan and one admission flight.
+  std::vector<std::string> Names = Q.Tensors;
+  std::sort(Names.begin(), Names.end());
+
+  std::string K = "alg=f64;opt=" + std::to_string(Opts.OptLevel) +
+                  ";native=" + (Opts.UseNative ? "1" : "0");
+  for (const std::string &Name : Names) {
+    CatalogTensorRef T = Snap.find(Name);
+    if (!T) {
+      if (Err)
+        *Err = "unknown tensor '" + Name + "'";
+      return std::nullopt;
+    }
+    // The version pins data, stats, and extents; shape and per-level
+    // storage kinds are spelled out so the key reads as the query shape
+    // plus per-factor format selection.
+    K += "|" + Name + "@v" + std::to_string(T->Version) + "#k" +
+         std::to_string(static_cast<int>(T->K));
+    for (size_t L = 0; L < T->Stats.Levels.size(); ++L) {
+      const LevelStat &LS = T->Stats.Levels[L];
+      K += ":" + LS.A.name() + "/" + std::to_string(LS.Extent) + "/f" +
+           std::to_string(static_cast<int>(LS.Kind));
+    }
+  }
+  return K;
+}
+
+//===----------------------------------------------------------------------===//
+// Planning + compilation (the miss path)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Binds one realized access's data from the snapshot into \p M, honoring
+/// the plan's transposed / rehashed choices.
+bool bindAccess(VmMemory &M, const PlanAccess &Acc, const CatalogTensor &T,
+                std::string *Err) {
+  switch (T.K) {
+  case CatalogTensor::Kind::Csr:
+    if (Acc.Transposed)
+      bindCsr(M, Acc.bindName(), transpose(T.Csr));
+    else
+      bindCsr(M, Acc.bindName(), T.Csr);
+    return true;
+  case CatalogTensor::Kind::Sparse:
+    if (Acc.Rehashed) {
+      HashedVector<double> H(T.Sparse.Size, T.Sparse.nnz());
+      for (size_t I = 0; I < T.Sparse.Crd.size(); ++I)
+        H.accumulate(T.Sparse.Crd[I], T.Sparse.Val[I]);
+      H.freeze();
+      int64_t TabSize = bindHashedVector(M, Acc.bindName(), H);
+      if (!Acc.Levels.empty() && Acc.Levels[0].TabSize != TabSize) {
+        if (Err)
+          *Err = "hashed rebind table-size mismatch for '" + Acc.Tensor + "'";
+        return false;
+      }
+    } else {
+      bindSparseVector(M, Acc.bindName(), T.Sparse);
+    }
+    return true;
+  case CatalogTensor::Kind::Dense:
+    bindDenseVector(M, Acc.bindName(), T.Dense);
+    return true;
+  }
+  if (Err)
+    *Err = "unknown tensor kind for '" + Acc.Tensor + "'";
+  return false;
+}
+
+} // namespace
+
+CachedPlanRef ContractionService::planAndCompile(const std::string &Key,
+                                                 const ServeQuery &Q,
+                                                 const CatalogSnapshot &Snap,
+                                                 std::string *Err) {
+  std::vector<std::string> Names = Q.Tensors;
+  std::sort(Names.begin(), Names.end());
+
+  TypeContext Ctx;
+  std::map<std::string, TensorStats> Stats;
+  std::map<uint32_t, int64_t> Dims;
+  for (const std::string &Name : Names) {
+    CatalogTensorRef T = Snap.find(Name);
+    if (!T) {
+      *Err = "unknown tensor '" + Name + "'";
+      return nullptr;
+    }
+    Ctx[Name] = T->Shp;
+    Stats[Name] = T->Stats;
+    for (const LevelStat &LS : T->Stats.Levels)
+      Dims[LS.A.id()] = LS.Extent;
+  }
+
+  ExprPtr Prod;
+  for (const std::string &Name : Names) {
+    ExprPtr V = Expr::var(Name);
+    Prod = Prod ? mulExpand(std::move(Prod), std::move(V), Ctx, Err)
+                : std::move(V);
+    if (!Prod)
+      return nullptr;
+  }
+  ExprPtr E = sumAll(std::move(Prod), Ctx, Err);
+  if (!E)
+    return nullptr;
+
+  auto PQ = extractQuery(E, Ctx, Stats, Dims, Err);
+  if (!PQ)
+    return nullptr;
+
+  PlanOptions PO;
+  PO.AllowHashed = Opts.AllowHashed;
+  Plans.countPlannerRun();
+  std::vector<Plan> Enumerated = enumeratePlans(*PQ, PO);
+  if (Enumerated.empty()) {
+    *Err = "no realizable attribute order";
+    return nullptr;
+  }
+  const Plan &Best = Enumerated.front();
+
+  RealizedPlan RP = realizePlan(*PQ, Best, "srv");
+  LowerCtx LCtx;
+  LCtx.OptLevel = Opts.OptLevel;
+  installPlan(LCtx, RP);
+
+  auto CP = std::make_shared<CachedPlan>();
+  CP->Key = Key;
+  CP->Tensors = Names;
+  CP->Tensors.erase(std::unique(CP->Tensors.begin(), CP->Tensors.end()),
+                    CP->Tensors.end());
+  CP->Epoch = Snap.epoch();
+  CP->PlannerCost = Best.cost();
+  CP->Explain = Best.explain(*PQ);
+  CP->OutVar = "out";
+  CP->Prog = compileFullContraction(LCtx, RP.E, CP->OutVar);
+
+  for (const PlanAccess &Acc : RP.Accesses) {
+    CatalogTensorRef T = Snap.find(Acc.Tensor);
+    ETCH_ASSERT(T, "planned access over a tensor missing from the snapshot");
+    if (!bindAccess(CP->BoundMem, Acc, *T, Err))
+      return nullptr;
+  }
+
+  CP->Bc = compileBytecode(CP->Prog);
+  if (!CP->Bc.ok()) {
+    *Err = "bytecode compile error: " + CP->Bc.CompileError;
+    return nullptr;
+  }
+
+  if (Opts.UseNative && jitToolchain().Available) {
+    JitOptions JO;
+    JO.CacheDir = Opts.JitCacheDir;
+    std::string JitErr;
+    if (NativeKernelRef K = jitCompile(CP->Prog, JO, &JitErr)) {
+      auto Call = std::make_unique<NativeCall>(K);
+      std::string BindErr;
+      if (Call->bind(CP->BoundMem, &BindErr)) {
+        CP->Kernel = std::move(K);
+        CP->Call = std::move(Call);
+      }
+      // A bind failure (or a jit decline) silently leaves the bytecode
+      // executor in charge — degrade, never abort.
+    }
+  }
+  return CP;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution + admission
+//===----------------------------------------------------------------------===//
+
+ServeResult ContractionService::execute(const std::string &Key,
+                                        const ServeQuery &Q,
+                                        const CatalogSnapshotRef &Snap) {
+  ServeResult R;
+  R.Epoch = Snap->epoch();
+
+  CachedPlanRef P = Plans.lookup(Key);
+  R.PlanCacheHit = P != nullptr;
+  if (!P) {
+    std::string Err;
+    P = planAndCompile(Key, Q, *Snap, &Err);
+    if (!P) {
+      R.Error = Err;
+      return R;
+    }
+    P = Plans.insert(P);
+  }
+
+  std::lock_guard<std::mutex> L(P->ExecMu);
+  if (P->Call) {
+    VmRunResult RR = P->Call->invoke();
+    if (RR.Error) {
+      R.Error = *RR.Error;
+      return R;
+    }
+    auto V = P->Call->scalar(P->OutVar);
+    ETCH_ASSERT(V, "native kernel finished without defining the output");
+    R.Value = std::get<double>(*V);
+    R.Backend = "native";
+  } else {
+    VmRunResult RR = bytecodeRun(P->Bc, P->BoundMem);
+    if (RR.Error) {
+      R.Error = *RR.Error;
+      return R;
+    }
+    auto V = P->BoundMem.getScalar(P->OutVar);
+    ETCH_ASSERT(V, "bytecode run finished without defining the output");
+    R.Value = std::get<double>(*V);
+    R.Backend = "bytecode";
+  }
+  R.Ok = true;
+  {
+    std::lock_guard<std::mutex> SL(StatMu);
+    ++Stats.Executions;
+    if (R.Backend == "native")
+      ++Stats.NativeRuns;
+    else
+      ++Stats.BytecodeRuns;
+  }
+  return R;
+}
+
+ServeResult ContractionService::admit(const ServeQuery &Q,
+                                      const CatalogSnapshotRef &Snap) {
+  {
+    std::lock_guard<std::mutex> SL(StatMu);
+    ++Stats.Queries;
+  }
+  std::string KeyErr;
+  std::optional<std::string> Key = makeKey(Q, *Snap, &KeyErr);
+  if (!Key) {
+    ServeResult R;
+    R.Epoch = Snap->epoch();
+    R.Error = KeyErr;
+    return R;
+  }
+
+  std::shared_ptr<Flight> F;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> L(AdmMu);
+    auto It = Inflight.find(*Key);
+    if (It != Inflight.end()) {
+      F = It->second;
+    } else {
+      F = std::make_shared<Flight>();
+      Inflight.emplace(*Key, F);
+      Leader = true;
+    }
+  }
+
+  if (!Leader) {
+    // Ride the in-flight execution: identical key means identical tensor
+    // versions, so the leader's result is this request's result.
+    std::unique_lock<std::mutex> L(F->Mu);
+    F->Cv.wait(L, [&] { return F->Done; });
+    ServeResult R = F->R;
+    R.Coalesced = true;
+    std::lock_guard<std::mutex> SL(StatMu);
+    ++Stats.Coalesced;
+    return R;
+  }
+
+  ServeResult R = execute(*Key, Q, Snap);
+  {
+    // Retire the flight before publishing: arrivals from here on start a
+    // fresh execution instead of joining a completed one.
+    std::lock_guard<std::mutex> L(AdmMu);
+    Inflight.erase(*Key);
+  }
+  {
+    std::lock_guard<std::mutex> L(F->Mu);
+    F->R = R;
+    F->Done = true;
+  }
+  F->Cv.notify_all();
+  return R;
+}
+
+ServeResult ContractionService::query(const ServeQuery &Q) {
+  return admit(Q, Catalog.snapshot());
+}
+
+ServeResult ContractionService::query(const ServeQuery &Q,
+                                      const CatalogSnapshotRef &Snap) {
+  ETCH_ASSERT(Snap, "null snapshot");
+  return admit(Q, Snap);
+}
+
+std::vector<ServeResult>
+ContractionService::queryBatch(const std::vector<ServeQuery> &Qs) {
+  CatalogSnapshotRef Snap = Catalog.snapshot();
+  std::vector<ServeResult> Out(Qs.size());
+
+  // Group identical queries: one dispatch per group, results fanned back
+  // out. Keys also dedupe against concurrent query() callers via admit().
+  std::map<std::string, std::vector<size_t>> Groups;
+  for (size_t I = 0; I < Qs.size(); ++I) {
+    std::string KeyErr;
+    std::optional<std::string> Key = makeKey(Qs[I], *Snap, &KeyErr);
+    if (!Key) {
+      Out[I].Epoch = Snap->epoch();
+      Out[I].Error = KeyErr;
+      std::lock_guard<std::mutex> SL(StatMu);
+      ++Stats.Queries;
+      continue;
+    }
+    Groups[*Key].push_back(I);
+  }
+
+  std::vector<const std::vector<size_t> *> Work;
+  Work.reserve(Groups.size());
+  for (const auto &[_, Idxs] : Groups)
+    Work.push_back(&Idxs);
+
+  Exec.parallelFor(Work.size(), [&](size_t G) {
+    const std::vector<size_t> &Idxs = *Work[G];
+    ServeResult R = admit(Qs[Idxs.front()], Snap);
+    Out[Idxs.front()] = R;
+    for (size_t J = 1; J < Idxs.size(); ++J) {
+      Out[Idxs[J]] = R;
+      Out[Idxs[J]].Coalesced = true;
+    }
+    if (Idxs.size() > 1) {
+      std::lock_guard<std::mutex> SL(StatMu);
+      Stats.Queries += Idxs.size() - 1;
+      Stats.Coalesced += Idxs.size() - 1;
+    }
+  });
+  return Out;
+}
+
+ServiceStats ContractionService::stats() const {
+  std::lock_guard<std::mutex> SL(StatMu);
+  return Stats;
+}

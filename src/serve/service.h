@@ -1,0 +1,155 @@
+//===- serve/service.h - Concurrent contraction service --------*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived serving layer over the whole stack: clients submit
+/// contraction queries (a product of named catalog tensors, fully
+/// contracted to a scalar) from any number of threads, and the service
+/// answers them through three layers of amortization:
+///
+///   1. a snapshotted `TensorCatalog` — each query runs against one
+///      consistent epoch while loads and appends install later epochs;
+///   2. a `PlanCache` keyed on (query shape, per-factor storage format,
+///      per-factor tensor version): a hit reuses the planner's chosen
+///      order, the compiled program, the JIT'd native kernel, and the
+///      marshaled input buffers — no enumeration, no compilation, no
+///      rebinding;
+///   3. an admission layer that coalesces identical in-flight queries:
+///      concurrent requests for the same key ride one kernel dispatch and
+///      fan the (immutable) result back out.
+///
+/// Execution prefers the JIT-to-native backend (content-addressed kernel
+/// cache, PR 7) and degrades to the bytecode VM per plan when no
+/// toolchain is available — both produce bit-identical results, which the
+/// serve tests and `bench_serve` verify against per-request serial
+/// execution. Batch submission fans out over the PR-2 `ThreadPool`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_SERVE_SERVICE_H
+#define ETCH_SERVE_SERVICE_H
+
+#include "serve/catalog.h"
+#include "serve/plancache.h"
+#include "support/threadpool.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace etch {
+
+/// A client request: the full contraction Σ (over every attribute) of the
+/// product of the named catalog tensors. Factor order is irrelevant — the
+/// service canonicalizes it (f64 multiplication commutes exactly), so
+/// permuted requests share one plan-cache entry and one admission flight.
+struct ServeQuery {
+  std::vector<std::string> Tensors;
+};
+
+struct ServeResult {
+  bool Ok = false;
+  std::string Error;
+  double Value = 0.0;
+  uint64_t Epoch = 0;       ///< Snapshot epoch the execution ran against.
+  bool PlanCacheHit = false;
+  bool Coalesced = false;   ///< Served by riding another request's dispatch.
+  std::string Backend;      ///< "native" or "bytecode".
+};
+
+struct ServeOptions {
+  unsigned Threads = 0;      ///< Executor-pool lanes for batches (0 = hw).
+  size_t PlanCacheCap = 128;
+  bool UseNative = true;     ///< JIT when a toolchain is available.
+  std::string JitCacheDir;   ///< Kernel-cache override (tests, benches).
+  bool AllowHashed = true;   ///< Planner may choose hashed-level copies.
+  int OptLevel = 2;          ///< Pass-pipeline level for compiled plans.
+};
+
+struct ServiceStats {
+  uint64_t Queries = 0;    ///< Requests admitted (incl. batch members).
+  uint64_t Executions = 0; ///< Kernel dispatches actually performed.
+  uint64_t Coalesced = 0;  ///< Requests served without their own dispatch.
+  uint64_t NativeRuns = 0;
+  uint64_t BytecodeRuns = 0;
+};
+
+class ContractionService {
+public:
+  explicit ContractionService(ServeOptions Opts = {});
+
+  /// Catalog access for loading data. Prefer the write-through helpers
+  /// below for mutations: they also invalidate superseded cached plans.
+  TensorCatalog &catalog() { return Catalog; }
+  CatalogSnapshotRef snapshot() const { return Catalog.snapshot(); }
+
+  /// Write-through mutations: forward to the catalog, then drop cached
+  /// plans reading the tensor (stale keys would only age out via LRU).
+  uint64_t loadCsr(const std::string &Name, CsrMatrix<double> M, Attr Row,
+                   Attr Col);
+  uint64_t loadSparse(const std::string &Name, SparseVector<double> V,
+                      Attr A);
+  uint64_t loadDense(const std::string &Name, DenseVector<double> V, Attr A);
+  uint64_t appendCsr(const std::string &Name,
+                     const std::vector<CooEntry<double>> &Delta);
+  uint64_t appendSparse(const std::string &Name,
+                        const std::vector<std::pair<Idx, double>> &Delta);
+
+  /// Answers \p Q against the current epoch (thread-safe; blocking).
+  ServeResult query(const ServeQuery &Q);
+
+  /// Answers \p Q against a pinned snapshot: the isolation primitive —
+  /// results depend only on the tensor versions in \p Snap, bit-identical
+  /// no matter what writers install concurrently.
+  ServeResult query(const ServeQuery &Q, const CatalogSnapshotRef &Snap);
+
+  /// Answers a batch against one consistent snapshot, grouping identical
+  /// queries onto one dispatch each and fanning groups out over the
+  /// executor pool. Results are index-aligned with \p Qs.
+  std::vector<ServeResult> queryBatch(const std::vector<ServeQuery> &Qs);
+
+  PlanCacheStats planStats() const { return Plans.stats(); }
+  ServiceStats stats() const;
+
+private:
+  struct Flight {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    bool Done = false;
+    ServeResult R;
+  };
+
+  /// Canonical plan/admission key for \p Q under \p Snap, or nullopt with
+  /// a diagnostic when a factor is missing from the snapshot.
+  std::optional<std::string> makeKey(const ServeQuery &Q,
+                                     const CatalogSnapshot &Snap,
+                                     std::string *Err) const;
+
+  ServeResult admit(const ServeQuery &Q, const CatalogSnapshotRef &Snap);
+  ServeResult execute(const std::string &Key, const ServeQuery &Q,
+                      const CatalogSnapshotRef &Snap);
+  CachedPlanRef planAndCompile(const std::string &Key, const ServeQuery &Q,
+                               const CatalogSnapshot &Snap,
+                               std::string *Err);
+
+  ServeOptions Opts;
+  TensorCatalog Catalog;
+  mutable PlanCache Plans;
+  ThreadPool Exec;
+
+  std::mutex AdmMu;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> Inflight;
+
+  mutable std::mutex StatMu;
+  ServiceStats Stats;
+};
+
+} // namespace etch
+
+#endif // ETCH_SERVE_SERVICE_H

@@ -1,0 +1,397 @@
+//===- tests/serve_test.cpp - Concurrent contraction service --------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serve layer (serve/service.h) promises three amortization layers
+// and one isolation guarantee, and these tests pin all of them:
+//
+//  * plan-cache amortization: the first query of a shape runs the planner
+//    exactly once; every subsequent query is a counted hit that performs
+//    NO planner enumeration (PlannerRuns stays put) and returns
+//    bit-identical results;
+//  * canonical keying: permuted factor lists share one plan;
+//  * invalidation precision: a write to tensor T drops only plans
+//    reading T — unrelated shapes keep hitting;
+//  * snapshot isolation: readers pinned to epoch E see bit-identical
+//    results no matter how many epochs a concurrent writer installs;
+//  * batching: queryBatch groups identical queries onto one dispatch
+//    each, and every result is bit-identical to per-request serial
+//    execution on an identically-loaded service.
+//
+// The concurrency tests run under TSan in CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/service.h"
+
+#include "formats/random.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+using namespace etch;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Registered in this order, so SI < SJ in the global attribute order.
+Attr SI() { return Attr::named("sv_i"); }
+Attr SJ() { return Attr::named("sv_j"); }
+
+bool sameBits(double A, double B) {
+  uint64_t X, Y;
+  std::memcpy(&X, &A, sizeof(X));
+  std::memcpy(&Y, &B, sizeof(Y));
+  return X == Y;
+}
+
+/// Dense reference for Σ_i Σ_j A(i,j)·x(j).
+double refSpmv(const CsrMatrix<double> &A, const SparseVector<double> &X) {
+  std::vector<double> XD(static_cast<size_t>(A.NumCols), 0.0);
+  for (size_t K = 0; K < X.Crd.size(); ++K)
+    XD[static_cast<size_t>(X.Crd[K])] = X.Val[K];
+  double S = 0.0;
+  for (size_t P = 0; P < A.Val.size(); ++P)
+    S += A.Val[P] * XD[static_cast<size_t>(A.Crd[P])];
+  return S;
+}
+
+/// Dense reference for Σ_i y(i)·z(i)·w(i).
+double refTriple(const SparseVector<double> &Y, const SparseVector<double> &Z,
+                 const SparseVector<double> &W) {
+  std::vector<double> YD(static_cast<size_t>(Y.Size), 0.0),
+      ZD(YD.size(), 0.0), WD(YD.size(), 0.0);
+  for (size_t K = 0; K < Y.Crd.size(); ++K)
+    YD[static_cast<size_t>(Y.Crd[K])] = Y.Val[K];
+  for (size_t K = 0; K < Z.Crd.size(); ++K)
+    ZD[static_cast<size_t>(Z.Crd[K])] = Z.Val[K];
+  for (size_t K = 0; K < W.Crd.size(); ++K)
+    WD[static_cast<size_t>(W.Crd[K])] = W.Val[K];
+  double S = 0.0;
+  for (size_t I = 0; I < YD.size(); ++I)
+    S += YD[I] * ZD[I] * WD[I];
+  return S;
+}
+
+/// Dense reference for Σ_i Σ_j A(i,j)·d(j).
+double refMatDense(const CsrMatrix<double> &A, const DenseVector<double> &D) {
+  double S = 0.0;
+  for (size_t P = 0; P < A.Val.size(); ++P)
+    S += A.Val[P] * D.Val[static_cast<size_t>(A.Crd[P])];
+  return S;
+}
+
+/// One shared data set, loadable into any number of services so serial
+/// and concurrent executions can be compared bit for bit.
+struct ServeData {
+  CsrMatrix<double> A;
+  SparseVector<double> X{40}, Y{30}, Z{30}, W{30};
+  DenseVector<double> D{40};
+
+  ServeData() {
+    Rng R(97);
+    A = randomCsr(R, 30, 40, 180);
+    X = randomSparseVector(R, 40, 18);
+    Y = randomSparseVector(R, 30, 15);
+    Z = randomSparseVector(R, 30, 15);
+    W = randomSparseVector(R, 30, 15);
+    for (Idx I = 0; I < D.Size; ++I)
+      D.Val[static_cast<size_t>(I)] = randomValue(R);
+  }
+
+  void load(ContractionService &S) const {
+    SI(); // pin the attribute registration order
+    S.loadCsr("A", A, SI(), SJ());
+    S.loadSparse("x", X, SJ());
+    S.loadSparse("y", Y, SI());
+    S.loadSparse("z", Z, SI());
+    S.loadSparse("w", W, SI());
+    S.loadDense("d", D, SJ());
+  }
+};
+
+/// A service with a per-test JIT cache directory under the gtest temp
+/// dir, removed on destruction.
+struct ScopedService {
+  std::string Dir;
+  std::unique_ptr<ContractionService> S;
+
+  explicit ScopedService(const std::string &Tag, const ServeData &Data,
+                         ServeOptions O = {}) {
+    Dir = (fs::path(::testing::TempDir()) / ("etch-serve-test-" + Tag))
+              .string();
+    std::error_code Ec;
+    fs::remove_all(Dir, Ec);
+    O.JitCacheDir = Dir;
+    S = std::make_unique<ContractionService>(O);
+    Data.load(*S);
+  }
+  ~ScopedService() {
+    S.reset();
+    std::error_code Ec;
+    fs::remove_all(Dir, Ec);
+  }
+  ContractionService &operator*() { return *S; }
+  ContractionService *operator->() { return S.get(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Plan-cache amortization
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, FirstQueryPlansOnceThenEveryQueryHits) {
+  ServeData Data;
+  ScopedService Svc("amortize", Data);
+  ServeQuery Q{{"A", "x"}};
+
+  ServeResult First = Svc->query(Q);
+  ASSERT_TRUE(First.Ok) << First.Error;
+  EXPECT_FALSE(First.PlanCacheHit);
+  EXPECT_NEAR(First.Value, refSpmv(Data.A, Data.X), 1e-9);
+  PlanCacheStats PS = Svc->planStats();
+  EXPECT_EQ(PS.Misses, 1u);
+  EXPECT_EQ(PS.PlannerRuns, 1u);
+  EXPECT_EQ(PS.Hits, 0u);
+  EXPECT_EQ(PS.Resident, 1u);
+
+  for (int I = 0; I < 10; ++I) {
+    ServeResult R = Svc->query(Q);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(R.PlanCacheHit);
+    EXPECT_TRUE(sameBits(R.Value, First.Value));
+    EXPECT_EQ(R.Backend, First.Backend);
+  }
+  PS = Svc->planStats();
+  EXPECT_EQ(PS.Hits, 10u);
+  // The acceptance contract: a hit performs no planner enumeration.
+  EXPECT_EQ(PS.PlannerRuns, 1u);
+
+  ServiceStats SS = Svc->stats();
+  EXPECT_EQ(SS.Queries, 11u);
+  EXPECT_EQ(SS.Executions, 11u);
+  EXPECT_EQ(SS.Coalesced, 0u);
+}
+
+TEST(Serve, PermutedFactorsShareOnePlan) {
+  ServeData Data;
+  ScopedService Svc("canon", Data);
+  ServeResult R1 = Svc->query(ServeQuery{{"y", "z", "w"}});
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  EXPECT_NEAR(R1.Value, refTriple(Data.Y, Data.Z, Data.W), 1e-9);
+
+  ServeResult R2 = Svc->query(ServeQuery{{"w", "y", "z"}});
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_TRUE(R2.PlanCacheHit);
+  EXPECT_TRUE(sameBits(R1.Value, R2.Value));
+  EXPECT_EQ(Svc->planStats().PlannerRuns, 1u);
+}
+
+TEST(Serve, WriteInvalidatesOnlyPlansReadingThatTensor) {
+  ServeData Data;
+  ScopedService Svc("invalidate", Data);
+  ASSERT_TRUE(Svc->query(ServeQuery{{"A", "x"}}).Ok);
+  ASSERT_TRUE(Svc->query(ServeQuery{{"y", "z", "w"}}).Ok);
+  ASSERT_TRUE(Svc->query(ServeQuery{{"A", "d"}}).Ok);
+  EXPECT_EQ(Svc->planStats().Resident, 3u);
+
+  // Append one entry in a column where x is nonzero, so the SpMV value
+  // genuinely changes.
+  Idx C = Data.X.Crd[0];
+  Svc->appendCsr("A", {{0, C, 3.5}});
+  PlanCacheStats PS = Svc->planStats();
+  EXPECT_EQ(PS.Invalidations, 2u); // {A,x} and {A,d} both read A
+  EXPECT_EQ(PS.Resident, 1u);
+
+  // The unaffected shape still hits.
+  ServeResult RT = Svc->query(ServeQuery{{"y", "z", "w"}});
+  ASSERT_TRUE(RT.Ok);
+  EXPECT_TRUE(RT.PlanCacheHit);
+
+  // The affected shape re-plans against the new version and sees the
+  // appended entry.
+  ServeResult RS = Svc->query(ServeQuery{{"A", "x"}});
+  ASSERT_TRUE(RS.Ok) << RS.Error;
+  EXPECT_FALSE(RS.PlanCacheHit);
+  CsrMatrix<double> A2 = Svc->snapshot()->find("A")->Csr;
+  EXPECT_NEAR(RS.Value, refSpmv(A2, Data.X), 1e-9);
+  EXPECT_EQ(Svc->planStats().PlannerRuns, 4u);
+}
+
+TEST(Serve, UnknownTensorFailsWithoutCachingAnything) {
+  ServeData Data;
+  ScopedService Svc("unknown", Data);
+  ServeResult R = Svc->query(ServeQuery{{"A", "nosuch"}});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("nosuch"), std::string::npos) << R.Error;
+  PlanCacheStats PS = Svc->planStats();
+  EXPECT_EQ(PS.Misses, 0u);
+  EXPECT_EQ(PS.Resident, 0u);
+  EXPECT_EQ(PS.PlannerRuns, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot isolation
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, PinnedSnapshotReadsAreBitIdenticalUnderConcurrentWrites) {
+  ServeData Data;
+  ScopedService Svc("isolation", Data);
+  ServeQuery Q{{"A", "x"}};
+
+  CatalogSnapshotRef Pin = Svc->snapshot();
+  ServeResult Baseline = Svc->query(Q, Pin);
+  ASSERT_TRUE(Baseline.Ok) << Baseline.Error;
+  EXPECT_EQ(Baseline.Epoch, Pin->epoch());
+
+  // A writer installs 20 successor epochs while 4 pinned readers rerun
+  // the query; every pinned result must carry the pinned epoch and the
+  // exact baseline bits.
+  Idx C = Data.X.Crd[0];
+  std::atomic<int> Failures{0};
+  std::thread Writer([&] {
+    for (int I = 0; I < 20; ++I)
+      Svc->appendCsr("A", {{I % 30, C, 1.0}});
+  });
+  std::vector<std::thread> Readers;
+  for (int T = 0; T < 4; ++T)
+    Readers.emplace_back([&] {
+      for (int I = 0; I < 25; ++I) {
+        ServeResult R = Svc->query(Q, Pin);
+        if (!R.Ok || R.Epoch != Pin->epoch() ||
+            !sameBits(R.Value, Baseline.Value))
+          Failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  Writer.join();
+  for (std::thread &T : Readers)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  // The current epoch has moved on and sees all 20 appended entries.
+  ServeResult Now = Svc->query(Q);
+  ASSERT_TRUE(Now.Ok) << Now.Error;
+  EXPECT_EQ(Now.Epoch, Pin->epoch() + 20);
+  CsrMatrix<double> A2 = Svc->snapshot()->find("A")->Csr;
+  EXPECT_NEAR(Now.Value, refSpmv(A2, Data.X), 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Batching
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, BatchCoalescesGroupsAndMatchesSerialExecutionBitForBit) {
+  ServeData Data;
+  const std::vector<ServeQuery> Shapes = {
+      ServeQuery{{"A", "x"}}, ServeQuery{{"y", "z", "w"}},
+      ServeQuery{{"A", "d"}}, ServeQuery{{"x", "x"}}};
+
+  // Serial oracle: a fresh single-threaded service answering one request
+  // at a time.
+  ScopedService Serial("batch-serial", Data, [] {
+    ServeOptions O;
+    O.Threads = 1;
+    return O;
+  }());
+  std::vector<double> Want(Shapes.size());
+  for (size_t I = 0; I < Shapes.size(); ++I) {
+    ServeResult R = Serial->query(Shapes[I]);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    Want[I] = R.Value;
+  }
+  EXPECT_NEAR(Want[0], refSpmv(Data.A, Data.X), 1e-9);
+  EXPECT_NEAR(Want[1], refTriple(Data.Y, Data.Z, Data.W), 1e-9);
+  EXPECT_NEAR(Want[2], refMatDense(Data.A, Data.D), 1e-9);
+
+  ScopedService Svc("batch", Data);
+  std::vector<ServeQuery> Batch;
+  for (int I = 0; I < 64; ++I)
+    Batch.push_back(Shapes[static_cast<size_t>(I) % Shapes.size()]);
+  std::vector<ServeResult> Out = Svc->queryBatch(Batch);
+  ASSERT_EQ(Out.size(), Batch.size());
+
+  size_t Coalesced = 0;
+  for (size_t I = 0; I < Out.size(); ++I) {
+    ASSERT_TRUE(Out[I].Ok) << I << ": " << Out[I].Error;
+    EXPECT_TRUE(sameBits(Out[I].Value, Want[I % Shapes.size()]))
+        << "batch[" << I << "]";
+    Coalesced += Out[I].Coalesced ? 1 : 0;
+  }
+  // One dispatch per distinct shape; everyone else rode along.
+  EXPECT_EQ(Coalesced, Batch.size() - Shapes.size());
+  ServiceStats SS = Svc->stats();
+  EXPECT_EQ(SS.Queries, Batch.size());
+  EXPECT_EQ(SS.Executions, Shapes.size());
+  EXPECT_EQ(SS.Coalesced, Batch.size() - Shapes.size());
+  EXPECT_EQ(Svc->planStats().PlannerRuns, Shapes.size());
+}
+
+TEST(Serve, BatchReportsPerQueryErrorsWithoutPoisoningTheRest) {
+  ServeData Data;
+  ScopedService Svc("batch-err", Data);
+  std::vector<ServeResult> Out = Svc->queryBatch(
+      {ServeQuery{{"A", "x"}}, ServeQuery{{"ghost"}}, ServeQuery{{"A", "x"}}});
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_TRUE(Out[0].Ok) << Out[0].Error;
+  EXPECT_FALSE(Out[1].Ok);
+  EXPECT_NE(Out[1].Error.find("ghost"), std::string::npos);
+  EXPECT_TRUE(Out[2].Ok);
+  EXPECT_TRUE(sameBits(Out[0].Value, Out[2].Value));
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent mixed workload (TSan)
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, ConcurrentClientsSustainHighHitRateUnderWrites) {
+  ServeData Data;
+  ScopedService Svc("mixed", Data);
+  const std::vector<ServeQuery> Shapes = {
+      ServeQuery{{"A", "x"}}, ServeQuery{{"y", "z", "w"}},
+      ServeQuery{{"A", "d"}}, ServeQuery{{"x", "d"}}};
+
+  constexpr int Threads = 8, Iters = 40;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Clients;
+  for (int T = 0; T < Threads; ++T)
+    Clients.emplace_back([&, T] {
+      for (int I = 0; I < Iters; ++I) {
+        const ServeQuery &Q = Shapes[static_cast<size_t>(T + I) %
+                                     Shapes.size()];
+        ServeResult R = Svc->query(Q);
+        if (!R.Ok)
+          Failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  // Two mid-flight writes to one tensor: a handful of re-plans, nothing
+  // more.
+  std::thread Writer([&] {
+    Svc->appendSparse("y", {{3, 0.25}});
+    Svc->appendSparse("y", {{5, 0.25}});
+  });
+  for (std::thread &T : Clients)
+    T.join();
+  Writer.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  // Steady state: misses are bounded by first-touches plus write-induced
+  // re-plans, so >90% of requests perform no planner enumeration.
+  PlanCacheStats PS = Svc->planStats();
+  ServiceStats SS = Svc->stats();
+  EXPECT_EQ(SS.Queries, static_cast<uint64_t>(Threads) * Iters);
+  EXPECT_LE(PS.Misses, Shapes.size() + 2 * 2); // ≤2 invalidations/write
+  EXPECT_EQ(PS.PlannerRuns, PS.Misses);
+  double HitRate = 1.0 - double(PS.Misses) / double(SS.Queries);
+  EXPECT_GT(HitRate, 0.9);
+  // Every request is accounted for: its own dispatch or a ride-along.
+  EXPECT_EQ(SS.Executions + SS.Coalesced, SS.Queries);
+}
+
+} // namespace
