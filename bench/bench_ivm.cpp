@@ -1,0 +1,281 @@
+//===- bench/bench_ivm.cpp - Incremental vs full view refresh -------------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The incremental-view-maintenance amortization story, measured and
+// counter-verified. Two identically loaded services ingest the *same*
+// append batches; after every batch each must produce current answers
+// for two registered query shapes (SpMV total and the A·A self-join):
+//
+//   - `incremental` registers both shapes as materialized views: a batch
+//     folds in through retained delta plans and `readView` answers from
+//     the stored value;
+//   - `full` answers by re-running the contraction: the append bumped the
+//     tensor version, so each round re-plans, re-binds the whole payload,
+//     and re-contracts all of it.
+//
+// The sweep varies the batch size (delta nnz 1 / 16 / 256) on a fixed
+// 40k-nnz matrix. Three gates make the run a regression test, not a
+// timer:
+//
+//   * bit-identity — every view reading equals the full service's answer
+//     and the driver's own recomputation, bit for bit (integer-valued
+//     data, so f64 sums are exact in any association order);
+//   * planner-free refreshes — after warmup, the incremental service's
+//     PlannerRuns counter must not move across all timed rounds, and
+//     every delta dispatch must be a retained-plan hit;
+//   * amortization — for small batches (nnz <= 16) the incremental
+//     per-round time must beat full recomputation outright.
+//
+// `--json <path>` writes the tracked rows (bench/results/BENCH_ivm.json).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/service.h"
+
+#include "support/benchjson.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace etch;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Attr attrI() { return Attr::named("bivm_i"); }
+Attr attrJ() { return Attr::named("bivm_j"); }
+
+bool bitsEq(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+constexpr Idx Dim = 2000;
+constexpr size_t BaseNnz = 40000;
+constexpr int Rounds = 20; ///< Timed batches per (delta, rep).
+
+/// Integer-valued base data: values in 1..4, coordinates random. Every
+/// batch updates stored coordinates, so nnz stays put while values grow
+/// by small integers — sums remain exact in f64 throughout.
+struct Workload {
+  std::vector<CooEntry<double>> Coo;
+  CsrMatrix<double> A;
+  SparseVector<double> X{Dim};
+
+  Workload() {
+    Rng R(211);
+    for (size_t K = 0; K < BaseNnz; ++K)
+      Coo.push_back({static_cast<Idx>(R.nextBelow(Dim)),
+                     static_cast<Idx>(R.nextBelow(Dim)),
+                     1.0 + static_cast<double>(R.nextBelow(4))});
+    A = CsrMatrix<double>::fromCoo(Dim, Dim, Coo);
+    // Rebuild the entry list canonicalized so batch picks hit stored
+    // coordinates exactly once each.
+    Coo = canonicalizeCoo(std::move(Coo));
+    for (Idx I = 0; I < Dim; I += 5)
+      X.push(I, 1.0 + static_cast<double>(I % 3));
+  }
+
+  void load(ContractionService &S) const {
+    attrI();
+    S.loadCsr("A", A, attrI(), attrJ());
+    S.loadSparse("x", X, attrJ());
+  }
+
+  /// The \p Round-th batch of \p Nnz updates: +1 on stored coordinates,
+  /// cycling through the payload so successive rounds touch fresh rows.
+  std::vector<CooEntry<double>> batch(size_t Nnz, int Round) const {
+    std::vector<CooEntry<double>> B;
+    size_t Start = (static_cast<size_t>(Round) * Nnz * 7) % Coo.size();
+    for (size_t K = 0; K < Nnz; ++K) {
+      const CooEntry<double> &E = Coo[(Start + K) % Coo.size()];
+      B.push_back({E.Row, E.Col, 1.0});
+    }
+    return B;
+  }
+};
+
+struct ModeTimes {
+  double MeanSeconds = 0.0; ///< Mean per-round, best over reps.
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchArgs(Argc, Argv);
+
+  std::string CacheDir =
+      (fs::temp_directory_path() / ("etch-bench-ivm-" + std::to_string(getpid())))
+          .string();
+  ServeOptions SO;
+  SO.JitCacheDir = CacheDir;
+
+  Workload WL;
+
+  // One service pair per mode, shared across the sweep: both ingest every
+  // batch, so their payloads (and answers) stay in lockstep.
+  ContractionService Inc(SO), Full(SO);
+  WL.load(Inc);
+  WL.load(Full);
+  std::string Err;
+  if (!Inc.registerView("spmv", ServeQuery{{"A", "x"}}, &Err) ||
+      !Inc.registerView("sq", ServeQuery{{"A", "A"}}, &Err)) {
+    std::fprintf(stderr, "bench_ivm: view registration failed: %s\n",
+                 Err.c_str());
+    return 1;
+  }
+
+  int Failures = 0;
+  auto answers = [&](int Round, double *VSpmv, double *VSq) {
+    // Incremental: stored values. Full: re-run the contractions.
+    auto RdSpmv = Inc.readView("spmv");
+    auto RdSq = Inc.readView("sq");
+    ServeResult QSpmv = Full.query(ServeQuery{{"A", "x"}});
+    ServeResult QSq = Full.query(ServeQuery{{"A", "A"}});
+    if (!RdSpmv || !RdSpmv->Ok || !RdSq || !RdSq->Ok || !QSpmv.Ok || !QSq.Ok) {
+      std::fprintf(stderr, "bench_ivm: round %d: a side failed\n", Round);
+      ++Failures;
+      return;
+    }
+    if (!bitsEq(RdSpmv->Value, QSpmv.Value) ||
+        !bitsEq(RdSq->Value, QSq.Value)) {
+      std::fprintf(stderr,
+                   "bench_ivm: round %d: incremental != full "
+                   "(spmv %.17g vs %.17g; sq %.17g vs %.17g)\n",
+                   Round, RdSpmv->Value, QSpmv.Value, RdSq->Value, QSq.Value);
+      ++Failures;
+    }
+    *VSpmv = RdSpmv->Value;
+    *VSq = RdSq->Value;
+  };
+
+  // Warmup: one batch through both services builds every plan (full
+  // plans, delta plans, JIT kernels) before anything is timed.
+  {
+    std::vector<CooEntry<double>> B = WL.batch(16, -1);
+    Inc.appendCsr("A", B);
+    Full.appendCsr("A", B);
+    double S, Q;
+    answers(-1, &S, &Q);
+    // The driver's own oracle agrees bit for bit.
+    auto Rc = Inc.maintenance().recompute("sq");
+    auto Rd = Inc.readView("sq");
+    if (!Rc || !Rd || !bitsEq(Rc->Value, Rd->Value)) {
+      std::fprintf(stderr, "bench_ivm: recompute oracle diverged\n");
+      ++Failures;
+    }
+  }
+  uint64_t PlannedBefore = Inc.planStats().PlannerRuns;
+  uint64_t HitsBefore = Inc.viewStats().DeltaPlanHits;
+
+  BenchJson Json;
+  ResultTable T({"delta_nnz", "mode", "per_round_ms", "speedup"});
+  int Batch = 0;
+  for (size_t Nnz : {size_t(1), size_t(16), size_t(256)}) {
+    ModeTimes IncBest, FullBest;
+    for (int Rep = 0; Rep < Opts.Reps; ++Rep) {
+      double IncSec = 0.0, FullSec = 0.0;
+      for (int R = 0; R < Rounds; ++R, ++Batch) {
+        std::vector<CooEntry<double>> B = WL.batch(Nnz, Batch);
+        {
+          // Incremental: ingest (the refresh rides the append), then read.
+          Timer W;
+          Inc.appendCsr("A", B);
+          auto V1 = Inc.readView("spmv");
+          auto V2 = Inc.readView("sq");
+          IncSec += W.seconds();
+          if (!V1 || !V2 || !V1->Ok || !V2->Ok)
+            ++Failures;
+        }
+        {
+          // Full: ingest, then recontract both shapes from scratch.
+          Timer W;
+          Full.appendCsr("A", B);
+          ServeResult Q1 = Full.query(ServeQuery{{"A", "x"}});
+          ServeResult Q2 = Full.query(ServeQuery{{"A", "A"}});
+          FullSec += W.seconds();
+          if (!Q1.Ok || !Q2.Ok)
+            ++Failures;
+        }
+        double S, Q;
+        answers(Batch, &S, &Q);
+      }
+      IncSec /= Rounds;
+      FullSec /= Rounds;
+      if (Rep == 0 || IncSec < IncBest.MeanSeconds)
+        IncBest.MeanSeconds = IncSec;
+      if (Rep == 0 || FullSec < FullBest.MeanSeconds)
+        FullBest.MeanSeconds = FullSec;
+    }
+
+    double Speedup = FullBest.MeanSeconds / IncBest.MeanSeconds;
+    std::string Cfg = "delta=" + std::to_string(Nnz) + ";rounds=" +
+                      std::to_string(Rounds);
+    Json.add("ivm_refresh", Cfg + ";mode=incremental", 1, IncBest.MeanSeconds);
+    Json.add("ivm_refresh", Cfg + ";mode=full", 1, FullBest.MeanSeconds);
+    T.addRow({ResultTable::num(int64_t(Nnz)), "incremental",
+              ResultTable::num(IncBest.MeanSeconds * 1e3),
+              ResultTable::num(Speedup, 1)});
+    T.addRow({ResultTable::num(int64_t(Nnz)), "full",
+              ResultTable::num(FullBest.MeanSeconds * 1e3), ""});
+
+    // Amortization gate: small batches must win outright.
+    if (Nnz <= 16 && IncBest.MeanSeconds >= FullBest.MeanSeconds) {
+      std::fprintf(stderr,
+                   "bench_ivm: delta=%zu: incremental %.6fs >= full %.6fs\n",
+                   Nnz, IncBest.MeanSeconds, FullBest.MeanSeconds);
+      ++Failures;
+    }
+  }
+  T.print();
+
+  // Counter gates: refreshes were planner-free, retained-plan hits.
+  PlanCacheStats PS = Inc.planStats();
+  MaintainStats MS = Inc.viewStats();
+  CatalogStats CS = Inc.catalog().stats();
+  std::printf("\nplanner_runs=%llu (warmup %llu) delta_builds=%llu "
+              "delta_hits=%llu delta_refreshes=%llu retained=%llu\n",
+              (unsigned long long)PS.PlannerRuns,
+              (unsigned long long)PlannedBefore,
+              (unsigned long long)MS.DeltaPlanBuilds,
+              (unsigned long long)MS.DeltaPlanHits,
+              (unsigned long long)MS.DeltaRefreshes,
+              (unsigned long long)PS.Retained);
+  std::printf("catalog: appends=%llu delta_nnz=%llu merged_nnz=%llu\n",
+              (unsigned long long)CS.Appends, (unsigned long long)CS.DeltaNnz,
+              (unsigned long long)CS.MergedNnz);
+  if (PS.PlannerRuns != PlannedBefore) {
+    std::fprintf(stderr,
+                 "bench_ivm: the planner ran during timed refreshes "
+                 "(%llu -> %llu)\n",
+                 (unsigned long long)PlannedBefore,
+                 (unsigned long long)PS.PlannerRuns);
+    ++Failures;
+  }
+  if (MS.DeltaPlanHits <= HitsBefore) {
+    std::fprintf(stderr, "bench_ivm: no retained delta-plan hits recorded\n");
+    ++Failures;
+  }
+
+  std::error_code Ec;
+  fs::remove_all(CacheDir, Ec);
+
+  if (Failures) {
+    std::fprintf(stderr, "bench_ivm: %d gate failures\n", Failures);
+    return 1;
+  }
+  if (!Opts.JsonPath.empty() && !Json.writeFile(Opts.JsonPath))
+    return 1;
+  return 0;
+}

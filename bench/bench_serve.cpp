@@ -22,6 +22,15 @@
 // Timings prefer the JIT-to-native backend and degrade to the bytecode
 // VM when no C compiler is available; the report says which one ran.
 //
+// `--writers N --append-nnz K` switches the sweep to a mixed read/write
+// workload: N background threads append K-entry batches to the matrix
+// while the clients issue queries *and* read a live materialized view of
+// the SpMV total. Queries re-plan per write by design (plans are keyed on
+// tensor versions), so the steady-state hit-rate gate is replaced by the
+// IVM gates: view reads stay planner-free (no delta plan is ever rebuilt
+// after warmup, and retained-plan hits grow), and the final stored view
+// matches full recomputation.
+//
 //===----------------------------------------------------------------------===//
 
 #include "serve/service.h"
@@ -32,7 +41,9 @@
 #include "support/timer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <thread>
@@ -166,10 +177,90 @@ SweepResult runClosedLoop(ContractionService &Svc, const Workload &WL,
   return S;
 }
 
+/// One mixed read/write run: the closed loop of runClosedLoop plus one
+/// `readView` per request, while \p Writers threads append \p AppendNnz
+/// random entries to the matrix as fast as the write lock admits them.
+SweepResult runMixedLoop(ContractionService &Svc, const Workload &WL,
+                         int Clients, int Iters, int Writers,
+                         size_t AppendNnz) {
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Ws;
+  for (int W = 0; W < Writers; ++W)
+    Ws.emplace_back([&Svc, &Stop, AppendNnz, W] {
+      Rng R(static_cast<uint64_t>(7919 + W));
+      while (!Stop.load(std::memory_order_relaxed)) {
+        std::vector<CooEntry<double>> B;
+        for (size_t K = 0; K < AppendNnz; ++K)
+          B.push_back({static_cast<Idx>(R.nextBelow(2000)),
+                       static_cast<Idx>(R.nextBelow(2000)), randomValue(R)});
+        Svc.appendCsr("A", B);
+      }
+    });
+
+  std::vector<std::vector<double>> Lat(static_cast<size_t>(Clients));
+  Timer Wall;
+  {
+    std::vector<std::thread> Ts;
+    for (int C = 0; C < Clients; ++C)
+      Ts.emplace_back([&, C] {
+        std::vector<double> &My = Lat[static_cast<size_t>(C)];
+        My.reserve(static_cast<size_t>(Iters));
+        for (int I = 0; I < Iters; ++I) {
+          const ServeQuery &Q =
+              WL.Shapes[static_cast<size_t>(C + I) % WL.Shapes.size()];
+          Timer T;
+          ServeResult R = Svc.query(Q);
+          My.push_back(T.seconds());
+          auto V = Svc.readView("spmv");
+          if (!R.Ok || !V || !V->Ok) {
+            std::fprintf(stderr, "bench_serve: mixed request failed: %s\n",
+                         R.Ok ? (V ? V->Error.c_str() : "view missing")
+                              : R.Error.c_str());
+            std::abort();
+          }
+        }
+      });
+    for (std::thread &T : Ts)
+      T.join();
+  }
+  SweepResult S;
+  S.WallSeconds = Wall.seconds();
+  Stop.store(true);
+  for (std::thread &T : Ws)
+    T.join();
+  std::vector<double> All;
+  for (const std::vector<double> &L : Lat)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+  S.Requests = All.size();
+  for (double L : All)
+    S.Mean += L;
+  S.Mean /= double(std::max<size_t>(1, All.size()));
+  S.P50 = percentile(All, 0.50);
+  S.P95 = percentile(All, 0.95);
+  S.P99 = percentile(All, 0.99);
+  return S;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  BenchOptions Opts = parseBenchArgs(Argc, Argv);
+  // Mixed-mode flags are stripped before the shared parser (it aborts on
+  // anything it does not know).
+  int Writers = 0;
+  size_t AppendNnz = 8;
+  std::vector<char *> Rest{Argv[0]};
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--writers" && I + 1 < Argc)
+      Writers = std::atoi(Argv[++I]);
+    else if (A == "--append-nnz" && I + 1 < Argc)
+      AppendNnz = static_cast<size_t>(std::atol(Argv[++I]));
+    else
+      Rest.push_back(Argv[I]);
+  }
+  BenchOptions Opts = parseBenchArgs(static_cast<int>(Rest.size()),
+                                     Rest.data());
   const int Iters = 300;
 
   std::string CacheDir =
@@ -236,25 +327,48 @@ int main(int Argc, char **Argv) {
   }
 
   //===--------------------------------------------------------------------===//
-  // Closed-loop sweep over client counts
+  // Closed-loop sweep over client counts (read-only or mixed read/write)
   //===--------------------------------------------------------------------===//
+  uint64_t DeltaBuildsWarm = 0, DeltaHitsWarm = 0;
+  if (Writers > 0) {
+    // Register the live view and push one warm batch through it so every
+    // delta plan exists before anything is timed.
+    std::string VErr;
+    if (!Svc.registerView("spmv", ServeQuery{{"A", "x"}}, &VErr)) {
+      std::fprintf(stderr, "bench_serve: view registration failed: %s\n",
+                   VErr.c_str());
+      return 1;
+    }
+    Svc.appendCsr("A", {{0, 0, 0.5}});
+    MaintainStats MS = Svc.viewStats();
+    DeltaBuildsWarm = MS.DeltaPlanBuilds;
+    DeltaHitsWarm = MS.DeltaPlanHits;
+  }
+
+  const std::string Mode = Writers > 0 ? "serve_mixed_rw" : "serve_mixed";
   BenchJson Json;
   ResultTable T({"clients", "qps", "p50_ms", "p95_ms", "p99_ms", "mean_ms"});
   for (int Clients : Opts.Threads) {
     SweepResult Best;
     for (int Rep = 0; Rep < Opts.Reps; ++Rep) {
-      SweepResult S = runClosedLoop(Svc, WL, Clients, Iters);
+      SweepResult S =
+          Writers > 0
+              ? runMixedLoop(Svc, WL, Clients, Iters, Writers, AppendNnz)
+              : runClosedLoop(Svc, WL, Clients, Iters);
       if (Best.Requests == 0 || S.qps() > Best.qps())
         Best = S;
     }
     std::string Cfg = "clients=" + std::to_string(Clients) +
                       ";backend=" + Backend +
                       ";requests=" + std::to_string(Best.Requests);
-    Json.add("serve_mixed", Cfg + ";metric=wall", Clients, Best.WallSeconds);
-    Json.add("serve_mixed", Cfg + ";metric=p50", Clients, Best.P50);
-    Json.add("serve_mixed", Cfg + ";metric=p95", Clients, Best.P95);
-    Json.add("serve_mixed", Cfg + ";metric=p99", Clients, Best.P99);
-    Json.add("serve_mixed", Cfg + ";metric=mean", Clients, Best.Mean);
+    if (Writers > 0)
+      Cfg += ";writers=" + std::to_string(Writers) +
+             ";append_nnz=" + std::to_string(AppendNnz);
+    Json.add(Mode, Cfg + ";metric=wall", Clients, Best.WallSeconds);
+    Json.add(Mode, Cfg + ";metric=p50", Clients, Best.P50);
+    Json.add(Mode, Cfg + ";metric=p95", Clients, Best.P95);
+    Json.add(Mode, Cfg + ";metric=p99", Clients, Best.P99);
+    Json.add(Mode, Cfg + ";metric=mean", Clients, Best.Mean);
     T.addRow({ResultTable::num(int64_t(Clients)),
               ResultTable::num(Best.qps(), 0),
               ResultTable::num(Best.P50 * 1e3),
@@ -263,6 +377,51 @@ int main(int Argc, char **Argv) {
               ResultTable::num(Best.Mean * 1e3)});
   }
   T.print();
+
+  //===--------------------------------------------------------------------===//
+  // Mixed-mode gates: the view refreshed planner-free and reads current
+  //===--------------------------------------------------------------------===//
+  if (Writers > 0) {
+    MaintainStats MS = Svc.viewStats();
+    std::printf("\nivm: batches=%llu delta_builds=%llu delta_hits=%llu "
+                "refreshes=%llu\n",
+                (unsigned long long)MS.Batches,
+                (unsigned long long)MS.DeltaPlanBuilds,
+                (unsigned long long)MS.DeltaPlanHits,
+                (unsigned long long)MS.DeltaRefreshes);
+    if (MS.DeltaPlanBuilds != DeltaBuildsWarm) {
+      std::fprintf(stderr,
+                   "bench_serve: delta plans were rebuilt during the sweep "
+                   "(%llu -> %llu)\n",
+                   (unsigned long long)DeltaBuildsWarm,
+                   (unsigned long long)MS.DeltaPlanBuilds);
+      return 1;
+    }
+    if (MS.DeltaPlanHits <= DeltaHitsWarm) {
+      std::fprintf(stderr, "bench_serve: no retained delta-plan hits\n");
+      return 1;
+    }
+    auto Rd = Svc.readView("spmv");
+    auto Rc = Svc.maintenance().recompute("spmv");
+    if (!Rd || !Rc || !Rd->Ok || !Rc->Ok) {
+      std::fprintf(stderr, "bench_serve: final view read failed\n");
+      return 1;
+    }
+    // Arbitrary doubles accumulate in different orders on the two paths;
+    // equality is up to relative rounding, not bitwise.
+    double Tol = 1e-9 * std::max(1.0, std::abs(Rc->Value));
+    if (std::abs(Rd->Value - Rc->Value) > Tol) {
+      std::fprintf(stderr,
+                   "bench_serve: view %.17g diverged from recompute %.17g\n",
+                   Rd->Value, Rc->Value);
+      return 1;
+    }
+    std::error_code MixedEc;
+    fs::remove_all(CacheDir, MixedEc);
+    if (!Opts.JsonPath.empty() && !Json.writeFile(Opts.JsonPath))
+      return 1;
+    return 0;
+  }
 
   //===--------------------------------------------------------------------===//
   // Counter-verified amortization: >90% of requests plan-free

@@ -1,0 +1,158 @@
+//===- ivm/delta.h - Delta K-relations for incremental views ---*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The algebraic core of incremental view maintenance. A batch of appends
+/// (or, in ring semirings, deletions encoded as negative weights) is
+/// itself a K-relation Δ, and distributivity gives the delta-rewrite
+/// identity for every contraction expression `e` and variable `t`:
+///
+///   T[e](Ctx[t := A + Δ]) = T[e](Ctx) + δ_t[e](Ctx, Δ)
+///
+/// where the delta transform δ is structural on the expression:
+///
+///   δ_t[v]       = Δ if v == t, else 0            (zero of v's shape)
+///   δ_t[a + b]   = δ_t[a] + δ_t[b]
+///   δ_t[a · b]   = δ_t[a]·T[b] + T[a]·δ_t[b] + δ_t[a]·δ_t[b]
+///   δ_t[Σ_x a]   = Σ_x δ_t[a]
+///   δ_t[↑_x a]   = ↑_x δ_t[a]
+///   δ_t[ρ a]     = ρ δ_t[a]
+///
+/// The product rule's cross term makes repeated occurrences of `t` exact:
+/// expanding `(A+Δ)·(A+Δ)` yields `A·A + (Δ·A + A·Δ + Δ·Δ)` — the
+/// parenthesized tail is precisely δ. The identity holds in *every*
+/// semiring (it only uses distributivity and commutativity of +), so
+/// append-only maintenance works even where subtraction does not exist;
+/// *deletions* additionally require additive inverses, i.e. a ring
+/// semiring (`semiringHasNegation`). Exact cancellation to the semiring
+/// zero is compacted away by `KRelation::pruneZeros`, so maintained
+/// relations never accumulate zombie zero-weight tuples.
+///
+/// Bit-identity caveat: over f64 the identity is exact only when no
+/// intermediate rounds (e.g. dyadic-rational inputs of bounded magnitude,
+/// as the fuzzer generates); with rounding the two sides are equal as real
+/// numbers but may differ in the last ulp. The IVM oracle suite and fuzz
+/// leg therefore generate exact-valued data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_IVM_DELTA_H
+#define ETCH_IVM_DELTA_H
+
+#include "core/eval.h"
+#include "core/expr.h"
+#include "core/krelation.h"
+#include "core/semiring.h"
+#include "support/assert.h"
+
+#include <string>
+
+namespace etch {
+
+/// True when the semiring has additive inverses (is a ring in +), which is
+/// what deletion-as-negative-weight requires: only then can a stored
+/// weight be driven back to zero by appending more weight. (min,+), (max,×)
+/// and bool are idempotent/absorbing in + and support append-only
+/// maintenance.
+template <Semiring S> constexpr bool semiringHasNegation() { return false; }
+template <> constexpr bool semiringHasNegation<F64Semiring>() { return true; }
+template <> constexpr bool semiringHasNegation<I64Semiring>() { return true; }
+
+/// The additive inverse, for ring semirings only.
+template <Semiring S>
+KRelation<S> negateRelation(const KRelation<S> &R) {
+  static_assert(semiringHasNegation<S>(),
+                "negation requires a ring semiring");
+  KRelation<S> Out(R.shape(), R.denseAttrs());
+  for (const auto &[T, V] : R.entries())
+    Out.insert(T, -V);
+  return Out;
+}
+
+/// δ_t[E]: the change of `evalT(E, Ctx)` caused by replacing the binding
+/// of \p Var with `Ctx[Var] + Delta`. \p Delta must have the same shape
+/// (full and dense parts) as `Ctx.at(Var)`. Recomputes base values of
+/// subtrees on demand — this is the *oracle* of the IVM subsystem, sized
+/// for tests and fuzzing, not for production data.
+template <Semiring S>
+KRelation<S> evalDeltaT(const ExprPtr &E, const ValueContext<S> &Ctx,
+                        const std::string &Var, const KRelation<S> &Delta) {
+  switch (E->kind()) {
+  case ExprKind::Var: {
+    const KRelation<S> &Base = Ctx.at(E->varName());
+    if (E->varName() == Var) {
+      ETCH_ASSERT(Base.shape() == Delta.shape() &&
+                      Base.denseAttrs() == Delta.denseAttrs(),
+                  "delta shape must match the base relation");
+      return Delta;
+    }
+    return KRelation<S>(Base.shape(), Base.denseAttrs());
+  }
+  case ExprKind::Add:
+    return evalDeltaT(E->lhs(), Ctx, Var, Delta)
+        .add(evalDeltaT(E->rhs(), Ctx, Var, Delta));
+  case ExprKind::Mul: {
+    // Product rule with the cross term: (A+Δa)(B+Δb) - A·B
+    //   = Δa·B + A·Δb + Δa·Δb.
+    KRelation<S> DA = evalDeltaT(E->lhs(), Ctx, Var, Delta);
+    KRelation<S> DB = evalDeltaT(E->rhs(), Ctx, Var, Delta);
+    KRelation<S> A = evalT(E->lhs(), Ctx);
+    KRelation<S> B = evalT(E->rhs(), Ctx);
+    return DA.mul(B).add(A.mul(DB)).add(DA.mul(DB));
+  }
+  case ExprKind::Sum:
+    return evalDeltaT(E->lhs(), Ctx, Var, Delta).contract(E->attr());
+  case ExprKind::Expand:
+    return evalDeltaT(E->lhs(), Ctx, Var, Delta).expand(E->attr());
+  case ExprKind::Rename:
+    return evalDeltaT(E->lhs(), Ctx, Var, Delta).rename(E->mapping());
+  }
+  ETCH_UNREACHABLE("unknown expression kind");
+}
+
+/// A materialized relation-valued view over a `ValueContext` — the
+/// K-relation-level maintenance engine behind group-by views (contract
+/// only some attributes; the survivors are the grouping keys). Holds the
+/// base bindings and the current view value; `applyDelta` folds one batch
+/// into both using the delta-rewrite identity, with zero-weight
+/// compaction via `KRelation::add`'s pruning.
+template <Semiring S> class GroupedView {
+public:
+  GroupedView() = default;
+  GroupedView(ExprPtr E, ValueContext<S> Base)
+      : E(std::move(E)), Base(std::move(Base)),
+        Value(evalT(this->E, this->Base)), Refreshes(0) {}
+
+  const KRelation<S> &value() const { return Value; }
+  const ValueContext<S> &bindings() const { return Base; }
+  const ExprPtr &expr() const { return E; }
+  uint64_t refreshes() const { return Refreshes; }
+
+  /// Applies one delta batch to \p Var: the view gains δ_t[E], the base
+  /// binding gains Δ. Deltas with entries the + of S cannot cancel are
+  /// always legal; exact cancellations are pruned on merge.
+  void applyDelta(const std::string &Var, const KRelation<S> &Delta) {
+    Value = Value.add(evalDeltaT(E, Base, Var, Delta));
+    auto It = Base.find(Var);
+    ETCH_ASSERT(It != Base.end(), "delta over an unbound variable");
+    It->second = It->second.add(Delta);
+    ++Refreshes;
+  }
+
+  /// Full recomputation from the current base — the oracle the tests hold
+  /// `value()` bit-identical to.
+  KRelation<S> recompute() const { return evalT(E, Base); }
+
+private:
+  ExprPtr E;
+  ValueContext<S> Base;
+  KRelation<S> Value;
+  uint64_t Refreshes = 0;
+};
+
+} // namespace etch
+
+#endif // ETCH_IVM_DELTA_H

@@ -55,6 +55,10 @@ uint64_t TensorCatalog::putCsr(const std::string &Name, CsrMatrix<double> M,
   T->Shp = {Row, Col};
   T->Stats = statsOfCsr(Name, M, Row, Col);
   T->Csr = std::move(M);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++WriteStats.Replaces;
+  }
   return installLocked(std::move(T));
 }
 
@@ -67,6 +71,10 @@ uint64_t TensorCatalog::putSparse(const std::string &Name,
   T->Shp = {A};
   T->Stats = statsOfSparseVector(Name, V, A);
   T->Sparse = std::move(V);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++WriteStats.Replaces;
+  }
   return installLocked(std::move(T));
 }
 
@@ -79,6 +87,10 @@ uint64_t TensorCatalog::putDense(const std::string &Name,
   T->Shp = {A};
   T->Stats = statsOfDenseVector(Name, V, A);
   T->Dense = std::move(V);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++WriteStats.Replaces;
+  }
   return installLocked(std::move(T));
 }
 
@@ -89,24 +101,64 @@ uint64_t TensorCatalog::appendCsr(const std::string &Name,
   if (!Old || Old->K != CatalogTensor::Kind::Csr)
     return 0;
   const CsrMatrix<double> &M = Old->Csr;
-  std::vector<CooEntry<double>> Coo;
-  Coo.reserve(M.nnz() + Delta.size());
-  for (Idx R = 0; R < M.NumRows; ++R)
-    for (size_t Q = M.Pos[static_cast<size_t>(R)];
-         Q < M.Pos[static_cast<size_t>(R) + 1]; ++Q)
-      Coo.push_back({R, M.Crd[Q], M.Val[Q]});
-  for (const CooEntry<double> &E : Delta) {
+  for (const CooEntry<double> &E : Delta)
     ETCH_ASSERT(E.Row >= 0 && E.Row < M.NumRows && E.Col >= 0 &&
                     E.Col < M.NumCols,
                 "append entry out of range");
-    Coo.push_back(E);
+  // Sort only the delta; the predecessor is already row-major. One
+  // two-pointer merge pass per row builds the successor, dropping sums
+  // that cancel to exact zero.
+  std::vector<CooEntry<double>> D = canonicalizeCoo(Delta);
+  uint64_t Zeros = 0;
+  CsrMatrix<double> Next;
+  Next.NumRows = M.NumRows;
+  Next.NumCols = M.NumCols;
+  Next.Pos.assign(1, 0);
+  Next.Pos.reserve(static_cast<size_t>(M.NumRows) + 1);
+  Next.Crd.reserve(M.nnz() + D.size());
+  Next.Val.reserve(M.nnz() + D.size());
+  size_t DI = 0;
+  for (Idx R = 0; R < M.NumRows; ++R) {
+    size_t Q = M.Pos[static_cast<size_t>(R)];
+    const size_t QEnd = M.Pos[static_cast<size_t>(R) + 1];
+    while (Q < QEnd || (DI < D.size() && D[DI].Row == R)) {
+      bool TakeDelta = DI < D.size() && D[DI].Row == R &&
+                       (Q == QEnd || D[DI].Col <= M.Crd[Q]);
+      if (TakeDelta && Q < QEnd && D[DI].Col == M.Crd[Q]) {
+        double X = M.Val[Q] + D[DI].Val;
+        if (X != 0.0) {
+          Next.Crd.push_back(M.Crd[Q]);
+          Next.Val.push_back(X);
+        } else {
+          ++Zeros;
+        }
+        ++Q;
+        ++DI;
+      } else if (TakeDelta) {
+        Next.Crd.push_back(D[DI].Col);
+        Next.Val.push_back(D[DI].Val);
+        ++DI;
+      } else {
+        Next.Crd.push_back(M.Crd[Q]);
+        Next.Val.push_back(M.Val[Q]);
+        ++Q;
+      }
+    }
+    Next.Pos.push_back(Next.Crd.size());
   }
   auto T = std::make_shared<CatalogTensor>();
   T->Name = Name;
   T->K = CatalogTensor::Kind::Csr;
   T->Shp = Old->Shp;
-  T->Csr = CsrMatrix<double>::fromCoo(M.NumRows, M.NumCols, std::move(Coo));
+  T->Csr = std::move(Next);
   T->Stats = statsOfCsr(Name, T->Csr, Old->Shp[0], Old->Shp[1]);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++WriteStats.Appends;
+    WriteStats.DeltaNnz += D.size();
+    WriteStats.MergedNnz += M.nnz();
+    WriteStats.CompactedZeros += Zeros;
+  }
   return installLocked(std::move(T));
 }
 
@@ -118,24 +170,65 @@ TensorCatalog::appendSparse(const std::string &Name,
   if (!Old || Old->K != CatalogTensor::Kind::Sparse)
     return 0;
   const SparseVector<double> &V = Old->Sparse;
-  std::map<Idx, double> Merged;
-  for (size_t I = 0; I < V.Crd.size(); ++I)
-    Merged[V.Crd[I]] = V.Val[I];
-  for (const auto &[C, X] : Delta) {
+  // Canonicalize the delta (sort, sum duplicates), then merge the two
+  // sorted runs, dropping exact-zero sums.
+  std::vector<std::pair<Idx, double>> D = Delta;
+  std::sort(D.begin(), D.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  std::vector<std::pair<Idx, double>> DC;
+  DC.reserve(D.size());
+  for (size_t I = 0; I < D.size();) {
+    Idx C = D[I].first;
     ETCH_ASSERT(C >= 0 && C < V.Size, "append coordinate out of range");
-    Merged[C] += X;
+    double X = 0.0;
+    for (; I < D.size() && D[I].first == C; ++I)
+      X += D[I].second;
+    DC.emplace_back(C, X);
   }
+  uint64_t Zeros = 0;
   SparseVector<double> Next(V.Size);
-  for (const auto &[C, X] : Merged)
-    if (X != 0.0)
-      Next.push(C, X);
+  Next.Crd.reserve(V.nnz() + DC.size());
+  Next.Val.reserve(V.nnz() + DC.size());
+  size_t I = 0, J = 0;
+  while (I < V.Crd.size() || J < DC.size()) {
+    if (J == DC.size() || (I < V.Crd.size() && V.Crd[I] < DC[J].first)) {
+      Next.push(V.Crd[I], V.Val[I]);
+      ++I;
+    } else if (I == V.Crd.size() || DC[J].first < V.Crd[I]) {
+      if (DC[J].second != 0.0)
+        Next.push(DC[J].first, DC[J].second);
+      else
+        ++Zeros;
+      ++J;
+    } else {
+      double X = V.Val[I] + DC[J].second;
+      if (X != 0.0)
+        Next.push(V.Crd[I], X);
+      else
+        ++Zeros;
+      ++I;
+      ++J;
+    }
+  }
   auto T = std::make_shared<CatalogTensor>();
   T->Name = Name;
   T->K = CatalogTensor::Kind::Sparse;
   T->Shp = Old->Shp;
   T->Stats = statsOfSparseVector(Name, Next, Old->Shp[0]);
   T->Sparse = std::move(Next);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++WriteStats.Appends;
+    WriteStats.DeltaNnz += DC.size();
+    WriteStats.MergedNnz += V.nnz();
+    WriteStats.CompactedZeros += Zeros;
+  }
   return installLocked(std::move(T));
+}
+
+CatalogStats TensorCatalog::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return WriteStats;
 }
 
 uint64_t TensorCatalog::erase(const std::string &Name) {

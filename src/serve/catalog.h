@@ -16,10 +16,15 @@
 /// so a snapshot copy is one map copy, never a data copy.
 ///
 /// Appends are COW at tensor granularity: `appendCsr` / `appendSparse`
-/// rebuild the named tensor with the delta summed in (K-relation
-/// addition: a batch of appends is itself a K-relation) and install the
-/// result as a new version. Old versions stay alive for as long as some
-/// snapshot (or plan-cache entry) references them.
+/// build the successor payload by a *sorted merge* of the canonicalized
+/// delta into the predecessor (K-relation addition: a batch of appends is
+/// itself a K-relation — O(nnz + Δ log Δ), not a full re-sort) and
+/// install it as a new version. Entries whose weights cancel to exact
+/// zero are compacted away, so deletions (negative-weight deltas) leave
+/// no zombie tuples. Old versions stay alive for as long as some snapshot
+/// (or plan-cache entry) references them. `CatalogStats` surfaces the
+/// per-append rebuild cost: how many predecessor entries each append
+/// copied versus how many the delta actually touched.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -80,6 +85,18 @@ private:
 
 using CatalogSnapshotRef = std::shared_ptr<const CatalogSnapshot>;
 
+/// Write-path cost counters. `MergedNnz / Appends` is the mean rebuild
+/// cost of an append — the price of COW versioning the merge path keeps
+/// at one linear pass (the old path paid an extra sort of the whole
+/// payload through `fromCoo`).
+struct CatalogStats {
+  uint64_t Appends = 0;        ///< appendCsr + appendSparse calls accepted.
+  uint64_t DeltaNnz = 0;       ///< Canonicalized delta entries merged in.
+  uint64_t MergedNnz = 0;      ///< Predecessor entries copied by merges.
+  uint64_t CompactedZeros = 0; ///< Entries cancelled to exact zero.
+  uint64_t Replaces = 0;       ///< putCsr/putSparse/putDense installs.
+};
+
 /// The mutable catalog. Writers serialize against each other and publish
 /// whole snapshots; readers never block writers beyond the pointer swap.
 class TensorCatalog {
@@ -98,9 +115,10 @@ public:
   uint64_t putSparse(const std::string &Name, SparseVector<double> V, Attr A);
   uint64_t putDense(const std::string &Name, DenseVector<double> V, Attr A);
 
-  /// COW append: rebuilds \p Name with \p Delta summed in (semiring
-  /// addition on colliding coordinates) and installs it as a new version.
-  /// Returns 0 if \p Name is absent or not of the matching kind.
+  /// COW append: merges the canonicalized \p Delta into \p Name (semiring
+  /// addition on colliding coordinates, exact-zero sums dropped) and
+  /// installs the result as a new version. Returns 0 if \p Name is absent
+  /// or not of the matching kind.
   uint64_t appendCsr(const std::string &Name,
                      const std::vector<CooEntry<double>> &Delta);
   uint64_t appendSparse(const std::string &Name,
@@ -109,12 +127,15 @@ public:
   /// Removes \p Name (no-op if absent). Returns the new epoch.
   uint64_t erase(const std::string &Name);
 
+  CatalogStats stats() const;
+
 private:
   uint64_t installLocked(std::shared_ptr<CatalogTensor> T);
 
-  mutable std::mutex Mu; ///< Guards the snapshot pointer swap.
+  mutable std::mutex Mu; ///< Guards the snapshot pointer swap and stats.
   std::mutex WriterMu;   ///< Serializes writers; builds happen under it.
   CatalogSnapshotRef Snap;
+  CatalogStats WriteStats;
 };
 
 } // namespace etch

@@ -52,13 +52,16 @@ struct PlanCacheStats {
   uint64_t Misses = 0;
   uint64_t Evictions = 0;     ///< LRU-dropped past the capacity bound.
   uint64_t Invalidations = 0; ///< Dropped because a read tensor changed.
+  uint64_t Retained = 0;      ///< Survived an invalidation (delta plans).
   uint64_t PlannerRuns = 0;   ///< enumeratePlans invocations (miss path).
   uint64_t Resident = 0;      ///< Entries currently cached.
 };
 
 /// One planned + compiled + bound query. Immutable after construction
-/// except for the executor state (`Call` / `BoundMem`), which `ExecMu`
-/// serializes: a NativeCall's resident buffers are single-dispatch.
+/// except for the executor state (`Call` / `BoundMem` / the rebind
+/// bookkeeping), which `ExecMu` serializes: a NativeCall's resident
+/// buffers are single-dispatch, and a retained plan's inputs are
+/// re-marshaled in place by `rebindPlan` between dispatches.
 struct CachedPlan {
   std::string Key;
   std::vector<std::string> Tensors; ///< Factor names (for invalidation).
@@ -66,12 +69,21 @@ struct CachedPlan {
   double PlannerCost = 0.0;
   std::string Explain;
   std::string OutVar;
+  /// A retained plan survives `invalidateTensor`: it is keyed on what it
+  /// *is* (an IVM view's delta or refresh plan), not on the tensor
+  /// versions it was bound against, and is refreshed by rebinding.
+  bool Retain = false;
 
   PRef Prog;
   BytecodeProgram Bc;
   NativeKernelRef Kernel;           ///< Null: execute on the bytecode VM.
   std::unique_ptr<NativeCall> Call; ///< Prepared native dispatch.
   VmMemory BoundMem;                ///< Inputs bound for the bytecode VM.
+  std::vector<PlanAccess> Accesses; ///< Realized accesses, for rebinding.
+  std::vector<uint64_t> BoundVersions; ///< Version last bound, per access.
+  std::vector<int> BoundKinds;      ///< CatalogTensor::Kind per access; a
+                                    ///< rebind to a different kind fails
+                                    ///< (the plan's levels are format-bound).
   std::mutex ExecMu;                ///< One dispatch at a time per entry.
 };
 
@@ -90,8 +102,14 @@ public:
   /// callers converge on one executor per key.
   CachedPlanRef insert(CachedPlanRef P);
 
-  /// Drops every plan reading \p Tensor (counted as Invalidations).
+  /// Drops every non-retained plan reading \p Tensor (counted as
+  /// Invalidations); retained plans survive and count as Retained.
   void invalidateTensor(const std::string &Tensor);
+
+  /// Drops the plan under \p Key regardless of retention (the IVM driver
+  /// uses this when a view is unregistered or its plan must be rebuilt,
+  /// e.g. after a load replaced a factor's storage kind).
+  void erase(const std::string &Key);
 
   /// Counts one planner enumeration (called by the miss path only).
   void countPlannerRun();

@@ -1,0 +1,284 @@
+//===- serve/prepare.cpp - Shared plan/compile/bind/execute path ----------===//
+
+#include "serve/prepare.h"
+
+#include "compiler/frontend.h"
+#include "compiler/vm.h"
+#include "planner/plan.h"
+#include "planner/realize.h"
+#include "support/assert.h"
+
+#include <algorithm>
+
+using namespace etch;
+
+TensorResolver etch::snapshotResolver(CatalogSnapshotRef Snap) {
+  return [Snap = std::move(Snap)](const std::string &Name) {
+    return Snap->find(Name);
+  };
+}
+
+namespace {
+
+/// Repacks a CSR matrix under a compressed outer level (DCSR): the entry
+/// arrays are unchanged, only the nonempty rows are kept in the row level.
+DcsrMatrix<double> dcsrOfCsr(const CsrMatrix<double> &A) {
+  DcsrMatrix<double> D;
+  D.NumRows = A.NumRows;
+  D.NumCols = A.NumCols;
+  D.Pos.push_back(0);
+  for (Idx R = 0; R < A.NumRows; ++R) {
+    const size_t RU = static_cast<size_t>(R);
+    if (A.Pos[RU] == A.Pos[RU + 1])
+      continue;
+    D.RowCrd.push_back(R);
+    D.Pos.push_back(A.Pos[RU + 1]);
+  }
+  D.Crd = A.Crd;
+  D.Val = A.Val;
+  return D;
+}
+
+/// Binds one realized access's data from its tensor into \p M, honoring
+/// the plan's transposed / rehashed choices and its per-level formats: a
+/// matrix access whose outer level the planner compressed (the DCSR-style
+/// choice for hypersparse transposed copies) binds the pos0/crd0 arrays
+/// the emitted program expects, not the dense-outer CSR layout.
+bool bindAccess(VmMemory &M, const PlanAccess &Acc, const CatalogTensor &T,
+                std::string *Err) {
+  switch (T.K) {
+  case CatalogTensor::Kind::Csr: {
+    CsrMatrix<double> C = Acc.Transposed ? transpose(T.Csr) : T.Csr;
+    if (!Acc.Levels.empty() && Acc.Levels[0].K == LevelSpec::Compressed)
+      bindDcsr(M, Acc.bindName(), dcsrOfCsr(C));
+    else
+      bindCsr(M, Acc.bindName(), C);
+    return true;
+  }
+  case CatalogTensor::Kind::Sparse:
+    if (Acc.Rehashed) {
+      HashedVector<double> H(T.Sparse.Size, T.Sparse.nnz());
+      for (size_t I = 0; I < T.Sparse.Crd.size(); ++I)
+        H.accumulate(T.Sparse.Crd[I], T.Sparse.Val[I]);
+      H.freeze();
+      int64_t TabSize = bindHashedVector(M, Acc.bindName(), H);
+      if (!Acc.Levels.empty() && Acc.Levels[0].TabSize != TabSize) {
+        if (Err)
+          *Err = "hashed rebind table-size mismatch for '" + Acc.Tensor + "'";
+        return false;
+      }
+    } else {
+      bindSparseVector(M, Acc.bindName(), T.Sparse);
+    }
+    return true;
+  case CatalogTensor::Kind::Dense:
+    bindDenseVector(M, Acc.bindName(), T.Dense);
+    return true;
+  }
+  if (Err)
+    *Err = "unknown tensor kind for '" + Acc.Tensor + "'";
+  return false;
+}
+
+} // namespace
+
+CachedPlanRef etch::prepareContraction(const std::string &Key,
+                                       const std::vector<std::string> &Factors,
+                                       const TensorResolver &Resolve,
+                                       const PrepareOptions &PO,
+                                       PlanCache *Cache, std::string *Err) {
+  if (Factors.empty()) {
+    if (Err)
+      *Err = "empty factor list";
+    return nullptr;
+  }
+
+  TypeContext Ctx;
+  std::map<std::string, TensorStats> Stats;
+  std::map<uint32_t, int64_t> Dims;
+  std::map<std::string, CatalogTensorRef> Resolved;
+  uint64_t MaxVersion = 0;
+  for (const std::string &Name : Factors) {
+    if (Resolved.count(Name))
+      continue;
+    CatalogTensorRef T = Resolve(Name);
+    if (!T) {
+      if (Err)
+        *Err = "unknown tensor '" + Name + "'";
+      return nullptr;
+    }
+    Resolved[Name] = T;
+    Ctx[Name] = T->Shp;
+    Stats[Name] = T->Stats;
+    MaxVersion = std::max(MaxVersion, T->Version);
+    for (const LevelStat &LS : T->Stats.Levels)
+      Dims[LS.A.id()] = LS.Extent;
+  }
+
+  ExprPtr Prod;
+  for (const std::string &Name : Factors) {
+    ExprPtr V = Expr::var(Name);
+    Prod = Prod ? mulExpand(std::move(Prod), std::move(V), Ctx, Err)
+                : std::move(V);
+    if (!Prod)
+      return nullptr;
+  }
+  ExprPtr E = sumAll(std::move(Prod), Ctx, Err);
+  if (!E)
+    return nullptr;
+
+  auto PQ = extractQuery(E, Ctx, Stats, Dims, Err);
+  if (!PQ)
+    return nullptr;
+
+  PlanOptions PlanOpts;
+  PlanOpts.AllowHashed = PO.AllowHashed;
+  if (Cache)
+    Cache->countPlannerRun();
+  std::vector<Plan> Enumerated = enumeratePlans(*PQ, PlanOpts);
+  if (Enumerated.empty()) {
+    if (Err)
+      *Err = "no realizable attribute order";
+    return nullptr;
+  }
+  const Plan &Best = Enumerated.front();
+
+  RealizedPlan RP = realizePlan(*PQ, Best, "srv");
+  LowerCtx LCtx;
+  LCtx.OptLevel = PO.OptLevel;
+  installPlan(LCtx, RP);
+
+  auto CP = std::make_shared<CachedPlan>();
+  CP->Key = Key;
+  CP->Tensors = Factors;
+  std::sort(CP->Tensors.begin(), CP->Tensors.end());
+  CP->Tensors.erase(std::unique(CP->Tensors.begin(), CP->Tensors.end()),
+                    CP->Tensors.end());
+  CP->Epoch = MaxVersion;
+  CP->Retain = PO.Retain;
+  CP->PlannerCost = Best.cost();
+  CP->Explain = Best.explain(*PQ);
+  CP->OutVar = "out";
+  CP->Prog = compileFullContraction(LCtx, RP.E, CP->OutVar);
+  CP->Accesses = RP.Accesses;
+  CP->BoundVersions.reserve(RP.Accesses.size());
+
+  for (const PlanAccess &Acc : RP.Accesses) {
+    CatalogTensorRef T = Resolved.at(Acc.Tensor);
+    if (!bindAccess(CP->BoundMem, Acc, *T, Err))
+      return nullptr;
+    CP->BoundVersions.push_back(T->Version);
+    CP->BoundKinds.push_back(static_cast<int>(T->K));
+  }
+
+  CP->Bc = compileBytecode(CP->Prog);
+  if (!CP->Bc.ok()) {
+    if (Err)
+      *Err = "bytecode compile error: " + CP->Bc.CompileError;
+    return nullptr;
+  }
+
+  if (PO.UseNative && jitToolchain().Available) {
+    JitOptions JO;
+    JO.CacheDir = PO.JitCacheDir;
+    std::string JitErr;
+    if (NativeKernelRef K = jitCompile(CP->Prog, JO, &JitErr)) {
+      auto Call = std::make_unique<NativeCall>(K);
+      std::string BindErr;
+      if (Call->bind(CP->BoundMem, &BindErr)) {
+        CP->Kernel = std::move(K);
+        CP->Call = std::move(Call);
+      }
+      // A bind failure (or a jit decline) silently leaves the bytecode
+      // executor in charge — degrade, never abort.
+    }
+  }
+  return CP;
+}
+
+bool etch::rebindPlan(CachedPlan &P, const TensorResolver &Resolve,
+                      bool Force, std::string *Err) {
+  ETCH_ASSERT(P.Accesses.size() == P.BoundVersions.size(),
+              "access/version bookkeeping out of sync");
+  bool Moved = false;
+  for (size_t I = 0; I < P.Accesses.size(); ++I) {
+    const PlanAccess &Acc = P.Accesses[I];
+    CatalogTensorRef T = Resolve(Acc.Tensor);
+    if (!T) {
+      if (Err)
+        *Err = "rebind: unknown tensor '" + Acc.Tensor + "'";
+      return false;
+    }
+    if (static_cast<int>(T->K) != P.BoundKinds[I]) {
+      if (Err)
+        *Err = "rebind: tensor '" + Acc.Tensor +
+               "' changed storage kind; the plan must be rebuilt";
+      return false;
+    }
+    if (!Force && T->Version == P.BoundVersions[I])
+      continue;
+    if (!bindAccess(P.BoundMem, Acc, *T, Err))
+      return false;
+    P.BoundVersions[I] = T->Version;
+    P.Epoch = std::max(P.Epoch, T->Version);
+    Moved = true;
+  }
+  if (Moved && P.Call) {
+    std::string BindErr;
+    if (!P.Call->bind(P.BoundMem, &BindErr)) {
+      if (Err)
+        *Err = "rebind: native re-marshal failed: " + BindErr;
+      return false;
+    }
+  }
+  return true;
+}
+
+ExecOutcome etch::executePlan(CachedPlan &P, ExecBackend B,
+                              const TensorResolver *Rebind) {
+  ExecOutcome R;
+  std::lock_guard<std::mutex> L(P.ExecMu);
+  if (Rebind && !rebindPlan(P, *Rebind, /*Force=*/false, &R.Error))
+    return R;
+  if (B == ExecBackend::Native && !P.Call) {
+    R.Error = "native backend requested but no native call is prepared";
+    return R;
+  }
+  bool Native = P.Call && (B == ExecBackend::Auto || B == ExecBackend::Native);
+  if (Native) {
+    VmRunResult RR = P.Call->invoke();
+    if (RR.Error) {
+      R.Error = *RR.Error;
+      return R;
+    }
+    auto V = P.Call->scalar(P.OutVar);
+    ETCH_ASSERT(V, "native kernel finished without defining the output");
+    R.Value = std::get<double>(*V);
+    R.Backend = "native";
+  } else if (B == ExecBackend::Tree) {
+    // The tree VM mutates memory in place; run on a copy so the plan's
+    // bound inputs stay pristine for the next dispatch.
+    VmMemory M = P.BoundMem;
+    VmRunResult RR = vmRun(P.Prog, M);
+    if (RR.Error) {
+      R.Error = *RR.Error;
+      return R;
+    }
+    auto V = M.getScalar(P.OutVar);
+    ETCH_ASSERT(V, "tree run finished without defining the output");
+    R.Value = std::get<double>(*V);
+    R.Backend = "tree";
+  } else {
+    VmRunResult RR = bytecodeRun(P.Bc, P.BoundMem);
+    if (RR.Error) {
+      R.Error = *RR.Error;
+      return R;
+    }
+    auto V = P.BoundMem.getScalar(P.OutVar);
+    ETCH_ASSERT(V, "bytecode run finished without defining the output");
+    R.Value = std::get<double>(*V);
+    R.Backend = "bytecode";
+  }
+  R.Ok = true;
+  return R;
+}

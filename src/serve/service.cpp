@@ -2,8 +2,6 @@
 
 #include "serve/service.h"
 
-#include "compiler/frontend.h"
-#include "planner/plan.h"
 #include "support/assert.h"
 
 #include <algorithm>
@@ -11,7 +9,13 @@
 using namespace etch;
 
 ContractionService::ContractionService(ServeOptions O)
-    : Opts(std::move(O)), Plans(Opts.PlanCacheCap), Exec(Opts.Threads) {}
+    : Opts(std::move(O)), Plans(Opts.PlanCacheCap), Exec(Opts.Threads) {
+  IvmOptions IO;
+  IO.Prep.OptLevel = Opts.OptLevel;
+  IO.Prep.UseNative = Opts.UseNative;
+  IO.Prep.JitCacheDir = Opts.JitCacheDir;
+  Views = std::make_unique<MaintenanceDriver>(Catalog, Plans, std::move(IO));
+}
 
 //===----------------------------------------------------------------------===//
 // Write-through mutations
@@ -20,41 +24,128 @@ ContractionService::ContractionService(ServeOptions O)
 uint64_t ContractionService::loadCsr(const std::string &Name,
                                      CsrMatrix<double> M, Attr Row,
                                      Attr Col) {
+  std::lock_guard<std::mutex> W(WriteMu);
   uint64_t E = Catalog.putCsr(Name, std::move(M), Row, Col);
   Plans.invalidateTensor(Name);
+  Views->onReplace(Name, Catalog.snapshot());
   return E;
 }
 
 uint64_t ContractionService::loadSparse(const std::string &Name,
                                         SparseVector<double> V, Attr A) {
+  std::lock_guard<std::mutex> W(WriteMu);
   uint64_t E = Catalog.putSparse(Name, std::move(V), A);
   Plans.invalidateTensor(Name);
+  Views->onReplace(Name, Catalog.snapshot());
   return E;
 }
 
 uint64_t ContractionService::loadDense(const std::string &Name,
                                        DenseVector<double> V, Attr A) {
+  std::lock_guard<std::mutex> W(WriteMu);
   uint64_t E = Catalog.putDense(Name, std::move(V), A);
   Plans.invalidateTensor(Name);
+  Views->onReplace(Name, Catalog.snapshot());
+  return E;
+}
+
+uint64_t
+ContractionService::appendCsrLocked(const std::string &Name,
+                                    const std::vector<CooEntry<double>> &Delta) {
+  CatalogSnapshotRef Pre = Catalog.snapshot();
+  uint64_t E = Catalog.appendCsr(Name, Delta);
+  if (E) {
+    Plans.invalidateTensor(Name);
+    Views->onAppendCsr(Name, Delta, Pre, Catalog.snapshot());
+  }
+  return E;
+}
+
+uint64_t ContractionService::appendSparseLocked(
+    const std::string &Name,
+    const std::vector<std::pair<Idx, double>> &Delta) {
+  CatalogSnapshotRef Pre = Catalog.snapshot();
+  uint64_t E = Catalog.appendSparse(Name, Delta);
+  if (E) {
+    Plans.invalidateTensor(Name);
+    Views->onAppendSparse(Name, Delta, Pre, Catalog.snapshot());
+  }
   return E;
 }
 
 uint64_t
 ContractionService::appendCsr(const std::string &Name,
                               const std::vector<CooEntry<double>> &Delta) {
-  uint64_t E = Catalog.appendCsr(Name, Delta);
-  if (E)
-    Plans.invalidateTensor(Name);
-  return E;
+  std::lock_guard<std::mutex> W(WriteMu);
+  return appendCsrLocked(Name, Delta);
 }
 
 uint64_t ContractionService::appendSparse(
     const std::string &Name,
     const std::vector<std::pair<Idx, double>> &Delta) {
-  uint64_t E = Catalog.appendSparse(Name, Delta);
-  if (E)
-    Plans.invalidateTensor(Name);
-  return E;
+  std::lock_guard<std::mutex> W(WriteMu);
+  return appendSparseLocked(Name, Delta);
+}
+
+uint64_t
+ContractionService::deleteCsr(const std::string &Name,
+                              const std::vector<std::pair<Idx, Idx>> &Coords) {
+  std::lock_guard<std::mutex> W(WriteMu);
+  CatalogTensorRef T = Catalog.snapshot()->find(Name);
+  if (!T || T->K != CatalogTensor::Kind::Csr)
+    return 0;
+  std::vector<CooEntry<double>> Delta;
+  for (const auto &[R, C] : Coords) {
+    if (R < 0 || R >= T->Csr.NumRows)
+      continue;
+    for (size_t Q = T->Csr.Pos[static_cast<size_t>(R)];
+         Q < T->Csr.Pos[static_cast<size_t>(R) + 1]; ++Q)
+      if (T->Csr.Crd[Q] == C) {
+        Delta.push_back({R, C, -T->Csr.Val[Q]});
+        break;
+      }
+  }
+  if (Delta.empty())
+    return T->Version;
+  return appendCsrLocked(Name, Delta);
+}
+
+uint64_t ContractionService::deleteSparse(const std::string &Name,
+                                          const std::vector<Idx> &Coords) {
+  std::lock_guard<std::mutex> W(WriteMu);
+  CatalogTensorRef T = Catalog.snapshot()->find(Name);
+  if (!T || T->K != CatalogTensor::Kind::Sparse)
+    return 0;
+  std::vector<std::pair<Idx, double>> Delta;
+  for (Idx C : Coords) {
+    auto It = std::lower_bound(T->Sparse.Crd.begin(), T->Sparse.Crd.end(), C);
+    if (It != T->Sparse.Crd.end() && *It == C)
+      Delta.emplace_back(
+          C, -T->Sparse.Val[static_cast<size_t>(It - T->Sparse.Crd.begin())]);
+  }
+  if (Delta.empty())
+    return T->Version;
+  return appendSparseLocked(Name, Delta);
+}
+
+//===----------------------------------------------------------------------===//
+// Views
+//===----------------------------------------------------------------------===//
+
+bool ContractionService::registerView(const std::string &Name,
+                                      const ServeQuery &Q, std::string *Err) {
+  std::lock_guard<std::mutex> W(WriteMu);
+  return Views->registerView(Name, Q.Tensors, Err);
+}
+
+std::optional<ViewReading>
+ContractionService::readView(const std::string &Name) const {
+  return Views->read(Name);
+}
+
+bool ContractionService::unregisterView(const std::string &Name) {
+  std::lock_guard<std::mutex> W(WriteMu);
+  return Views->unregister(Name);
 }
 
 //===----------------------------------------------------------------------===//
@@ -101,139 +192,19 @@ ContractionService::makeKey(const ServeQuery &Q, const CatalogSnapshot &Snap,
 // Planning + compilation (the miss path)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// Binds one realized access's data from the snapshot into \p M, honoring
-/// the plan's transposed / rehashed choices.
-bool bindAccess(VmMemory &M, const PlanAccess &Acc, const CatalogTensor &T,
-                std::string *Err) {
-  switch (T.K) {
-  case CatalogTensor::Kind::Csr:
-    if (Acc.Transposed)
-      bindCsr(M, Acc.bindName(), transpose(T.Csr));
-    else
-      bindCsr(M, Acc.bindName(), T.Csr);
-    return true;
-  case CatalogTensor::Kind::Sparse:
-    if (Acc.Rehashed) {
-      HashedVector<double> H(T.Sparse.Size, T.Sparse.nnz());
-      for (size_t I = 0; I < T.Sparse.Crd.size(); ++I)
-        H.accumulate(T.Sparse.Crd[I], T.Sparse.Val[I]);
-      H.freeze();
-      int64_t TabSize = bindHashedVector(M, Acc.bindName(), H);
-      if (!Acc.Levels.empty() && Acc.Levels[0].TabSize != TabSize) {
-        if (Err)
-          *Err = "hashed rebind table-size mismatch for '" + Acc.Tensor + "'";
-        return false;
-      }
-    } else {
-      bindSparseVector(M, Acc.bindName(), T.Sparse);
-    }
-    return true;
-  case CatalogTensor::Kind::Dense:
-    bindDenseVector(M, Acc.bindName(), T.Dense);
-    return true;
-  }
-  if (Err)
-    *Err = "unknown tensor kind for '" + Acc.Tensor + "'";
-  return false;
-}
-
-} // namespace
-
 CachedPlanRef ContractionService::planAndCompile(const std::string &Key,
                                                  const ServeQuery &Q,
-                                                 const CatalogSnapshot &Snap,
+                                                 const CatalogSnapshotRef &Snap,
                                                  std::string *Err) {
   std::vector<std::string> Names = Q.Tensors;
   std::sort(Names.begin(), Names.end());
-
-  TypeContext Ctx;
-  std::map<std::string, TensorStats> Stats;
-  std::map<uint32_t, int64_t> Dims;
-  for (const std::string &Name : Names) {
-    CatalogTensorRef T = Snap.find(Name);
-    if (!T) {
-      *Err = "unknown tensor '" + Name + "'";
-      return nullptr;
-    }
-    Ctx[Name] = T->Shp;
-    Stats[Name] = T->Stats;
-    for (const LevelStat &LS : T->Stats.Levels)
-      Dims[LS.A.id()] = LS.Extent;
-  }
-
-  ExprPtr Prod;
-  for (const std::string &Name : Names) {
-    ExprPtr V = Expr::var(Name);
-    Prod = Prod ? mulExpand(std::move(Prod), std::move(V), Ctx, Err)
-                : std::move(V);
-    if (!Prod)
-      return nullptr;
-  }
-  ExprPtr E = sumAll(std::move(Prod), Ctx, Err);
-  if (!E)
-    return nullptr;
-
-  auto PQ = extractQuery(E, Ctx, Stats, Dims, Err);
-  if (!PQ)
-    return nullptr;
-
-  PlanOptions PO;
+  PrepareOptions PO;
   PO.AllowHashed = Opts.AllowHashed;
-  Plans.countPlannerRun();
-  std::vector<Plan> Enumerated = enumeratePlans(*PQ, PO);
-  if (Enumerated.empty()) {
-    *Err = "no realizable attribute order";
-    return nullptr;
-  }
-  const Plan &Best = Enumerated.front();
-
-  RealizedPlan RP = realizePlan(*PQ, Best, "srv");
-  LowerCtx LCtx;
-  LCtx.OptLevel = Opts.OptLevel;
-  installPlan(LCtx, RP);
-
-  auto CP = std::make_shared<CachedPlan>();
-  CP->Key = Key;
-  CP->Tensors = Names;
-  CP->Tensors.erase(std::unique(CP->Tensors.begin(), CP->Tensors.end()),
-                    CP->Tensors.end());
-  CP->Epoch = Snap.epoch();
-  CP->PlannerCost = Best.cost();
-  CP->Explain = Best.explain(*PQ);
-  CP->OutVar = "out";
-  CP->Prog = compileFullContraction(LCtx, RP.E, CP->OutVar);
-
-  for (const PlanAccess &Acc : RP.Accesses) {
-    CatalogTensorRef T = Snap.find(Acc.Tensor);
-    ETCH_ASSERT(T, "planned access over a tensor missing from the snapshot");
-    if (!bindAccess(CP->BoundMem, Acc, *T, Err))
-      return nullptr;
-  }
-
-  CP->Bc = compileBytecode(CP->Prog);
-  if (!CP->Bc.ok()) {
-    *Err = "bytecode compile error: " + CP->Bc.CompileError;
-    return nullptr;
-  }
-
-  if (Opts.UseNative && jitToolchain().Available) {
-    JitOptions JO;
-    JO.CacheDir = Opts.JitCacheDir;
-    std::string JitErr;
-    if (NativeKernelRef K = jitCompile(CP->Prog, JO, &JitErr)) {
-      auto Call = std::make_unique<NativeCall>(K);
-      std::string BindErr;
-      if (Call->bind(CP->BoundMem, &BindErr)) {
-        CP->Kernel = std::move(K);
-        CP->Call = std::move(Call);
-      }
-      // A bind failure (or a jit decline) silently leaves the bytecode
-      // executor in charge — degrade, never abort.
-    }
-  }
-  return CP;
+  PO.OptLevel = Opts.OptLevel;
+  PO.UseNative = Opts.UseNative;
+  PO.JitCacheDir = Opts.JitCacheDir;
+  return prepareContraction(Key, Names, snapshotResolver(Snap), PO, &Plans,
+                            Err);
 }
 
 //===----------------------------------------------------------------------===//
@@ -250,7 +221,7 @@ ServeResult ContractionService::execute(const std::string &Key,
   R.PlanCacheHit = P != nullptr;
   if (!P) {
     std::string Err;
-    P = planAndCompile(Key, Q, *Snap, &Err);
+    P = planAndCompile(Key, Q, Snap, &Err);
     if (!P) {
       R.Error = Err;
       return R;
@@ -258,28 +229,13 @@ ServeResult ContractionService::execute(const std::string &Key,
     P = Plans.insert(P);
   }
 
-  std::lock_guard<std::mutex> L(P->ExecMu);
-  if (P->Call) {
-    VmRunResult RR = P->Call->invoke();
-    if (RR.Error) {
-      R.Error = *RR.Error;
-      return R;
-    }
-    auto V = P->Call->scalar(P->OutVar);
-    ETCH_ASSERT(V, "native kernel finished without defining the output");
-    R.Value = std::get<double>(*V);
-    R.Backend = "native";
-  } else {
-    VmRunResult RR = bytecodeRun(P->Bc, P->BoundMem);
-    if (RR.Error) {
-      R.Error = *RR.Error;
-      return R;
-    }
-    auto V = P->BoundMem.getScalar(P->OutVar);
-    ETCH_ASSERT(V, "bytecode run finished without defining the output");
-    R.Value = std::get<double>(*V);
-    R.Backend = "bytecode";
+  ExecOutcome O = executePlan(*P);
+  if (!O.Ok) {
+    R.Error = O.Error;
+    return R;
   }
+  R.Value = O.Value;
+  R.Backend = O.Backend;
   R.Ok = true;
   {
     std::lock_guard<std::mutex> SL(StatMu);

@@ -19,7 +19,12 @@
 ///      rebinding;
 ///   3. an admission layer that coalesces identical in-flight queries:
 ///      concurrent requests for the same key ride one kernel dispatch and
-///      fan the (immutable) result back out.
+///      fan the (immutable) result back out;
+///   4. incremental view maintenance (src/ivm/): queries registered as
+///      materialized views are refreshed per append by a *delta*
+///      contraction over the batch instead of recomputation, on retained
+///      plans that survive writes — `readView` then answers from the
+///      stored value without dispatching anything.
 ///
 /// Execution prefers the JIT-to-native backend (content-addressed kernel
 /// cache, PR 7) and degrades to the bytecode VM per plan when no
@@ -32,8 +37,10 @@
 #ifndef ETCH_SERVE_SERVICE_H
 #define ETCH_SERVE_SERVICE_H
 
+#include "ivm/maintain.h"
 #include "serve/catalog.h"
 #include "serve/plancache.h"
+#include "serve/prepare.h"
 #include "support/threadpool.h"
 
 #include <condition_variable>
@@ -101,6 +108,32 @@ public:
   uint64_t appendSparse(const std::string &Name,
                         const std::vector<std::pair<Idx, double>> &Delta);
 
+  /// Deletions: remove the stored weight at the given coordinates by
+  /// appending its negation (f64 is a ring), so views maintain through
+  /// the same delta path and cancelled entries compact to nothing.
+  /// Coordinates with no stored weight are ignored.
+  uint64_t deleteCsr(const std::string &Name,
+                     const std::vector<std::pair<Idx, Idx>> &Coords);
+  uint64_t deleteSparse(const std::string &Name,
+                        const std::vector<Idx> &Coords);
+
+  /// Registers `Name = Σ Π Q.Tensors` as a live materialized view: the
+  /// initial value computes now, and every append/delete batch folds in
+  /// incrementally. Registration and writes serialize on the write lock.
+  bool registerView(const std::string &Name, const ServeQuery &Q,
+                    std::string *Err);
+  /// The stored value of a view — no planner, no kernel, just a read.
+  /// Consistent with the catalog: the reading's Epoch is the epoch of the
+  /// last write folded in.
+  std::optional<ViewReading> readView(const std::string &Name) const;
+  bool unregisterView(const std::string &Name);
+
+  /// The maintenance driver, for grouped (relation-valued) views and
+  /// maintenance statistics. Mutating driver calls must not race the
+  /// service write path.
+  MaintenanceDriver &maintenance() { return *Views; }
+  MaintainStats viewStats() const { return Views->stats(); }
+
   /// Answers \p Q against the current epoch (thread-safe; blocking).
   ServeResult query(const ServeQuery &Q);
 
@@ -135,13 +168,23 @@ private:
   ServeResult execute(const std::string &Key, const ServeQuery &Q,
                       const CatalogSnapshotRef &Snap);
   CachedPlanRef planAndCompile(const std::string &Key, const ServeQuery &Q,
-                               const CatalogSnapshot &Snap,
+                               const CatalogSnapshotRef &Snap,
                                std::string *Err);
+  uint64_t appendCsrLocked(const std::string &Name,
+                           const std::vector<CooEntry<double>> &Delta);
+  uint64_t appendSparseLocked(const std::string &Name,
+                              const std::vector<std::pair<Idx, double>> &Delta);
 
   ServeOptions Opts;
   TensorCatalog Catalog;
   mutable PlanCache Plans;
+  std::unique_ptr<MaintenanceDriver> Views;
   ThreadPool Exec;
+
+  /// Serializes the write path end to end: capture the pre-append
+  /// snapshot, install the batch, invalidate superseded plans, fold the
+  /// batch into the views. Readers never take it.
+  std::mutex WriteMu;
 
   std::mutex AdmMu;
   std::unordered_map<std::string, std::shared_ptr<Flight>> Inflight;

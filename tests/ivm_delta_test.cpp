@@ -1,0 +1,230 @@
+//===- tests/ivm_delta_test.cpp - Delta K-relations and grouped views -----===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The algebraic core of incremental view maintenance (ivm/delta.h):
+//
+//  * the delta-rewrite identity T[e](Ctx[t := A+Δ]) = T[e](Ctx) + δ_t[e]
+//    holds exactly, in every semiring, for sums, products (including the
+//    Δ·Δ cross term of self-joins), contractions, expands, and renames;
+//  * deletions are negative-weight deltas: a batch that cancels a stored
+//    weight to the semiring zero leaves *no* tuple behind, at the
+//    K-relation layer and through a maintained GroupedView;
+//  * GroupedView::applyDelta keeps value() bit-identical to recompute().
+//
+// Values are dyadic rationals of small magnitude, so f64 equality is
+// exact (the sides agree as reals, hence bit-for-bit; see ivm/delta.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ivm/delta.h"
+
+#include <gtest/gtest.h>
+
+using namespace etch;
+
+namespace {
+
+Attr DI() { return Attr::named("ivd_i"); }
+Attr DJ() { return Attr::named("ivd_j"); }
+
+/// Checks the delta-rewrite identity for one (expression, variable, batch)
+/// triple: evaluating with the shifted binding must equal base + delta.
+template <Semiring S>
+void expectIdentity(const ExprPtr &E, const ValueContext<S> &Ctx,
+                    const std::string &Var, const KRelation<S> &Delta) {
+  ValueContext<S> Shifted = Ctx;
+  Shifted.at(Var) = Shifted.at(Var).add(Delta);
+  KRelation<S> Lhs = evalT(E, Shifted);
+  KRelation<S> Rhs = evalT(E, Ctx).add(evalDeltaT(E, Ctx, Var, Delta));
+  EXPECT_TRUE(Lhs.equals(Rhs))
+      << S::name() << " shifted=" << Lhs.toString()
+      << " base+delta=" << Rhs.toString();
+}
+
+/// Σ_i Σ_j M(i,j) · (↑_i v)(j): the SpMV-total shape shared by the driver
+/// tests, built over an arbitrary semiring.
+template <Semiring S>
+ExprPtr spmvTotal() {
+  ExprPtr M = Expr::var("M");
+  ExprPtr V = Expr::expand(DI(), Expr::var("v"));
+  return Expr::sum(DI(), Expr::sum(DJ(), Expr::mul(M, V)));
+}
+
+template <Semiring S>
+ValueContext<S> spmvBindings() {
+  KRelation<S> M(Shape{DI(), DJ()});
+  M.insert({0, 0}, S::one());
+  M.insert({0, 2}, S::mul(S::one(), S::one()));
+  M.insert({1, 1}, S::one());
+  M.insert({2, 0}, S::one());
+  KRelation<S> V(Shape{DJ()});
+  V.insert({0}, S::one());
+  V.insert({2}, S::one());
+  ValueContext<S> Ctx;
+  Ctx.emplace("M", std::move(M));
+  Ctx.emplace("v", std::move(V));
+  return Ctx;
+}
+
+//===----------------------------------------------------------------------===//
+// The delta-rewrite identity, across semirings
+//===----------------------------------------------------------------------===//
+
+TEST(DeltaIdentity, SpmvAppendF64) {
+  ValueContext<F64Semiring> Ctx = spmvBindings<F64Semiring>();
+  ExprPtr E = spmvTotal<F64Semiring>();
+  KRelation<F64Semiring> DM(Shape{DI(), DJ()});
+  DM.insert({1, 1}, 0.5);   // update of a stored entry
+  DM.insert({2, 2}, -1.25); // fresh negative weight
+  expectIdentity(E, Ctx, "M", DM);
+  KRelation<F64Semiring> DV(Shape{DJ()});
+  DV.insert({1}, 2.0);
+  expectIdentity(E, Ctx, "v", DV);
+}
+
+TEST(DeltaIdentity, SpmvAppendI64) {
+  ValueContext<I64Semiring> Ctx = spmvBindings<I64Semiring>();
+  ExprPtr E = spmvTotal<I64Semiring>();
+  KRelation<I64Semiring> DM(Shape{DI(), DJ()});
+  DM.insert({0, 1}, 3);
+  DM.insert({2, 0}, -2);
+  expectIdentity(E, Ctx, "M", DM);
+}
+
+TEST(DeltaIdentity, AppendOnlySemiringsNeedNoNegation) {
+  // (min,+) and bool have no additive inverses, but the identity only
+  // uses distributivity — append-only maintenance is exact.
+  {
+    ValueContext<MinPlusSemiring> Ctx = spmvBindings<MinPlusSemiring>();
+    KRelation<MinPlusSemiring> DM(Shape{DI(), DJ()});
+    DM.insert({0, 0}, -1.5); // a shorter edge, not a deletion
+    DM.insert({1, 2}, 2.0);
+    expectIdentity(spmvTotal<MinPlusSemiring>(), Ctx, "M", DM);
+  }
+  {
+    ValueContext<BoolSemiring> Ctx = spmvBindings<BoolSemiring>();
+    KRelation<BoolSemiring> DM(Shape{DI(), DJ()});
+    DM.insert({1, 0}, true);
+    expectIdentity(spmvTotal<BoolSemiring>(), Ctx, "M", DM);
+  }
+  EXPECT_FALSE(semiringHasNegation<MinPlusSemiring>());
+  EXPECT_FALSE(semiringHasNegation<BoolSemiring>());
+  EXPECT_TRUE(semiringHasNegation<F64Semiring>());
+  EXPECT_TRUE(semiringHasNegation<I64Semiring>());
+}
+
+TEST(DeltaIdentity, SelfJoinCrossTerm) {
+  // e = Σ_i x(i)·x(i) with Δ touching stored coordinates: without the
+  // Δ·Δ cross term the maintained value would miss Δ², so this pins the
+  // product rule's third summand.
+  KRelation<F64Semiring> X(Shape{DI()});
+  X.insert({0}, 2.0);
+  X.insert({3}, -0.5);
+  ValueContext<F64Semiring> Ctx;
+  Ctx.emplace("x", std::move(X));
+  ExprPtr E = Expr::sum(DI(), Expr::mul(Expr::var("x"), Expr::var("x")));
+  KRelation<F64Semiring> DX(Shape{DI()});
+  DX.insert({0}, 1.5);
+  DX.insert({1}, 0.25);
+  expectIdentity(E, Ctx, "x", DX);
+
+  // The cross term itself: δ = Δ·X + X·Δ + Δ·Δ, checked structurally.
+  KRelation<F64Semiring> D =
+      evalDeltaT(E, Ctx, "x", DX);
+  KRelation<F64Semiring> Want(Shape{});
+  // d/dx[x²] at {0}: 2·2·1.5 + 1.5² ; fresh {1}: 0.25².
+  Want.insert({}, 2.0 * 1.5 + 1.5 * 2.0 + 1.5 * 1.5 + 0.25 * 0.25);
+  EXPECT_TRUE(D.equals(Want)) << D.toString();
+}
+
+TEST(DeltaIdentity, RenameAndAddCommute) {
+  KRelation<F64Semiring> X(Shape{DI()});
+  X.insert({1}, 1.5);
+  X.insert({4}, -2.0);
+  ValueContext<F64Semiring> Ctx;
+  Ctx.emplace("x", std::move(X));
+  // e = Σ_j (ρ_{i→j} x + ρ_{i→j} x)
+  ExprPtr Rho = Expr::rename({{DI(), DJ()}}, Expr::var("x"));
+  ExprPtr E = Expr::sum(DJ(), Expr::add(Rho, Rho));
+  KRelation<F64Semiring> DX(Shape{DI()});
+  DX.insert({4}, 2.0); // exact deletion of the stored -2
+  expectIdentity(E, Ctx, "x", DX);
+}
+
+//===----------------------------------------------------------------------===//
+// Deletions compact to nothing
+//===----------------------------------------------------------------------===//
+
+TEST(DeltaDeletion, NegationCancelsToEmptySupport) {
+  KRelation<F64Semiring> X(Shape{DI()});
+  X.insert({0}, 1.25);
+  X.insert({2}, -3.5);
+  KRelation<F64Semiring> Gone = X.add(negateRelation(X));
+  EXPECT_EQ(Gone.supportSize(), 0u); // no zombie zero-weight tuples
+}
+
+TEST(DeltaDeletion, PartialCancellationKeepsTheRest) {
+  KRelation<I64Semiring> X(Shape{DI()});
+  X.insert({0}, 4);
+  X.insert({1}, 7);
+  KRelation<I64Semiring> D(Shape{DI()});
+  D.insert({0}, -4); // exact deletion
+  D.insert({1}, -2); // partial decrement
+  KRelation<I64Semiring> After = X.add(D);
+  EXPECT_EQ(After.supportSize(), 1u);
+  KRelation<I64Semiring> Want(Shape{DI()});
+  Want.insert({1}, 5);
+  EXPECT_TRUE(After.equals(Want));
+}
+
+//===----------------------------------------------------------------------===//
+// GroupedView maintenance
+//===----------------------------------------------------------------------===//
+
+TEST(GroupedViewIvm, ApplyDeltaMatchesRecompute) {
+  // Row sums of M·(↑v): group by i, contract j.
+  ValueContext<F64Semiring> Ctx = spmvBindings<F64Semiring>();
+  ExprPtr E = Expr::sum(
+      DJ(), Expr::mul(Expr::var("M"), Expr::expand(DI(), Expr::var("v"))));
+  GroupedView<F64Semiring> GV(E, Ctx);
+  EXPECT_TRUE(GV.value().equals(GV.recompute()));
+
+  KRelation<F64Semiring> DM(Shape{DI(), DJ()});
+  DM.insert({0, 0}, 0.75);
+  DM.insert({1, 0}, 1.0);
+  GV.applyDelta("M", DM);
+  EXPECT_TRUE(GV.value().equals(GV.recompute()))
+      << GV.value().toString() << " vs " << GV.recompute().toString();
+
+  KRelation<F64Semiring> DV(Shape{DJ()});
+  DV.insert({0}, -0.5);
+  GV.applyDelta("v", DV);
+  EXPECT_TRUE(GV.value().equals(GV.recompute()));
+  EXPECT_EQ(GV.refreshes(), 2u);
+}
+
+TEST(GroupedViewIvm, DeletionEvictsTheGroup) {
+  // One group's entire weight is deleted: the group must vanish from the
+  // maintained relation, not linger with weight zero.
+  KRelation<F64Semiring> M(Shape{DI(), DJ()});
+  M.insert({0, 0}, 2.0);
+  M.insert({1, 1}, 3.0);
+  ValueContext<F64Semiring> Ctx;
+  Ctx.emplace("M", std::move(M));
+  ExprPtr E = Expr::sum(DJ(), Expr::var("M"));
+  GroupedView<F64Semiring> GV(E, Ctx);
+  EXPECT_EQ(GV.value().supportSize(), 2u);
+
+  KRelation<F64Semiring> DM(Shape{DI(), DJ()});
+  DM.insert({1, 1}, -3.0);
+  GV.applyDelta("M", DM);
+  EXPECT_EQ(GV.value().supportSize(), 1u);
+  EXPECT_TRUE(GV.value().equals(GV.recompute()));
+  // The base binding compacted too: no zero-weight tuple survives.
+  EXPECT_EQ(GV.bindings().at("M").supportSize(), 1u);
+}
+
+} // namespace

@@ -13,6 +13,7 @@
 ///   etch-fuzz --corpus tests/corpus        # write shrunken repros there
 ///   etch-fuzz --replay tests/corpus        # re-run saved cases (file/dir)
 ///   etch-fuzz --orders 6                   # sweep legal attribute orders
+///   etch-fuzz --delta --seeds 500          # incremental-maintenance legs
 ///   etch-fuzz --no-shrink --verbose
 ///
 /// Exit status is nonzero iff any case diverged (after shrinking) or any
@@ -26,6 +27,7 @@
 #include "fuzz/gen.h"
 #include "fuzz/reorder.h"
 #include "fuzz/shrink.h"
+#include "ivm/deltafuzz.h"
 
 #include <algorithm>
 #include <chrono>
@@ -49,6 +51,7 @@ struct Options {
   bool NoShrink = false;
   bool Verbose = false;
   bool Formats = false; // also run the level-format cross-check matrix
+  bool Delta = false;   // the incremental-maintenance legs instead
   double HugeProb = 0.10;
   size_t Orders = 1; // legal attribute orders per case; 1 = original only
   VmBackend Backend = VmBackend::Both;
@@ -65,7 +68,8 @@ constexpr int ExitSkip = 77;
       stderr,
       "usage: %s [--seeds N] [--start S] [--time-budget SEC]\n"
       "          [--corpus DIR] [--replay FILE|DIR] [--no-shrink]\n"
-      "          [--orders N] [--huge-prob P] [--formats] [--verbose]\n"
+      "          [--orders N] [--huge-prob P] [--formats] [--delta]\n"
+      "          [--verbose]\n"
       "          [--backend tree|bytecode|both|native]\n"
       "          [--jit-cache-dir DIR]\n",
       Argv0);
@@ -95,6 +99,8 @@ Options parseArgs(int Argc, char **Argv) {
       O.NoShrink = true;
     else if (A == "--formats")
       O.Formats = true;
+    else if (A == "--delta")
+      O.Delta = true;
     else if (A == "--verbose")
       O.Verbose = true;
     else if (A == "--huge-prob")
@@ -123,7 +129,12 @@ Options parseArgs(int Argc, char **Argv) {
 
 /// The executor matrix, plus the level-format matrix under --formats (its
 /// divergences are appended, so shrinking and repro comments see both).
+/// Under --delta the per-case matrix is the delta-rewrite identity check
+/// instead (ivm/deltafuzz.h); the batch seed derives from the case itself,
+/// so generation, shrinking, and corpus replay all rebuild the same batch.
 FuzzReport runMatrix(const FuzzCase &C, const Options &O) {
+  if (O.Delta)
+    return runFuzzDelta(C, fuzzDeltaBatchSeed(C));
   FuzzReport Rep = runFuzzCase(C, O.Backend);
   if (O.Formats && !Rep.Invalid) {
     FuzzReport FRep = runFuzzFormats(C, O.Backend);
@@ -213,6 +224,17 @@ int fuzz(const Options &O) {
     FuzzCase C = genCase(Seed, GO);
     FuzzReport Rep = runMatrix(C, O);
     ++Ran;
+    if (O.Delta) {
+      // The serve-stack scenario is seeded independently of the case; its
+      // failures are reported directly (there is no FuzzCase to shrink).
+      FuzzReport DRep = runFuzzDeltaDriver(Seed, O.Backend, O.JitCacheDir);
+      if (DRep.failing()) {
+        ++Diverged;
+        std::printf("seed %llu: driver scenario: %s\n",
+                    static_cast<unsigned long long>(Seed),
+                    DRep.toString().c_str());
+      }
+    }
     if (O.Verbose && Ran % 100 == 0)
       std::printf("... %llu seeds, %llu divergence(s), %.1fs\n",
                   static_cast<unsigned long long>(Ran),
