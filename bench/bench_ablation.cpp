@@ -143,9 +143,9 @@ void ablateAttributeOrder(BenchJson &Json) {
   T.print();
   if (XFirstPlan && YFirstPlan) {
     Json.add("ablation_attr_order", "x_first", 1, XFirst,
-             XFirstPlan->cost());
+             XFirstPlan->cost(), XFirstPlan->AccessCost);
     Json.add("ablation_attr_order", "y_first", 1, YFirst,
-             YFirstPlan->cost());
+             YFirstPlan->cost(), YFirstPlan->AccessCost);
   } else {
     Json.add("ablation_attr_order", "x_first", 1, XFirst);
     Json.add("ablation_attr_order", "y_first", 1, YFirst);

@@ -114,10 +114,11 @@ int main(int Argc, char **Argv) {
   if (!BO.JsonPath.empty()) {
     BenchJson Json;
     Json.add("sec81_matmul_order", "lincomb", 1, LinComb,
-             LinCombPlan->cost());
+             LinCombPlan->cost(), LinCombPlan->AccessCost);
     Json.add("sec81_matmul_order", "innerprod", 1, InnerProd,
-             InnerProdPlan->cost());
-    Json.add("sec81_matmul_order", "auto", 1, Auto, Best->cost());
+             InnerProdPlan->cost(), InnerProdPlan->AccessCost);
+    Json.add("sec81_matmul_order", "auto", 1, Auto, Best->cost(),
+             Best->AccessCost);
     if (!Json.writeFile(BO.JsonPath))
       return 1;
   }

@@ -1,0 +1,257 @@
+//===- baselines/tiled_kernels.cpp - Planner-scheduled kernel variants ----===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Out-of-line definitions of the cache-blocked / SIMD kernel schedules
+// declared in etch_kernels.h. They live in one translation unit so the hot
+// loops can be function-multi-versioned (ETCH_TARGET_CLONES, support/
+// simd.h): each annotated function is compiled for the baseline target and
+// for AVX2 and dispatched at load time, widening the F64x4 lanes to real
+// 256-bit ops on machines that have them. No FMA target is in the clone
+// list, so every clone performs the exact mul/mul/add sequence of the
+// scalar originals and the bit-identity contract holds on every machine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/etch_kernels.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace etch;
+
+namespace {
+
+/// The blocked SpMV loop over rows [Lo, Hi): one cursor per row, columns
+/// processed in ascending blocks of ColTile so the gathered x slice stays
+/// cache-resident. Row i's partial sum resumes from Y[i] exactly where the
+/// previous block left it, so the per-row addition sequence matches the
+/// plain loop's.
+ETCH_TARGET_CLONES
+void spmvBlockedRows(const size_t *Pos, const Idx *Crd, const double *Val,
+                     const double *XP, double *YP, size_t Lo, size_t Hi,
+                     Idx NumCols, int64_t ColTile) {
+  std::vector<size_t> Cur(Pos + Lo, Pos + Hi);
+  for (size_t I = Lo; I < Hi; ++I)
+    YP[I] = 0.0;
+  for (Idx Block = 0; Block < NumCols; Block += static_cast<Idx>(ColTile)) {
+    const Idx End = Block + static_cast<Idx>(ColTile); // Crd < NumCols anyway.
+    for (size_t I = Lo; I < Hi; ++I) {
+      size_t Q = Cur[I - Lo];
+      const size_t E = Pos[I + 1];
+      if (Q == E || Crd[Q] >= End)
+        continue;
+      double Acc = YP[I];
+      do
+        Acc += Val[Q] * XP[Crd[Q]];
+      while (++Q < E && Crd[Q] < End);
+      Cur[I - Lo] = Q;
+      YP[I] = Acc;
+    }
+  }
+}
+
+/// The plain fused SpMV loop over rows [Lo, Hi).
+ETCH_TARGET_CLONES
+void spmvPlainRows(const size_t *Pos, const Idx *Crd, const double *Val,
+                   const double *XP, double *YP, size_t Lo, size_t Hi) {
+  for (size_t I = Lo; I < Hi; ++I) {
+    double Acc = 0.0;
+    for (size_t Q = Pos[I], E = Pos[I + 1]; Q < E; ++Q)
+      Acc += Val[Q] * XP[Crd[Q]];
+    YP[I] = Acc;
+  }
+}
+
+/// The MTTKRP row loop over outer fibers [P0Lo, P0Hi) with the vectorized
+/// dense-value tail. Lanes are independent outputs, so the SIMD body
+/// applies the exact scalar op sequence per lane.
+ETCH_TARGET_CLONES
+void mttkrpFibers(const CsfTensor3<double> &B, const double *CP,
+                  const double *DP, int64_t R, double *AP, bool Simd,
+                  size_t P0Lo, size_t P0Hi) {
+  for (size_t P0 = P0Lo; P0 < P0Hi; ++P0) {
+    double *ARow = AP + static_cast<size_t>(B.Crd0[P0] * R);
+    for (size_t P1 = B.Pos0[P0]; P1 < B.Pos0[P0 + 1]; ++P1) {
+      const double *CRow = CP + static_cast<size_t>(B.Crd1[P1] * R);
+      for (size_t P2 = B.Pos1[P1]; P2 < B.Pos1[P1 + 1]; ++P2) {
+        const double *DRow = DP + static_cast<size_t>(B.Crd2[P2] * R);
+        const double V = B.Val[P2];
+        int64_t J = 0;
+#if ETCH_SIMD_F64
+        if (Simd) {
+          const F64x4 Vv = simdBroadcast(V);
+          for (; J + simdWidth() <= R; J += simdWidth())
+            simdStore(ARow + J,
+                      simdLoad(ARow + J) +
+                          Vv * simdLoad(CRow + J) * simdLoad(DRow + J));
+        }
+#else
+        (void)Simd;
+#endif
+        for (; J < R; ++J)
+          ARow[J] += V * CRow[J] * DRow[J];
+      }
+    }
+  }
+}
+
+} // namespace
+
+void kernels::spmvTiled(const CsrMatrix<double> &A,
+                        const DenseVector<double> &X, DenseVector<double> &Y,
+                        int64_t ColTile) {
+  const double *XP = X.Val.data();
+  const Idx *Crd = A.Crd.data();
+  const double *Val = A.Val.data();
+  const size_t *Pos = A.Pos.data();
+  const size_t N = static_cast<size_t>(A.NumRows);
+  if (ColTile <= 0 || ColTile >= A.NumCols)
+    spmvPlainRows(Pos, Crd, Val, XP, Y.Val.data(), 0, N);
+  else
+    spmvBlockedRows(Pos, Crd, Val, XP, Y.Val.data(), 0, N, A.NumCols,
+                    ColTile);
+}
+
+void kernels::spmvTiledParallel(ThreadPool &Pool, const CsrMatrix<double> &A,
+                                const DenseVector<double> &X,
+                                DenseVector<double> &Y, int64_t ColTile,
+                                size_t Chunks) {
+  if (Chunks == 0)
+    Chunks = Pool.threadCount() * 4;
+  auto Ranges = partitionByPos(A.Pos.data(), A.NumRows, Chunks);
+  const double *XP = X.Val.data();
+  const Idx *Crd = A.Crd.data();
+  const double *Val = A.Val.data();
+  const size_t *Pos = A.Pos.data();
+  Pool.parallelFor(Ranges.size(), [&](size_t C) {
+    const size_t Lo = static_cast<size_t>(Ranges[C].Lo);
+    const size_t Hi =
+        static_cast<size_t>(std::min<Idx>(Ranges[C].Hi, A.NumRows));
+    if (ColTile <= 0 || ColTile >= A.NumCols)
+      spmvPlainRows(Pos, Crd, Val, XP, Y.Val.data(), Lo, Hi);
+    else
+      spmvBlockedRows(Pos, Crd, Val, XP, Y.Val.data(), Lo, Hi, A.NumCols,
+                      ColTile);
+  });
+}
+
+double kernels::innerTiled(const CsrMatrix<double> &A,
+                           const CsrMatrix<double> &B) {
+  const Idx N = std::min(A.NumRows, B.NumRows);
+  double Total = 0.0;
+  for (Idx I = 0; I < N; ++I) {
+    size_t Qa = A.Pos[static_cast<size_t>(I)];
+    const size_t Ea = A.Pos[static_cast<size_t>(I) + 1];
+    size_t Qb = B.Pos[static_cast<size_t>(I)];
+    const size_t Eb = B.Pos[static_cast<size_t>(I) + 1];
+    double Row = 0.0;
+    while (Qa < Ea && Qb < Eb) {
+      const Idx Ca = A.Crd[Qa], Cb = B.Crd[Qb];
+      if (Ca == Cb) {
+        Row += A.Val[Qa] * B.Val[Qb];
+        ++Qa;
+        ++Qb;
+      } else if (Ca < Cb) {
+        ++Qa;
+      } else {
+        ++Qb;
+      }
+    }
+    Total += Row;
+  }
+  return Total;
+}
+
+CsrMatrix<double> kernels::mmulTiled(const CsrMatrix<double> &A,
+                                     const CsrMatrix<double> &B,
+                                     int64_t ColTile) {
+  CsrMatrix<double> C(A.NumRows, B.NumCols);
+  std::vector<double> W(static_cast<size_t>(B.NumCols), 0.0);
+  std::vector<Idx> Touched;
+  std::vector<size_t> Cur;
+  const bool Blocked = ColTile > 0 && ColTile < B.NumCols;
+  for (Idx I = 0; I < A.NumRows; ++I) {
+    Touched.clear();
+    const size_t RowLo = A.Pos[static_cast<size_t>(I)];
+    const size_t RowHi = A.Pos[static_cast<size_t>(I) + 1];
+    if (!Blocked) {
+      for (size_t Qa = RowLo; Qa < RowHi; ++Qa) {
+        const Idx J = A.Crd[Qa];
+        const double Va = A.Val[Qa];
+        for (size_t Qb = B.Pos[static_cast<size_t>(J)],
+                    Eb = B.Pos[static_cast<size_t>(J) + 1];
+             Qb < Eb; ++Qb) {
+          const Idx K = B.Crd[Qb];
+          if (W[static_cast<size_t>(K)] == 0.0)
+            Touched.push_back(K);
+          W[static_cast<size_t>(K)] += Va * B.Val[Qb];
+        }
+      }
+    } else {
+      Cur.resize(RowHi - RowLo);
+      for (size_t T = 0; T < Cur.size(); ++T)
+        Cur[T] = B.Pos[static_cast<size_t>(A.Crd[RowLo + T])];
+      for (Idx Block = 0; Block < B.NumCols;
+           Block += static_cast<Idx>(ColTile)) {
+        const Idx End = Block + static_cast<Idx>(ColTile);
+        for (size_t T = 0; T < Cur.size(); ++T) {
+          const Idx J = A.Crd[RowLo + T];
+          const double Va = A.Val[RowLo + T];
+          size_t Qb = Cur[T];
+          const size_t Eb = B.Pos[static_cast<size_t>(J) + 1];
+          while (Qb < Eb && B.Crd[Qb] < End) {
+            const Idx K = B.Crd[Qb];
+            if (W[static_cast<size_t>(K)] == 0.0)
+              Touched.push_back(K);
+            W[static_cast<size_t>(K)] += Va * B.Val[Qb];
+            ++Qb;
+          }
+          Cur[T] = Qb;
+        }
+      }
+    }
+    C.Pos[static_cast<size_t>(I)] = C.Crd.size();
+    std::sort(Touched.begin(), Touched.end());
+    for (Idx K : Touched) {
+      C.Crd.push_back(K);
+      C.Val.push_back(W[static_cast<size_t>(K)]);
+      W[static_cast<size_t>(K)] = 0.0;
+    }
+  }
+  C.Pos[static_cast<size_t>(A.NumRows)] = C.Crd.size();
+  return C;
+}
+
+void kernels::mttkrpTiled(const CsfTensor3<double> &B,
+                          const std::vector<double> &C,
+                          const std::vector<double> &D, int64_t R,
+                          std::vector<double> &A, bool Simd) {
+  A.assign(static_cast<size_t>(B.DimI * R), 0.0);
+  mttkrpFibers(B, C.data(), D.data(), R, A.data(), Simd, 0, B.Crd0.size());
+}
+
+void kernels::mttkrpTiledParallel(ThreadPool &Pool,
+                                  const CsfTensor3<double> &B,
+                                  const std::vector<double> &C,
+                                  const std::vector<double> &D, int64_t R,
+                                  std::vector<double> &A, bool Simd,
+                                  size_t Chunks) {
+  if (Chunks == 0)
+    Chunks = Pool.threadCount() * 4;
+  A.assign(static_cast<size_t>(B.DimI * R), 0.0);
+  double *AP = A.data();
+  const double *CP = C.data();
+  const double *DP = D.data();
+  // Partition the outer compressed level by position over its fibers; each
+  // chunk owns disjoint output rows.
+  const size_t NFib = B.Crd0.size();
+  const size_t Per = std::max<size_t>(1, (NFib + Chunks - 1) / Chunks);
+  const size_t NChunks = (NFib + Per - 1) / Per;
+  Pool.parallelFor(std::max<size_t>(NChunks, 1), [&](size_t Ck) {
+    mttkrpFibers(B, CP, DP, R, AP, Simd, Ck * Per,
+                 std::min(NFib, (Ck + 1) * Per));
+  });
+}

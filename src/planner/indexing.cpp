@@ -1,0 +1,313 @@
+//===- planner/indexing.cpp - Access indexing maps and schedules ----------===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "planner/indexing.h"
+
+#include "support/assert.h"
+#include "support/simd.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace etch {
+
+const char *accessPatternName(AccessPattern P) {
+  switch (P) {
+  case AccessPattern::Sequential:
+    return "sequential";
+  case AccessPattern::Strided:
+    return "strided";
+  case AccessPattern::Gather:
+    break;
+  }
+  return "gather";
+}
+
+namespace {
+
+std::string fmtNum(double X) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3g", X);
+  return Buf;
+}
+
+const char *kindName(LevelSpec::Kind K) {
+  switch (K) {
+  case LevelSpec::Dense:
+    return "dense";
+  case LevelSpec::Hashed:
+    return "hashed";
+  case LevelSpec::Compressed:
+    break;
+  }
+  return "compressed";
+}
+
+/// The plan level for attribute \p A of term \p TI, or nullptr when the
+/// term does not iterate it.
+const PlanLevel *levelAt(const Plan &P, size_t TI, Attr A) {
+  for (const PlanLevel &L : P.TermLevels[TI])
+    if (L.A == A)
+      return &L;
+  return nullptr;
+}
+
+/// The storage kind the *driving* access exposes at plan level \p L: the
+/// coordinates every located access at this loop must follow. Expand-only
+/// levels enumerate their extent, which is dense iteration.
+LevelSpec::Kind driverKind(const Plan &P, const PlanLevel &L) {
+  if (L.Driver.empty())
+    return LevelSpec::Dense;
+  for (const PlanAccess &A : P.Accesses) {
+    if (A.bindName() != L.Driver)
+      continue;
+    for (size_t I = 0; I < A.Used.size(); ++I)
+      if (A.Used[I] == L.A)
+        return A.Levels[I].K;
+  }
+  ETCH_ASSERT(false, "indexing: driver access missing its level");
+  return LevelSpec::Dense;
+}
+
+} // namespace
+
+const AccessIndexing *IndexingInfo::access(const std::string &BindName) const {
+  for (const AccessIndexing &A : Accesses)
+    if (A.BindName == BindName)
+      return &A;
+  return nullptr;
+}
+
+IndexingInfo analyzeIndexing(const PlanQuery &Q, const Plan &P,
+                             const PlanOptions &O) {
+  IndexingInfo Info;
+  double GatherVisits = 0.0, StridedVisits = 0.0;
+
+  for (const PlanAccess &Acc : P.Accesses) {
+    // The term whose loop nest this access participates in (accesses are
+    // deduplicated per (tensor, attribute mapping), so the classification
+    // is identical wherever the factor recurs).
+    size_t TI = Q.Terms.size();
+    for (size_t T = 0; T < Q.Terms.size() && TI == Q.Terms.size(); ++T)
+      for (const PlanFactor &F : Q.Terms[T].Factors)
+        if (F.Tensor == Acc.Tensor && F.Query == Acc.Stored) {
+          TI = T;
+          break;
+        }
+    ETCH_ASSERT(TI < Q.Terms.size(), "indexing: access without a term");
+
+    AccessIndexing AI;
+    AI.BindName = Acc.bindName();
+
+    // The symbolic map, XLA-style: the term's loop variables (plan order)
+    // on the left, this access's used coordinates on the right.
+    Shape TermAttrs = Q.Terms[TI].allAttrs();
+    std::ostringstream Map;
+    Map << "(";
+    bool First = true;
+    for (Attr A : P.Order) {
+      if (!shapeContains(TermAttrs, A))
+        continue;
+      Map << (First ? "" : ", ") << A.name();
+      First = false;
+    }
+    Map << ") -> (";
+    for (size_t L = 0; L < Acc.Used.size(); ++L)
+      Map << (L ? ", " : "") << Acc.Used[L].name();
+    Map << ")";
+    AI.Map = Map.str();
+
+    for (size_t LI = 0; LI < Acc.Used.size(); ++LI) {
+      LevelIndexing LX;
+      LX.A = Acc.Used[LI];
+      LX.Kind = Acc.Levels[LI].K;
+      const PlanLevel *PL = levelAt(P, TI, LX.A);
+      ETCH_ASSERT(PL, "indexing: access level outside its term's loops");
+      LX.Driving = !PL->Driver.empty() && PL->Driver == AI.BindName;
+      if (LX.Driving) {
+        // Drives the intersection: walks its own pos/crd/val storage
+        // monotonically, whatever the level kind.
+        LX.Pattern = AccessPattern::Sequential;
+      } else if (LX.Kind == LevelSpec::Dense) {
+        // Located dense level: the driver supplies the coordinate. A
+        // compressed/hashed driver jumps through its crd array, so the
+        // located offsets are data-dependent — a gather. A dense driver
+        // advances the coordinate by one per visit; the located offset
+        // then moves by the product of the inner dense extents (> 1 for
+        // an outer level of dense value storage — a constant stride), or
+        // walks an inner pos array at unit stride.
+        if (driverKind(P, *PL) != LevelSpec::Dense) {
+          LX.Pattern = AccessPattern::Gather;
+        } else {
+          int64_t Stride = 1;
+          bool AllDenseInner = true;
+          for (size_t In = LI + 1; In < Acc.Used.size(); ++In) {
+            if (Acc.Levels[In].K != LevelSpec::Dense)
+              AllDenseInner = false;
+            else
+              Stride *= Q.dimOf(Acc.Used[In]);
+          }
+          LX.Stride = AllDenseInner ? Stride : 1;
+          LX.Pattern = LX.Stride > 1 ? AccessPattern::Strided
+                                     : AccessPattern::Sequential;
+        }
+      } else {
+        // Located compressed level: every visit searches its fiber for
+        // the driver's coordinate. Located hashed level: every visit
+        // probes the table. Both touch data-dependent positions.
+        LX.Pattern = AccessPattern::Gather;
+      }
+
+      switch (LX.Pattern) {
+      case AccessPattern::Gather:
+        GatherVisits += PL->CumIters;
+        break;
+      case AccessPattern::Strided:
+        StridedVisits += PL->CumIters;
+        break;
+      case AccessPattern::Sequential:
+        break;
+      }
+      AI.Levels.push_back(LX);
+    }
+    Info.Accesses.push_back(std::move(AI));
+  }
+
+  Info.AccessCost =
+      O.GatherVisitCost * GatherVisits + O.StridedVisitCost * StridedVisits;
+  return Info;
+}
+
+std::string IndexingInfo::toString() const {
+  std::ostringstream OS;
+  OS << "indexing:\n";
+  for (const AccessIndexing &A : Accesses) {
+    OS << "  " << A.BindName << ": " << A.Map << ";";
+    for (size_t L = 0; L < A.Levels.size(); ++L) {
+      const LevelIndexing &LX = A.Levels[L];
+      OS << (L ? ", " : " ") << LX.A.name() << " " << kindName(LX.Kind)
+         << " " << accessPatternName(LX.Pattern);
+      if (LX.Pattern == AccessPattern::Strided)
+        OS << "(x" << LX.Stride << ")";
+      if (LX.Driving)
+        OS << " [drives]";
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel schedule selection
+//===----------------------------------------------------------------------===//
+
+KernelSchedule chooseSchedule(const PlanQuery &Q, const Plan &P,
+                              const IndexingInfo &Info,
+                              const ScheduleOptions &SO) {
+  KernelSchedule KS;
+  int64_t Width = SO.SimdWidth > 0 ? SO.SimdWidth : simdWidth();
+  std::ostringstream Why;
+
+  if (P.Order.empty()) {
+    KS.Reason = "scalar plan: nothing to schedule";
+    return KS;
+  }
+
+  // SIMD on the innermost loop: legal for bit-identity only when each lane
+  // is an independent output — the attribute must be free (a summed
+  // innermost loop is a serial accumulation chain; splitting it into lanes
+  // reassociates fp addition). Profitable only when every located access
+  // at the level streams dense values sequentially (a gather would
+  // serialize the vector anyway) and the extent covers a vector.
+  Attr Inner = P.Order.back();
+  bool InnerFree = false, InnerSeen = false;
+  for (const PlanTerm &T : Q.Terms) {
+    if (!shapeContains(T.allAttrs(), Inner))
+      continue;
+    InnerSeen = true;
+    InnerFree = !std::count(T.Summed.begin(), T.Summed.end(), Inner);
+  }
+  bool InnerDenseSeq = InnerSeen;
+  for (const AccessIndexing &A : Info.Accesses)
+    for (const LevelIndexing &LX : A.Levels)
+      if (LX.A == Inner &&
+          !(LX.Kind == LevelSpec::Dense &&
+            LX.Pattern == AccessPattern::Sequential))
+        InnerDenseSeq = false;
+  int64_t InnerExtent = Q.dimOf(Inner);
+  if (Width > 1 && InnerSeen && InnerFree && InnerDenseSeq &&
+      InnerExtent >= Width) {
+    KS.Simd = true;
+    Why << "simd: inner " << Inner.name() << " free, dense sequential, "
+        << InnerExtent << " >= " << Width << " lanes";
+  } else {
+    Why << "scalar: inner " << Inner.name()
+        << (!InnerFree        ? " is a reduction"
+            : !InnerDenseSeq  ? " has non-sequential access"
+            : Width <= 1      ? " (simd compiled out)"
+                              : " too narrow");
+  }
+
+  // Tiling: find the widest gathered dense operand. Its working set is
+  // extent × sizeof(double); once that spills L1 the gathers miss, and
+  // bounding the gathered coordinate range to a tile restores residency.
+  // The tile is sized so the blocked slice fills half of L1 (the other
+  // half holds the driving stream's own arrays).
+  int64_t WorstGather = 0;
+  std::string WorstName;
+  for (const AccessIndexing &A : Info.Accesses)
+    for (const LevelIndexing &LX : A.Levels)
+      if (LX.Pattern == AccessPattern::Gather &&
+          LX.Kind == LevelSpec::Dense) {
+        int64_t Bytes = Q.dimOf(LX.A) * static_cast<int64_t>(sizeof(double));
+        if (Bytes > WorstGather) {
+          WorstGather = Bytes;
+          WorstName = A.BindName + "(" + LX.A.name() + ")";
+        }
+      }
+  // The output workspace scatters too: a free attribute with a summed loop
+  // *outside* it is rewritten once per iteration of that reduction (the
+  // linear-combination matmul's W[k] += ... restarts k for every j), so
+  // the whole dense output row is a gathered operand. A free attribute
+  // with no enclosing reduction is written monotonically as its loop
+  // advances — streaming, never a reason to tile.
+  for (const PlanTerm &T : Q.Terms) {
+    bool SummedSeen = false;
+    for (Attr A : P.Order) {
+      if (std::count(T.Summed.begin(), T.Summed.end(), A)) {
+        SummedSeen = true;
+        continue;
+      }
+      if (!SummedSeen || !shapeContains(T.Free, A))
+        continue;
+      int64_t Bytes = Q.dimOf(A) * static_cast<int64_t>(sizeof(double));
+      if (Bytes > WorstGather) {
+        WorstGather = Bytes;
+        WorstName = std::string("output(") + A.name() + ")";
+      }
+    }
+  }
+  if (WorstGather > SO.L1Bytes) {
+    KS.Tiled = true;
+    KS.ColTile = std::max<int64_t>(
+        SO.L1Bytes / 2 / static_cast<int64_t>(sizeof(double)), 1);
+    Why << "; tiled: " << WorstName << " gathers "
+        << fmtNum(static_cast<double>(WorstGather)) << "B > L1 "
+        << fmtNum(static_cast<double>(SO.L1Bytes)) << "B, tile "
+        << KS.ColTile;
+  } else if (WorstGather > 0) {
+    Why << "; untiled: gathered operand "
+        << fmtNum(static_cast<double>(WorstGather)) << "B fits L1";
+  } else {
+    Why << "; untiled: no gathered dense operand";
+  }
+
+  KS.Reason = Why.str();
+  return KS;
+}
+
+} // namespace etch

@@ -6,6 +6,7 @@
 
 #include "planner/plan.h"
 
+#include "planner/indexing.h"
 #include "support/assert.h"
 
 #include <algorithm>
@@ -409,6 +410,8 @@ std::optional<Plan> planForOrder(const PlanQuery &Q,
         }
         if (Best < 0.0)
           Best = static_cast<double>(L.Extent); // ↑ only: full extent.
+        if (BestFI < T.Factors.size())
+          L.Driver = accessOf(T.Factors[BestFI]).bindName();
         for (size_t FI = 0; FI < T.Factors.size(); ++FI)
           if (contains(T.Factors[FI].Query, A))
             Fixed[FI].push_back(A);
@@ -424,6 +427,10 @@ std::optional<Plan> planForOrder(const PlanQuery &Q,
       Pl.StreamCost += TermCost;
       Pl.TermLevels.push_back(std::move(Levels));
     }
+    // The access-pattern term (planner/indexing.h): gather and strided
+    // visits priced from the per-level classification, so orders with
+    // equal iteration counts split on how predictably they touch memory.
+    Pl.AccessCost = analyzeIndexing(Q, Pl, O).AccessCost;
   };
   costTerms(P);
 
@@ -596,7 +603,8 @@ std::string Plan::explain(const PlanQuery &Q) const {
   OS << "\n";
   OS << "cost: " << fmtNum(cost()) << " = " << fmtNum(StreamCost)
      << " stream + " << fmtNum(TransposeCost) << " transpose + "
-     << fmtNum(RehashCost) << " rehash\n";
+     << fmtNum(RehashCost) << " rehash + " << fmtNum(AccessCost)
+     << " access\n";
   OS << "inputs:\n";
   for (const auto &[Name, S] : Q.Stats)
     OS << "  " << statsToString(S) << "\n";
@@ -650,6 +658,10 @@ std::string Plan::explain(const PlanQuery &Q) const {
                          : "  [as stored]")
        << "\n";
   }
+  // The indexing-map analysis is deterministic in the plan, so EXPLAIN
+  // recomputes it rather than the plan storing it (the priced AccessCost
+  // above was computed from the same classification).
+  OS << analyzeIndexing(Q, *this).toString();
   return OS.str();
 }
 

@@ -90,6 +90,11 @@ struct PlanLevel {
   double Iters = 1.0;    ///< Estimated iterations per enclosing context.
   double CumIters = 1.0; ///< Estimated total visits of this level.
   std::vector<std::string> Drivers; ///< Tensors intersected at this level.
+  /// bindName of the access whose stream the cost model chose to drive the
+  /// intersection (smallest conditional iteration estimate); empty for
+  /// expand-only levels. The indexing-map analysis (planner/indexing.h)
+  /// classifies every other access at this level relative to it.
+  std::string Driver;
 };
 
 /// One physical tensor access of a plan.
@@ -128,6 +133,14 @@ struct PlanOptions {
   /// Estimated cost of one locate into a hashed level (an O(1) probe);
   /// compressed levels instead pay log2(2 + fill) per locate.
   double HashProbeCost = 1.0;
+  /// Access-pattern penalties (planner/indexing.h), charged per estimated
+  /// visit of a level the indexing analysis classifies as gather (data-
+  /// dependent jumps the prefetcher cannot follow) or strided (constant
+  /// stride > 1). Sequential visits are free. Kept small relative to the
+  /// per-iteration unit of StreamCost: they break ties between orders with
+  /// equal iteration counts, not override asymptotics.
+  double GatherVisitCost = 0.25;
+  double StridedVisitCost = 0.0625;
 };
 
 /// A validated execution plan for one global attribute order.
@@ -139,8 +152,12 @@ struct Plan {
                               ///< per-level locate (probe-vs-scan) charges.
   double TransposeCost = 0.0; ///< Estimated copy cost for transposed inputs.
   double RehashCost = 0.0;    ///< Estimated build cost for rehashed inputs.
+  double AccessCost = 0.0;    ///< Access-pattern term: gather/strided visits
+                              ///< priced by the indexing-map analysis.
 
-  double cost() const { return StreamCost + TransposeCost + RehashCost; }
+  double cost() const {
+    return StreamCost + TransposeCost + RehashCost + AccessCost;
+  }
 
   /// Renders the EXPLAIN report (deterministic; golden-tested).
   std::string explain(const PlanQuery &Q) const;

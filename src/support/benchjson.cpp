@@ -6,9 +6,12 @@
 
 #include "support/benchjson.h"
 
+#include "support/simd.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace etch {
 
@@ -51,16 +54,51 @@ std::string escapeJson(const std::string &S) {
 
 void BenchJson::add(const std::string &Bench, const std::string &Config,
                     int Threads, double BestSeconds) {
-  Rows.push_back({Bench, Config, Threads, BestSeconds, 0.0, false});
+  Rows.push_back(
+      {Bench, Config, Threads, BestSeconds, 0.0, false, 0.0, false});
 }
 
 void BenchJson::add(const std::string &Bench, const std::string &Config,
                     int Threads, double BestSeconds, double PlannerCost) {
-  Rows.push_back({Bench, Config, Threads, BestSeconds, PlannerCost, true});
+  Rows.push_back(
+      {Bench, Config, Threads, BestSeconds, PlannerCost, true, 0.0, false});
+}
+
+void BenchJson::add(const std::string &Bench, const std::string &Config,
+                    int Threads, double BestSeconds, double PlannerCost,
+                    double AccessCost) {
+  Rows.push_back({Bench, Config, Threads, BestSeconds, PlannerCost, true,
+                  AccessCost, true});
+}
+
+std::string BenchJson::hostJson() {
+  std::string Cpu = "unknown";
+  if (std::FILE *F = std::fopen("/proc/cpuinfo", "r")) {
+    char Line[512];
+    while (std::fgets(Line, sizeof(Line), F)) {
+      if (std::strncmp(Line, "model name", 10) != 0)
+        continue;
+      const char *Colon = std::strchr(Line, ':');
+      if (Colon) {
+        Cpu = Colon + 1;
+        while (!Cpu.empty() && (Cpu.front() == ' ' || Cpu.front() == '\t'))
+          Cpu.erase(Cpu.begin());
+        while (!Cpu.empty() && (Cpu.back() == '\n' || Cpu.back() == ' '))
+          Cpu.pop_back();
+      }
+      break;
+    }
+    std::fclose(F);
+  }
+  unsigned Cores = std::thread::hardware_concurrency();
+  return "{\"cpu\": \"" + escapeJson(Cpu) +
+         "\", \"cores\": " + std::to_string(Cores ? Cores : 1) +
+         ", \"simd\": \"" + simdDescription() +
+         "\", \"simd_width\": " + std::to_string(simdWidth()) + "}";
 }
 
 std::string BenchJson::toJson() const {
-  std::string Out = "[\n";
+  std::string Out = "{\"host\": " + hostJson() + ",\n \"rows\": [\n";
   for (size_t I = 0; I < Rows.size(); ++I) {
     const Row &R = Rows[I];
     char Buf[64];
@@ -73,10 +111,14 @@ std::string BenchJson::toJson() const {
       std::snprintf(Buf, sizeof(Buf), "%.9g", R.PlannerCost);
       Out += std::string(", \"planner_cost\": ") + Buf;
     }
+    if (R.HasAccessCost) {
+      std::snprintf(Buf, sizeof(Buf), "%.9g", R.AccessCost);
+      Out += std::string(", \"planner_access_cost\": ") + Buf;
+    }
     Out += "}";
     Out += I + 1 < Rows.size() ? ",\n" : "\n";
   }
-  Out += "]\n";
+  Out += " ]}\n";
   return Out;
 }
 

@@ -8,10 +8,13 @@
 /// A tiny JSON emitter for the figure-sweep benchmark drivers (no external
 /// dependencies). Each driver collects `{bench, config, threads,
 /// best_seconds}` rows and, when run with `--json <path>`, writes them as a
-/// JSON array so the performance trajectory is machine-trackable across
-/// PRs; the checked-in `bench/results/BENCH_*.json` files are produced this
-/// way. Also hosts the shared `--json` / `--threads` argv parsing used by
-/// those drivers.
+/// JSON object `{"host": {...}, "rows": [...]}` so the performance
+/// trajectory is machine-trackable across PRs; the checked-in
+/// `bench/results/BENCH_*.json` files are produced this way. The host
+/// block records the cpu model, core count, and compiled-in SIMD
+/// configuration, so checked-in trajectories from different recording
+/// machines are comparable. Also hosts the shared `--json` / `--threads`
+/// argv parsing used by those drivers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,10 +39,20 @@ public:
   void add(const std::string &Bench, const std::string &Config, int Threads,
            double BestSeconds, double PlannerCost);
 
+  /// Appends one row additionally carrying the access-pattern term of the
+  /// cost ("planner_access_cost", planner/indexing.h) — the component
+  /// that drives tiled-vs-plain schedule selection.
+  void add(const std::string &Bench, const std::string &Config, int Threads,
+           double BestSeconds, double PlannerCost, double AccessCost);
+
   size_t size() const { return Rows.size(); }
 
-  /// Renders all rows as a pretty-printed JSON array.
+  /// Renders `{"host": {...}, "rows": [...]}`.
   std::string toJson() const;
+
+  /// The host-metadata block alone (cpu model from /proc/cpuinfo, core
+  /// count, compiled-in SIMD width) as a JSON object literal.
+  static std::string hostJson();
 
   /// Writes toJson() to \p Path; returns false (with a message on stderr)
   /// if the file cannot be opened.
@@ -52,6 +65,8 @@ private:
     double BestSeconds;
     double PlannerCost;
     bool HasCost;
+    double AccessCost;
+    bool HasAccessCost;
   };
   std::vector<Row> Rows;
 };

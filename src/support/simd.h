@@ -1,0 +1,98 @@
+//===- support/simd.h - Portable SIMD for dense-value tails ----*- C++ -*-===//
+//
+// Part of the etch project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal portable vector type for the dense-value tail loops of the
+/// tiled kernels (baselines/etch_kernels.h), built on the GCC/Clang vector
+/// extensions. Lane ops are ordinary IEEE-754 scalar ops applied per lane,
+/// so a vectorized loop whose lanes are *independent outputs* produces bit
+/// for bit the result of its scalar original — the only shape the schedule
+/// selector (planner/indexing.h) ever vectorizes. Reductions are never
+/// vectorized: folding an accumulation chain across lanes would
+/// reassociate fp addition.
+///
+/// Compile-time gated: `-DETCH_SIMD_DISABLED` (the CMake `ETCH_SIMD=OFF`
+/// leg) or a compiler without the extension drops to `simdWidth() == 1`,
+/// and every caller's scalar fallback loop — which is always compiled and
+/// covers the remainder lanes anyway — handles the whole range. The CI
+/// build matrix cross-checks the two configurations bit for bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ETCH_SUPPORT_SIMD_H
+#define ETCH_SUPPORT_SIMD_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace etch {
+
+#if !defined(ETCH_SIMD_DISABLED) && (defined(__GNUC__) || defined(__clang__))
+#define ETCH_SIMD_F64 1
+
+// The 256-bit type changes the function-call ABI on targets without AVX;
+// every simd helper here is inline and every caller keeps the vectors in
+// registers or on its own stack, so the ABI note is moot. (GCC's -Wpsabi
+// fires at each instantiation regardless of where the type is declared.)
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+/// Four f64 lanes (256 bits): wide enough to load AVX when the target has
+/// it, and the compiler splits it into pairs of SSE/NEON ops when not —
+/// per-lane semantics are identical either way.
+typedef double F64x4 __attribute__((vector_size(32), aligned(8)));
+
+/// Compiled-in lane count of the portable vector type.
+constexpr int64_t simdWidth() { return 4; }
+
+/// Unaligned load/store (the kernels' row pointers have no alignment
+/// guarantee; memcpy compiles to the unaligned vector move).
+inline F64x4 simdLoad(const double *P) {
+  F64x4 V;
+  std::memcpy(&V, P, sizeof(V));
+  return V;
+}
+
+inline void simdStore(double *P, F64x4 V) { std::memcpy(P, &V, sizeof(V)); }
+
+inline F64x4 simdBroadcast(double X) { return F64x4{X, X, X, X}; }
+
+#else
+#define ETCH_SIMD_F64 0
+
+constexpr int64_t simdWidth() { return 1; }
+
+#endif
+
+/// Function multi-versioning for the hot tiled-kernel loops: compile the
+/// annotated function once for the baseline target and once for AVX2,
+/// dispatched by glibc's ifunc resolver at load time. AVX2 widens the
+/// F64x4 ops above to real 256-bit instructions (the baseline splits them
+/// into SSE pairs). The clone list deliberately excludes FMA targets: a
+/// contracted multiply-add rounds once instead of twice, which would break
+/// the bit-identity contract between scalar and vector schedules.
+#if ETCH_SIMD_F64 && defined(__x86_64__) && defined(__GNUC__) &&               \
+    !defined(__clang__) && !defined(__SANITIZE_ADDRESS__) &&                   \
+    !defined(__SANITIZE_THREAD__)
+#define ETCH_TARGET_CLONES __attribute__((target_clones("avx2", "default")))
+#else
+#define ETCH_TARGET_CLONES
+#endif
+
+/// Human-readable description of the compiled-in SIMD configuration, for
+/// bench host metadata ("vector_ext f64x4" / "scalar").
+inline const char *simdDescription() {
+#if ETCH_SIMD_F64
+  return "vector_ext f64x4";
+#else
+  return "scalar";
+#endif
+}
+
+} // namespace etch
+
+#endif // ETCH_SUPPORT_SIMD_H

@@ -350,7 +350,8 @@ TEST(PlannerExplain, MatmulGolden) {
   ASSERT_TRUE(Best);
   EXPECT_EQ(Best->explain(M.Q),
             "order: pl_i < pl_j < pl_k\n"
-            "cost: 9.5 = 9.5 stream + 0 transpose + 0 rehash\n"
+            "cost: 10.2 = 9.5 stream + 0 transpose + 0 rehash"
+            " + 0.75 access\n"
             "inputs:\n"
             "  A: dense(pl_i:2, distinct 2) compressed(pl_j:3, distinct 3)"
             " nnz 3\n"
@@ -363,7 +364,12 @@ TEST(PlannerExplain, MatmulGolden) {
 
             "accesses:\n"
             "  A: dense(pl_i) -> compressed(pl_j, linear)  [as stored]\n"
-            "  B: dense(pl_j) -> compressed(pl_k, linear)  [as stored]\n");
+            "  B: dense(pl_j) -> compressed(pl_k, linear)  [as stored]\n"
+            "indexing:\n"
+            "  A: (pl_i, pl_j, pl_k) -> (pl_i, pl_j); pl_i dense sequential"
+            " [drives], pl_j compressed sequential [drives]\n"
+            "  B: (pl_i, pl_j, pl_k) -> (pl_j, pl_k); pl_j dense gather,"
+            " pl_k compressed sequential [drives]\n");
 }
 
 TEST(PlannerExplain, TriangleGolden) {
@@ -395,7 +401,8 @@ TEST(PlannerExplain, TriangleGolden) {
   ASSERT_TRUE(Best);
   EXPECT_EQ(Best->explain(*Q),
             "order: pl_ga < pl_gb < pl_gc\n"
-            "cost: 50.5 = 50.5 stream + 0 transpose + 0 rehash\n"
+            "cost: 54.6 = 50.5 stream + 0 transpose + 0 rehash"
+            " + 4.08 access\n"
             "inputs:\n"
             "  R: compressed(pl_ga:4, distinct 3) compressed(pl_gb:4,"
             " distinct 3) nnz 5\n"
@@ -414,7 +421,14 @@ TEST(PlannerExplain, TriangleGolden) {
             "  S: compressed(pl_gb, linear) -> compressed(pl_gc, linear)"
             "  [as stored]\n"
             "  T: compressed(pl_ga, linear) -> compressed(pl_gc, linear)"
-            "  [as stored]\n");
+            "  [as stored]\n"
+            "indexing:\n"
+            "  R: (pl_ga, pl_gb, pl_gc) -> (pl_ga, pl_gb); pl_ga compressed"
+            " sequential [drives], pl_gb compressed sequential [drives]\n"
+            "  S: (pl_ga, pl_gb, pl_gc) -> (pl_gb, pl_gc); pl_gb compressed"
+            " gather, pl_gc compressed sequential [drives]\n"
+            "  T: (pl_ga, pl_gb, pl_gc) -> (pl_ga, pl_gc); pl_ga compressed"
+            " gather, pl_gc compressed gather\n");
 }
 
 namespace {
@@ -491,7 +505,8 @@ TEST(PlannerExplain, SparseKeyHashedGolden) {
   ASSERT_TRUE(Best);
   EXPECT_EQ(Best->explain(Q),
             "order: pl_h\n"
-            "cost: 5e+04 = 1e+04 stream + 0 transpose + 4e+04 rehash\n"
+            "cost: 5.12e+04 = 1e+04 stream + 0 transpose + 4e+04 rehash"
+            " + 1.25e+03 access\n"
             "inputs:\n"
             "  s: compressed(pl_h:1099511627776, distinct 5000) nnz 5000\n"
             "  x: compressed(pl_h:1099511627776, distinct 20000) nnz"
@@ -501,7 +516,10 @@ TEST(PlannerExplain, SparseKeyHashedGolden) {
             " s x\n"
             "accesses:\n"
             "  s: compressed(pl_h, gallop)  [as stored]\n"
-            "  x: hashed(pl_h, gallop)  [hashed copy]\n");
+            "  x: hashed(pl_h, gallop)  [hashed copy]\n"
+            "indexing:\n"
+            "  s: (pl_h) -> (pl_h); pl_h compressed sequential [drives]\n"
+            "  x: (pl_h) -> (pl_h); pl_h hashed gather\n");
 }
 
 //===----------------------------------------------------------------------===//

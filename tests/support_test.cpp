@@ -6,6 +6,7 @@
 
 #include "support/benchjson.h"
 #include "support/rng.h"
+#include "support/simd.h"
 #include "support/table.h"
 #include "support/timer.h"
 
@@ -134,8 +135,30 @@ TEST(BenchJson, EmitsOneObjectPerRow) {
                      "\"threads\": 4, \"best_seconds\": 0.00125}"),
             std::string::npos);
   EXPECT_NE(Out.find("\"bench\": \"mttkrp\""), std::string::npos);
-  EXPECT_EQ(Out.front(), '[');
-  EXPECT_EQ(Out[Out.size() - 2], ']');
+  // Top-level shape: an object with the host block first, then the rows.
+  EXPECT_EQ(Out.front(), '{');
+  EXPECT_NE(Out.find("\"host\": {"), std::string::npos);
+  EXPECT_NE(Out.find("\"rows\": ["), std::string::npos);
+  EXPECT_EQ(Out[Out.size() - 2], '}');
+}
+
+TEST(BenchJson, HostBlockRecordsMachineMetadata) {
+  std::string Host = BenchJson::hostJson();
+  EXPECT_NE(Host.find("\"cpu\": \""), std::string::npos);
+  EXPECT_NE(Host.find("\"cores\": "), std::string::npos);
+  EXPECT_NE(Host.find("\"simd\": \""), std::string::npos);
+  // The recorded width matches the compiled-in SIMD configuration, so a
+  // scalar build and a SIMD build are distinguishable in checked-in JSON.
+  EXPECT_NE(Host.find("\"simd_width\": " + std::to_string(simdWidth())),
+            std::string::npos);
+}
+
+TEST(BenchJson, AccessCostRowCarriesBothCostTerms) {
+  BenchJson J;
+  J.add("tiles", "spmv/tile=2048", 1, 0.25, 100.0, 12.5);
+  std::string Out = J.toJson();
+  EXPECT_NE(Out.find("\"planner_cost\": 100"), std::string::npos);
+  EXPECT_NE(Out.find("\"planner_access_cost\": 12.5"), std::string::npos);
 }
 
 TEST(BenchJson, EscapesQuotesAndControlChars) {
